@@ -1,0 +1,175 @@
+// Package abtree is the public API of this repository: concurrent ordered
+// dictionaries reproducing "Elimination (a,b)-trees with fast, durable
+// updates" (Srivastava & Brown, PPoPP 2022).
+//
+// Four dictionaries are provided:
+//
+//   - New            — the OCC-ABtree (paper §3): optimistic concurrency
+//     control over a relaxed (a,b)-tree; lock-free searches, fine-grained
+//     versioned MCS locks for updates.
+//   - NewElim        — the Elim-ABtree (§4): adds publishing elimination,
+//     which makes concurrent inserts/deletes of the same key linearize
+//     against a published record instead of writing to the tree. Fastest
+//     under skewed (high-contention) update-heavy workloads.
+//   - NewPersistent  — the p-OCC-ABtree (§5): durably linearizable on a
+//     simulated persistent-memory arena.
+//   - NewPersistentElim — the p-Elim-ABtree.
+//
+// Keys and values are uint64. Key 0 and key 2^64-1 are reserved (the
+// empty-slot sentinel and the key-range upper bound). Insert is
+// insert-if-absent: it never overwrites an existing value.
+//
+// All operations go through a per-goroutine Handle obtained from
+// NewHandle; a Handle must not be shared between goroutines (it owns the
+// thread's lock queue nodes, mirroring the paper's per-thread state).
+//
+// Quickstart:
+//
+//	t := abtree.NewElim()
+//	h := t.NewHandle()
+//	h.Insert(42, 1)
+//	v, ok := h.Find(42)
+//	h.Delete(42)
+package abtree
+
+import (
+	"repro/internal/core"
+)
+
+// Handle is a per-goroutine accessor for a Tree. Handles are not safe for
+// concurrent use; create one per worker goroutine.
+type Handle struct {
+	th *core.Thread
+}
+
+// Tree is a volatile OCC-ABtree or Elim-ABtree. A Tree is safe for
+// concurrent use through per-goroutine Handles.
+type Tree struct {
+	t *core.Tree
+}
+
+// Option configures a volatile tree.
+type Option func(*options)
+
+type options struct {
+	a, b      int
+	tas       bool
+	cohort    bool
+	combining bool
+	elimFinds bool
+}
+
+// WithDegree sets the (a,b) node-size bounds; the paper (and default) is
+// a=2, b=11. Requires 2 <= a <= b/2 and 4 <= b <= 16.
+func WithDegree(a, b int) Option { return func(o *options) { o.a, o.b = a, b } }
+
+// WithTASLocks substitutes test-and-test-and-set spinlocks for the MCS
+// node locks. Exists for the lock ablation study; MCS is faster under
+// contention.
+func WithTASLocks() Option { return func(o *options) { o.tas = true } }
+
+// WithFindElimination (NewElim only) lets finds answer from elimination
+// records when concurrent updates keep interrupting their scans — the
+// paper's §4.1 anti-starvation remark.
+func WithFindElimination() Option { return func(o *options) { o.elimFinds = true } }
+
+// WithCohortLocks substitutes NUMA-aware cohort locks for the MCS node
+// locks — the paper's §7 future-work suggestion. Threads (Handles) are
+// assigned simulated NUMA sockets round-robin.
+func WithCohortLocks() Option { return func(o *options) { o.cohort = true } }
+
+// WithLeafCombining (New only) replaces each leaf's plain locking with
+// per-leaf flat combining — the alternative to publishing elimination
+// the paper tested and found slower (§2). Exists for the
+// combining-vs-elimination ablation.
+func WithLeafCombining() Option { return func(o *options) { o.combining = true } }
+
+func parseOpts(opts []Option) options {
+	o := options{a: core.DefaultMinSize, b: core.DefaultMaxSize}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+func buildOpts(o options) []core.Option {
+	co := []core.Option{core.WithDegree(o.a, o.b)}
+	if o.tas {
+		co = append(co, core.WithTASLocks())
+	}
+	if o.cohort {
+		co = append(co, core.WithCohortLocks())
+	}
+	if o.combining {
+		co = append(co, core.WithLeafCombining())
+	}
+	return co
+}
+
+// New returns an empty OCC-ABtree.
+func New(opts ...Option) *Tree {
+	return &Tree{t: core.New(buildOpts(parseOpts(opts))...)}
+}
+
+// NewElim returns an empty Elim-ABtree (publishing elimination enabled).
+func NewElim(opts ...Option) *Tree {
+	o := parseOpts(opts)
+	o.combining = false // combining is the §2 alternative to elimination
+	co := append(buildOpts(o), core.WithElimination())
+	if o.elimFinds {
+		co = append(co, core.WithFindElimination())
+	}
+	return &Tree{t: core.New(co...)}
+}
+
+// NewHandle returns a new per-goroutine accessor.
+func (t *Tree) NewHandle() *Handle { return &Handle{th: t.t.NewThread()} }
+
+// Find returns the value associated with key, if present. Finds take no
+// locks and never restart from the root.
+func (h *Handle) Find(key uint64) (uint64, bool) { return h.th.Find(key) }
+
+// Insert inserts <key, val> if key is absent, returning (0, true). If key
+// is present the tree is unchanged and Insert returns the existing value
+// and false.
+func (h *Handle) Insert(key, val uint64) (uint64, bool) { return h.th.Insert(key, val) }
+
+// Delete removes key if present, returning its value and true; otherwise
+// (0, false).
+func (h *Handle) Delete(key uint64) (uint64, bool) { return h.th.Delete(key) }
+
+// Len returns the number of keys. It requires the tree to be quiescent
+// (no concurrent operations) and is intended for accounting and tests.
+func (t *Tree) Len() int { return t.t.Len() }
+
+// KeySum returns the wrapping sum of all keys (the paper's §6 validation
+// scheme). Quiescent only.
+func (t *Tree) KeySum() uint64 { return t.t.KeySum() }
+
+// Scan calls fn for every pair in ascending key order. Quiescent only.
+func (t *Tree) Scan(fn func(k, v uint64)) { t.t.Scan(fn) }
+
+// Height returns the tree height (levels below the entry node).
+// Quiescent only.
+func (t *Tree) Height() int { return t.t.Height() }
+
+// Validate checks the structural invariants (paper Theorem 3.5) and
+// returns the first violation. Quiescent only.
+func (t *Tree) Validate() error { return t.t.Validate() }
+
+// ElimStats reports how many inserts, deletes and upserts completed via
+// publishing elimination — linearizing against another operation's
+// published record instead of writing to the tree (always zero for trees
+// built with New).
+func (t *Tree) ElimStats() (inserts, deletes, upserts uint64) { return t.t.ElimStats() }
+
+// Upsert sets key's value to val, inserting the key if absent (the §7
+// replace-style insert; composes with publishing elimination).
+func (h *Handle) Upsert(key, val uint64) { h.th.Upsert(key, val) }
+
+// Range calls fn for each pair with lo <= key <= hi, in ascending order,
+// stopping early if fn returns false. Each leaf's contribution is an
+// atomic snapshot; the scan as a whole is not a single atomic snapshot
+// (linearizable range queries are future work — paper §3 points to
+// epoch-based techniques). Safe to call concurrently with updates.
+func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) { h.th.Range(lo, hi, fn) }

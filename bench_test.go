@@ -1,0 +1,208 @@
+// Benchmarks regenerating the paper's evaluation (§6): one benchmark
+// family per figure and table, plus ablation benches for the design
+// decisions DESIGN.md calls out. `go test -bench=. -benchmem` runs a
+// laptop-scale version of the full grid; cmd/abtree-bench runs the
+// richer thread-sweep variant with validation.
+//
+// Each benchmark reports ops/us (the paper's y-axis unit) via
+// b.ReportMetric in addition to the standard ns/op.
+package abtree_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ycsb"
+)
+
+// cellCache holds the one prefilled structure for the benchmark cell
+// currently ramping: testing.B re-invokes each benchmark with growing
+// b.N, and re-prefilling a 10M-key tree on every ramp step would dominate
+// the run. Balanced insert/delete mixes keep the structure at its
+// steady-state size, so reuse across ramp steps is sound (it is how
+// SetBench amortizes prefill too). Only one entry is kept, bounding
+// memory to a single large tree.
+var cellCache struct {
+	key  string
+	dict bench.Dict
+}
+
+// microCell runs one SetBench cell as a testing.B benchmark: the tree is
+// prefilled once per cell (cached across b.N ramp steps), then b.N
+// operations are split across GOMAXPROCS workers.
+func microCell(b *testing.B, name string, keyRange uint64, updatePct int, zipfS float64) {
+	b.Helper()
+	cfg := bench.Config{
+		Threads:   runtime.GOMAXPROCS(0),
+		KeyRange:  keyRange,
+		UpdatePct: updatePct,
+		ZipfS:     zipfS,
+		Seed:      12345,
+	}
+	cellKey := fmt.Sprintf("%s/%d/%d/%v", name, keyRange, updatePct, zipfS)
+	if cellCache.key != cellKey {
+		d := bench.NewDict(name, keyRange)
+		bench.Prefill(d, cfg)
+		cellCache.key, cellCache.dict = cellKey, d
+	}
+	d := cellCache.dict
+	b.ResetTimer()
+	start := time.Now()
+	bench.RunOps(d, cfg, b.N/cfg.Threads+1)
+	elapsed := time.Since(start)
+	ops := float64((b.N/cfg.Threads + 1) * cfg.Threads)
+	b.ReportMetric(ops/float64(elapsed.Microseconds()+1), "ops/us")
+}
+
+// figure runs the microbenchmark grid for one of Figures 12-15.
+func figure(b *testing.B, keyRange uint64, structures []string, updates []int) {
+	for _, upd := range updates {
+		for _, zipf := range []float64{0, 1} {
+			for _, name := range structures {
+				b.Run(fmt.Sprintf("u%d/zipf%.0f/%s", upd, zipf, name), func(b *testing.B) {
+					microCell(b, name, keyRange, upd, zipf)
+				})
+			}
+		}
+	}
+}
+
+var volatileSet = bench.VolatileStructures
+
+// BenchmarkFig12 — SetBench microbenchmark, 10K keys (paper Figure 12).
+func BenchmarkFig12(b *testing.B) {
+	figure(b, 10_000, volatileSet, []int{100, 50, 20, 5})
+}
+
+// BenchmarkFig13 — SetBench microbenchmark, 100K keys (paper Figure 13).
+func BenchmarkFig13(b *testing.B) {
+	figure(b, 100_000, volatileSet, []int{100, 5})
+}
+
+// BenchmarkFig14 — SetBench microbenchmark, 1M keys (paper Figure 14).
+func BenchmarkFig14(b *testing.B) {
+	figure(b, 1_000_000, volatileSet, []int{100, 5})
+}
+
+// BenchmarkFig15 — SetBench microbenchmark, 10M keys (paper Figure 15).
+// The prefill dominates setup time at this scale, so the structure set is
+// reduced to the paper's protagonists and lead competitors.
+func BenchmarkFig15(b *testing.B) {
+	figure(b, 10_000_000, []string{"OCC-ABtree", "Elim-ABtree", "LF-ABtree", "CATree"}, []int{100})
+}
+
+// BenchmarkFig16 — YCSB Workload A (paper Figure 16; paper prefilled 100M
+// rows on a 192 GiB machine — scaled to 1M here).
+func BenchmarkFig16(b *testing.B) {
+	const records = 1_000_000
+	for _, name := range volatileSet {
+		b.Run(name, func(b *testing.B) {
+			d := bench.NewDict(name, records*2)
+			res, err := ycsb.Run(d, ycsb.Config{
+				Threads:  runtime.GOMAXPROCS(0),
+				Records:  records,
+				ZipfS:    0.5,
+				Duration: 300 * time.Millisecond,
+				Seed:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.TxPerUsec, "tx/us")
+			b.ReportMetric(0, "ns/op") // duration-driven; ns/op is not meaningful
+		})
+	}
+}
+
+// BenchmarkFig17 — persistent trees, 1M keys, 50% updates, uniform and
+// Zipf 1 (paper Figure 17).
+func BenchmarkFig17(b *testing.B) {
+	for _, zipf := range []float64{0, 1} {
+		for _, name := range bench.PersistentStructures {
+			b.Run(fmt.Sprintf("zipf%.0f/%s", zipf, name), func(b *testing.B) {
+				microCell(b, name, 1_000_000, 50, zipf)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 — persistence overhead: volatile vs persistent trees at
+// update rates {100, 50, 10}, uniform and Zipf 1 (paper Table 1). Compare
+// the ops/us of each volatile/persistent pair.
+func BenchmarkTable1(b *testing.B) {
+	for _, zipf := range []float64{0, 1} {
+		for _, upd := range []int{100, 50, 10} {
+			for _, name := range []string{"OCC-ABtree", "p-OCC-ABtree", "Elim-ABtree", "p-Elim-ABtree"} {
+				b.Run(fmt.Sprintf("zipf%.0f/u%d/%s", zipf, upd, name), func(b *testing.B) {
+					microCell(b, name, 1_000_000, upd, zipf)
+				})
+			}
+		}
+	}
+}
+
+// ---- Ablation benchmarks (DESIGN.md §4) ----
+
+// BenchmarkAblationSortedLeaves quantifies unsorted leaves with ⊥ holes
+// (the paper's design) against classic sorted dense leaves.
+func BenchmarkAblationSortedLeaves(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree", "OCC-ABtree-Sorted"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 100_000, 100, 0) })
+	}
+}
+
+// BenchmarkAblationTASLock quantifies MCS node locks against
+// test-and-test-and-set spinlocks (paper §7).
+func BenchmarkAblationTASLock(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree", "OCC-ABtree-TAS", "Elim-ABtree", "Elim-ABtree-TAS"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 10_000, 100, 1) })
+	}
+}
+
+// BenchmarkAblationCombining reproduces the paper's §2 comparison of
+// publishing elimination against per-leaf flat combining ("much slower
+// than our publishing elimination technique"): same skewed update-heavy
+// workload, three synchronization designs for the same tree.
+func BenchmarkAblationCombining(b *testing.B) {
+	for _, name := range []string{"Elim-ABtree", "OCC-ABtree-FC", "OCC-ABtree"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 10_000, 100, 1) })
+	}
+}
+
+// BenchmarkAblationCohortLock quantifies the paper's §7 future-work
+// suggestion: NUMA-aware cohort locks in place of plain MCS locks. On a
+// real multi-socket machine the cohort variant should close the gap to
+// elimination on skewed update-heavy workloads; on one socket it mostly
+// measures the handoff overhead.
+func BenchmarkAblationCohortLock(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree", "OCC-ABtree-Cohort", "Elim-ABtree", "Elim-ABtree-Cohort"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 10_000, 100, 1) })
+	}
+}
+
+// BenchmarkAblationLockedSearch quantifies the lock-free version-validated
+// find against a find that locks the leaf.
+func BenchmarkAblationLockedSearch(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree", "OCC-ABtree-LockedFind"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 100_000, 5, 0) })
+	}
+}
+
+// BenchmarkAblationDegree quantifies the paper's b=11 against smaller and
+// larger node capacities.
+func BenchmarkAblationDegree(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree-b4", "OCC-ABtree", "OCC-ABtree-b16"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 1_000_000, 50, 0) })
+	}
+}
+
+// BenchmarkAblationElimination isolates publishing elimination on the
+// highest-contention workload (single hot leaf).
+func BenchmarkAblationElimination(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree", "Elim-ABtree"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 16, 100, 1) })
+	}
+}

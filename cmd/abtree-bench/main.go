@@ -1,0 +1,226 @@
+// Command abtree-bench regenerates the paper's evaluation (§6): each
+// figure's throughput series and Table 1's persistence-overhead matrix,
+// printed as tab-separated rows suitable for plotting.
+//
+// Usage:
+//
+//	abtree-bench -figure 14                  # SetBench grid, 1M keys
+//	abtree-bench -figure 16                  # YCSB Workload A
+//	abtree-bench -figure 17                  # persistent-tree comparison
+//	abtree-bench -table 1                    # persistence overhead
+//	abtree-bench -figure 12 -threads 1,4,8 -duration 2s -updates 100,5
+//
+// The defaults are laptop-scale (short durations, thread counts up to
+// GOMAXPROCS); the paper's absolute numbers came from a 144-thread Xeon,
+// so shapes — who wins, by what factor, where lines cross — are the
+// meaningful output (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		figure     = flag.Int("figure", 0, "figure to regenerate: 12, 13, 14, 15, 16 or 17")
+		table      = flag.Int("table", 0, "table to regenerate: 1")
+		threadsCSV = flag.String("threads", "", "comma-separated thread counts (default 1,2,...,GOMAXPROCS)")
+		updatesCSV = flag.String("updates", "100,50,20,5", "comma-separated update percentages (figures 12-15)")
+		duration   = flag.Duration("duration", time.Second, "measured duration per cell")
+		structures = flag.String("structures", "", "comma-separated structure subset (default: figure's full set)")
+		keys       = flag.Uint64("keys", 0, "override the figure's key-range")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	threads := parseInts(*threadsCSV)
+	if len(threads) == 0 {
+		for t := 1; t <= runtime.GOMAXPROCS(0); t *= 2 {
+			threads = append(threads, t)
+		}
+	}
+	updates := parseInts(*updatesCSV)
+
+	switch {
+	case *figure >= 12 && *figure <= 15:
+		keyRange := map[int]uint64{12: 10_000, 13: 100_000, 14: 1_000_000, 15: 10_000_000}[*figure]
+		if *keys != 0 {
+			keyRange = *keys
+		}
+		structs := bench.VolatileStructures
+		if *structures != "" {
+			structs = strings.Split(*structures, ",")
+		}
+		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed)
+	case *figure == 16:
+		records := uint64(1_000_000) // paper: 100M; scale with -keys
+		if *keys != 0 {
+			records = *keys
+		}
+		structs := bench.VolatileStructures
+		if *structures != "" {
+			structs = strings.Split(*structures, ",")
+		}
+		runYCSB(records, structs, threads, *duration, *seed)
+	case *figure == 17:
+		keyRange := uint64(1_000_000)
+		if *keys != 0 {
+			keyRange = *keys
+		}
+		structs := bench.PersistentStructures
+		if *structures != "" {
+			structs = strings.Split(*structures, ",")
+		}
+		runFig17(keyRange, structs, threads, *duration, *seed)
+	case *table == 1:
+		keyRange := uint64(1_000_000)
+		if *keys != 0 {
+			keyRange = *keys
+		}
+		runTable1(keyRange, threads, *duration, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseInts(csv string) []int {
+	if csv == "" {
+		return nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad integer list %q\n", csv)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// runMicrobench regenerates one of Figures 12-15: the SetBench grid of
+// {update%} x {uniform, Zipf 1} x thread counts for each structure.
+func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64) {
+	fmt.Printf("# Figure %d: SetBench microbenchmark, %d keys (ops/us)\n", fig, keyRange)
+	fmt.Println("# (for Elim trees, an 'elim-rate' comment follows each row: the")
+	fmt.Println("#  fraction of completed ops that eliminated instead of writing)")
+	fmt.Println("figure\tupdates%\tzipf\tstructure\tthreads\tops_per_us")
+	for _, upd := range updates {
+		for _, zipf := range []float64{0, 1} {
+			for _, name := range structs {
+				for _, th := range threads {
+					dict := bench.NewDict(name, keyRange)
+					cfg := bench.Config{
+						Threads: th, KeyRange: keyRange, UpdatePct: upd,
+						ZipfS: zipf, Duration: d, Seed: seed,
+					}
+					bench.Prefill(dict, cfg)
+					res, err := bench.Run(dict, cfg)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+						os.Exit(1)
+					}
+					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%.3f\n", fig, upd, zipf, name, th, res.OpsPerUsec)
+					if es, ok := dict.(bench.ElimStatser); ok {
+						ei, ed, eu := es.ElimStats()
+						if total := ei + ed + eu; total > 0 {
+							fmt.Printf("# elim-rate %s t%d: %.4f%% (%d/%d)\n",
+								name, th, 100*float64(total)/float64(res.Ops), total, res.Ops)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// runYCSB regenerates Figure 16: Workload A transactions/us.
+func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64) {
+	fmt.Printf("# Figure 16: YCSB Workload A, %d records, Zipf 0.5 (tx/us)\n", records)
+	fmt.Println("figure\tstructure\tthreads\ttx_per_us")
+	for _, name := range structs {
+		for _, th := range threads {
+			dict := bench.NewDict(name, records*2)
+			res, err := ycsb.Run(dict, ycsb.Config{
+				Threads: th, Records: records, ZipfS: 0.5, Duration: d, Seed: seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("16\t%s\t%d\t%.3f\n", name, th, res.TxPerUsec)
+		}
+	}
+}
+
+// runFig17 regenerates Figure 17: persistent trees, 1M keys, 50% updates,
+// uniform and Zipf 1.
+func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64) {
+	fmt.Printf("# Figure 17: persistent trees, %d keys, 50%% updates (ops/us)\n", keyRange)
+	fmt.Println("figure\tzipf\tstructure\tthreads\tops_per_us")
+	for _, zipf := range []float64{0, 1} {
+		for _, name := range structs {
+			for _, th := range threads {
+				dict := bench.NewDict(name, keyRange)
+				cfg := bench.Config{
+					Threads: th, KeyRange: keyRange, UpdatePct: 50,
+					ZipfS: zipf, Duration: d, Seed: seed,
+				}
+				bench.Prefill(dict, cfg)
+				res, err := bench.Run(dict, cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+					os.Exit(1)
+				}
+				fmt.Printf("17\t%.0f\t%s\t%d\t%.3f\n", zipf, name, th, res.OpsPerUsec)
+			}
+		}
+	}
+}
+
+// runTable1 regenerates Table 1: throughput change from enabling
+// persistence, at update rates {100, 50, 10}, uniform and Zipf 1.
+func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64) {
+	th := threads[len(threads)-1] // the paper uses the max thread count (96)
+	fmt.Printf("# Table 1: persistence overhead, %d keys, %d threads\n", keyRange, th)
+	fmt.Println("zipf\tupdates%\ttree\tvolatile_ops_us\tpersistent_ops_us\tchange%")
+	for _, zipf := range []float64{0, 1} {
+		for _, upd := range []int{100, 50, 10} {
+			for _, pair := range [][2]string{
+				{"OCC-ABtree", "p-OCC-ABtree"},
+				{"Elim-ABtree", "p-Elim-ABtree"},
+			} {
+				cfg := bench.Config{
+					Threads: th, KeyRange: keyRange, UpdatePct: upd,
+					ZipfS: zipf, Duration: d, Seed: seed,
+				}
+				vol := measure(pair[0], cfg)
+				per := measure(pair[1], cfg)
+				fmt.Printf("%.0f\t%d\t%s\t%.3f\t%.3f\t%+.1f%%\n",
+					zipf, upd, pair[1], vol, per, 100*(per-vol)/vol)
+			}
+		}
+	}
+}
+
+func measure(name string, cfg bench.Config) float64 {
+	dict := bench.NewDict(name, cfg.KeyRange)
+	bench.Prefill(dict, cfg)
+	res, err := bench.Run(dict, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	return res.OpsPerUsec
+}

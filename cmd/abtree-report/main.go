@@ -1,0 +1,39 @@
+// Command abtree-report digests the TSV files produced by abtree-bench
+// into the comparison table EXPERIMENTS.md tracks: the per-workload
+// winner, our trees' throughput, the best competitor, and the ratio.
+//
+// Usage:
+//
+//	abtree-bench -figure 12 > fig12.tsv
+//	abtree-report fig12.tsv fig14.tsv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: abtree-report <figure.tsv>...")
+		os.Exit(2)
+	}
+	var all []report.Row
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows, err := report.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		all = append(all, rows...)
+	}
+	fmt.Print(report.Markdown(report.Summarize(all)))
+}

@@ -1,0 +1,133 @@
+package abtree_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	abtree "repro"
+)
+
+// The basic dictionary operations on an Elim-ABtree.
+func Example() {
+	t := abtree.NewElim()
+	h := t.NewHandle()
+
+	h.Insert(3, 30)
+	h.Insert(1, 10)
+	h.Insert(2, 20)
+
+	if v, ok := h.Find(2); ok {
+		fmt.Println("find(2) =", v)
+	}
+	old, inserted := h.Insert(2, 99)
+	fmt.Println("insert(2) again:", old, inserted)
+
+	v, deleted := h.Delete(1)
+	fmt.Println("delete(1):", v, deleted)
+
+	t.Scan(func(k, v uint64) { fmt.Println("scan:", k, v) })
+	// Output:
+	// find(2) = 20
+	// insert(2) again: 20 false
+	// delete(1): 10 true
+	// scan: 2 20
+	// scan: 3 30
+}
+
+// Upsert is the §7 replace-style insert: it overwrites and returns
+// nothing, which is exactly the signature that composes with publishing
+// elimination.
+func ExampleHandle_Upsert() {
+	t := abtree.NewElim()
+	h := t.NewHandle()
+
+	h.Upsert(7, 1)
+	h.Upsert(7, 2) // replaces
+	v, _ := h.Find(7)
+	fmt.Println(v)
+	// Output: 2
+}
+
+// Range iterates keys in order within bounds, stopping early when the
+// callback returns false.
+func ExampleHandle_Range() {
+	t := abtree.New()
+	h := t.NewHandle()
+	for k := uint64(1); k <= 100; k++ {
+		h.Insert(k, k*k)
+	}
+	h.Range(10, 13, func(k, v uint64) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 10 100
+	// 11 121
+	// 12 144
+	// 13 169
+}
+
+// A persistent tree survives a simulated power failure: everything that
+// was acknowledged (the call returned) is still there after recovery.
+func ExamplePersistentTree_Recover() {
+	t := abtree.NewPersistent(abtree.WithArenaWords(1 << 16))
+	h := t.NewHandle()
+	h.Insert(1, 100) // durable once Insert returns
+
+	t.SimulateCrash(0, 42) // power loss: all unflushed cache lines gone
+	r := t.Recover()
+
+	v, ok := r.NewHandle().Find(1)
+	fmt.Println(v, ok)
+	// Output: 100 true
+}
+
+// TestPublicLockAndCombiningOptions exercises the §7 cohort-lock and §2
+// flat-combining options through the public API under concurrency.
+func TestPublicLockAndCombiningOptions(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *abtree.Tree
+	}{
+		{"cohort", abtree.New(abtree.WithCohortLocks())},
+		{"combining", abtree.New(abtree.WithLeafCombining())},
+		{"elim-cohort", abtree.NewElim(abtree.WithCohortLocks())},
+		{"elim-ignores-combining", abtree.NewElim(abtree.WithLeafCombining())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			sums := make([]int64, 4)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := tc.tr.NewHandle()
+					for i := 0; i < 20000; i++ {
+						k := uint64(w*31+i)%128 + 1
+						if i%2 == 0 {
+							if _, ok := h.Insert(k, k); ok {
+								sums[w] += int64(k)
+							}
+						} else {
+							if _, ok := h.Delete(k); ok {
+								sums[w] -= int64(k)
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			var want uint64
+			for _, s := range sums {
+				want += uint64(s)
+			}
+			if got := tc.tr.KeySum(); got != want {
+				t.Fatalf("KeySum = %d, want %d", got, want)
+			}
+			if err := tc.tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Durablekv: a crash-safe key-value store on the p-Elim-ABtree.
+//
+// The demo runs a concurrent write workload, pulls the plug mid-flight
+// (simulated power failure: every unflushed cache line is lost), recovers
+// with the paper's §5 recovery procedure, and shows that every write that
+// was acknowledged before the crash is still there — the tree is durably
+// (indeed strictly) linearizable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	abtree "repro"
+)
+
+const workers = 4
+
+func main() {
+	kv := abtree.NewPersistentElim(abtree.WithArenaWords(1 << 22))
+
+	fmt.Println("phase 1: concurrent writes (each acknowledged write is durable)")
+	var acked sync.Map // key -> value, recorded only AFTER Insert returns
+	var total atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := kv.NewHandle()
+			for i := uint64(1); !stop.Load(); i++ {
+				key := uint64(w)*1_000_000 + i
+				val := key * 31
+				h.Insert(key, val)
+				// The insert has returned: the pair is durable. Only now
+				// do we "acknowledge" it to the client.
+				acked.Store(key, val)
+				total.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("  acknowledged %d writes\n", total.Load())
+
+	flushes, fences := kv.FlushStats()
+	fmt.Printf("  persistence cost so far: %d cache-line flushes, %d fences (~%.2f flushes/write)\n",
+		flushes, fences, float64(flushes)/float64(total.Load()))
+
+	fmt.Println("\nphase 2: power failure — all unflushed cache lines are lost")
+	kv.SimulateCrash(0 /* no lucky evictions: worst case */, 42)
+
+	fmt.Println("phase 3: recovery (walk persisted image, reset volatile state,")
+	fmt.Println("         finish interrupted rebalancing)")
+	recovered := kv.Recover()
+	if err := recovered.Validate(); err != nil {
+		log.Fatalf("recovered tree invalid: %v", err)
+	}
+
+	fmt.Println("phase 4: audit — every acknowledged write must be present")
+	h := recovered.NewHandle()
+	checked, missing := 0, 0
+	acked.Range(func(k, v any) bool {
+		checked++
+		got, ok := h.Find(k.(uint64))
+		if !ok || got != v.(uint64) {
+			missing++
+		}
+		return true
+	})
+	if missing > 0 {
+		log.Fatalf("%d/%d acknowledged writes lost — durability violated!", missing, checked)
+	}
+	fmt.Printf("  %d/%d acknowledged writes survived the crash\n", checked, checked)
+	fmt.Printf("  recovered store: %d keys, structurally valid\n", recovered.Len())
+}

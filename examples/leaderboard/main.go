@@ -1,0 +1,93 @@
+// Leaderboard: an ordered-dictionary use case exercising the API beyond
+// point operations — a game leaderboard where scores stream in from many
+// goroutines and ordered reports are taken at quiescent points.
+//
+// Keys encode (score, player) so the tree's key order gives the ranking
+// directly; the paper's trees are ordered dictionaries, unlike hash maps,
+// so "top N" needs no extra index.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	abtree "repro"
+)
+
+// key packs a score and player id so that higher scores sort last (the
+// tree is ascending) and ties break by player id. Score 0 maps to key
+// region 1.. so key 0 (reserved) is never produced.
+func key(score uint32, player uint32) uint64 {
+	return uint64(score)<<32 | uint64(player) | 1<<63
+}
+
+func unpack(k uint64) (score, player uint32) {
+	return uint32(k << 1 >> 33), uint32(k)
+}
+
+func main() {
+	board := abtree.NewElim()
+
+	// Ingest: players submit score updates concurrently. A player's new
+	// high score replaces the old entry (delete + insert on packed keys).
+	const players = 2000
+	const rounds = 40
+	var wg sync.WaitGroup
+	for shard := 0; shard < 8; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			h := board.NewHandle()
+			state := uint64(shard)*0x9e3779b97f4a7c15 + 1
+			best := make(map[uint32]uint32)
+			for r := 0; r < rounds; r++ {
+				for p := shard; p < players; p += 8 {
+					state ^= state << 13
+					state ^= state >> 7
+					state ^= state << 17
+					score := uint32(state % 1_000_000)
+					player := uint32(p)
+					if old, ok := best[player]; ok {
+						if score <= old {
+							continue
+						}
+						h.Delete(key(old, player))
+					}
+					h.Insert(key(score, player), uint64(r))
+					best[player] = score
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+
+	if err := board.Validate(); err != nil {
+		fmt.Println("invariant violation:", err)
+		return
+	}
+
+	// Report: players within a score band, via the concurrent-safe Range
+	// (per-leaf atomic; see Handle.Range).
+	h := board.NewHandle()
+	band := 0
+	h.Range(key(900_000, 0), key(1_000_000, ^uint32(0)), func(k, _ uint64) bool {
+		band++
+		return true
+	})
+	fmt.Printf("leaderboard holds %d players (tree height %d); %d players above 900k\n\n",
+		board.Len(), board.Height(), band)
+
+	// Top 10: walk the ordered scan and print the tail (a real system
+	// would add a descending iterator).
+	type entry struct{ score, player uint32 }
+	var all []entry
+	board.Scan(func(k, _ uint64) {
+		s, p := unpack(k)
+		all = append(all, entry{s, p})
+	})
+	fmt.Println("rank  player   score")
+	for i := 0; i < 10 && i < len(all); i++ {
+		e := all[len(all)-1-i]
+		fmt.Printf("%4d  %6d  %6d\n", i+1, e.player, e.score)
+	}
+}

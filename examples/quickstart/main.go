@@ -1,0 +1,54 @@
+// Quickstart: the public API in one page — create each tree variant,
+// run the dictionary operations, scan in order, and validate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	abtree "repro"
+)
+
+func main() {
+	// The Elim-ABtree: an ordered uint64 -> uint64 dictionary optimized
+	// for contended updates. (abtree.New() gives the plain OCC-ABtree.)
+	tree := abtree.NewElim()
+
+	// All operations go through a per-goroutine handle.
+	h := tree.NewHandle()
+
+	// Insert is insert-if-absent: it reports whether the key was added
+	// and never overwrites.
+	if _, inserted := h.Insert(42, 4200); !inserted {
+		log.Fatal("42 should have been absent")
+	}
+	if old, inserted := h.Insert(42, 9999); inserted {
+		log.Fatal("second insert must not replace")
+	} else {
+		fmt.Printf("insert(42) again -> existing value %d\n", old)
+	}
+
+	if v, ok := h.Find(42); ok {
+		fmt.Printf("find(42) = %d\n", v)
+	}
+
+	for k := uint64(1); k <= 10; k++ {
+		h.Insert(k, k*k)
+	}
+
+	// Ordered iteration (quiescent only).
+	fmt.Print("keys in order:")
+	tree.Scan(func(k, _ uint64) { fmt.Printf(" %d", k) })
+	fmt.Println()
+
+	if v, ok := h.Delete(42); ok {
+		fmt.Printf("delete(42) removed value %d\n", v)
+	}
+
+	// Structural invariants can be checked at any quiescent point.
+	if err := tree.Validate(); err != nil {
+		log.Fatalf("invariant violation: %v", err)
+	}
+	fmt.Printf("len=%d height=%d keysum=%d — invariants hold\n",
+		tree.Len(), tree.Height(), tree.KeySum())
+}

@@ -1,0 +1,444 @@
+// Package bcco10 implements the BCCO10 baseline: the practical concurrent
+// binary search tree of Bronson, Casper, Chafi & Olukotun ("A Practical
+// Concurrent Binary Search Tree", PPoPP 2010), the partially external
+// relaxed-balance AVL tree the paper's §6 evaluation compares against.
+//
+// The algorithm's signature technique is hand-over-hand optimistic
+// validation: every node carries a version word (the "ovl"). Operations
+// descend without locks; before trusting a child pointer they re-read the
+// parent's version, and a mismatch forces a retry from the parent's
+// parent (propagated as a RETRY status up the recursive descent). A
+// rotation that shrinks a node's key range sets a "shrinking" bit in the
+// node's version for its duration and then advances the version's change
+// count, so concurrent searches positioned at that node first wait out
+// the rotation and then observe the count change and retry. Rotations
+// that only grow a node's key range need no version bump — a search
+// holding a stale-but-grown node is still inside the key's search path.
+//
+// The tree is partially external: deleting a key whose node has two
+// children merely clears the node's value, leaving it behind as a
+// routing node; routing nodes with at most one child are spliced out by
+// deletions and by the relaxed-AVL rebalancing walk. As in the original
+// (where values are Java object references), the value is held behind an
+// atomic pointer and nil marks a routing node, making value reads and
+// routing checks a single atomic load.
+//
+// All child-pointer writes are performed while holding the parent's
+// lock, all locks are acquired in root-to-leaf order, and heights are
+// relaxed-AVL hints (staleness affects balance quality, never
+// correctness).
+package bcco10
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Version word (ovl) bits. A node's version is "clean" when neither bit
+// is set; the remaining bits count completed shrink operations.
+const (
+	ovlShrinking = int64(1) << 0
+	ovlUnlinked  = int64(1) << 1
+	ovlCountStep = int64(1) << 2
+)
+
+// descent status codes returned by the attempt* helpers.
+type status int
+
+const (
+	stRetry  status = iota // caller's version was invalidated: retry one level up
+	stFound                // key present; value returned
+	stAbsent               // key proven absent under a validated version
+)
+
+type node struct {
+	key    uint64
+	val    atomic.Pointer[uint64] // nil = routing node (key logically absent)
+	parent atomic.Pointer[node]
+	left   atomic.Pointer[node]
+	right  atomic.Pointer[node]
+	ovl    atomic.Int64
+	height atomic.Int32
+	mu     sync.Mutex
+}
+
+// waitUntilShrinkCompleted spins until n's in-progress shrink finishes.
+func (n *node) waitUntilShrinkCompleted() {
+	spins := 0
+	for n.ovl.Load()&ovlShrinking != 0 {
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// childFor returns the child on key's side. Only valid when key != n.key.
+func (n *node) childFor(key uint64) *node {
+	if key < n.key {
+		return n.left.Load()
+	}
+	return n.right.Load()
+}
+
+func height(n *node) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.height.Load()
+}
+
+// replaceChild swings parent's pointer from old to new. Caller holds
+// parent's lock.
+func replaceChild(parent, old, new *node) {
+	if parent.left.Load() == old {
+		parent.left.Store(new)
+	} else {
+		parent.right.Store(new)
+	}
+}
+
+// Tree is a concurrent partially external relaxed-AVL tree. The zero
+// value is not usable; call New.
+type Tree struct {
+	// rootHolder is a sentinel whose right child is the tree root. It is
+	// never rotated or unlinked, so every real node has a parent.
+	rootHolder node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{}
+}
+
+// Find returns the value associated with key, if present.
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	for {
+		right := t.rootHolder.right.Load()
+		if right == nil {
+			return 0, false
+		}
+		ovl := right.ovl.Load()
+		if ovl&(ovlShrinking|ovlUnlinked) != 0 {
+			right.waitUntilShrinkCompleted()
+			continue
+		}
+		if right != t.rootHolder.right.Load() {
+			continue
+		}
+		if v, st := t.attemptGet(key, right, ovl); st != stRetry {
+			return v, st == stFound
+		}
+	}
+}
+
+// attemptGet searches for key in the subtree rooted at n, which the
+// caller observed under version nOVL. stRetry means nOVL was invalidated
+// and the caller must re-read its own position.
+func (t *Tree) attemptGet(key uint64, n *node, nOVL int64) (uint64, status) {
+	if key == n.key {
+		// The value is a single atomic load; a non-nil read linearizes
+		// the find while the node held that value.
+		if vp := n.val.Load(); vp != nil {
+			return *vp, stFound
+		}
+		return 0, stAbsent
+	}
+	for {
+		child := n.childFor(key)
+		if n.ovl.Load() != nOVL {
+			return 0, stRetry
+		}
+		if child == nil {
+			// The nil child was read under a validated version: key is
+			// absent from this (then-current) subtree.
+			return 0, stAbsent
+		}
+		childOVL := child.ovl.Load()
+		if childOVL&ovlShrinking != 0 {
+			child.waitUntilShrinkCompleted()
+			continue // re-read child under n's (re-validated) version
+		}
+		if childOVL&ovlUnlinked != 0 || child != n.childFor(key) {
+			if n.ovl.Load() != nOVL {
+				return 0, stRetry
+			}
+			continue
+		}
+		if n.ovl.Load() != nOVL {
+			return 0, stRetry
+		}
+		if v, st := t.attemptGet(key, child, childOVL); st != stRetry {
+			return v, st
+		}
+		// Child's version moved: re-read the child pointer and try again
+		// (n's own version is re-validated at the top of the loop).
+	}
+}
+
+// Insert adds key→val if key is absent and reports whether it inserted;
+// if key is present it returns the existing value and false.
+func (t *Tree) Insert(key, val uint64) (uint64, bool) {
+	for {
+		right := t.rootHolder.right.Load()
+		if right == nil {
+			// Empty tree: attach the first node under the holder's lock.
+			t.rootHolder.mu.Lock()
+			if t.rootHolder.right.Load() == nil {
+				n := &node{key: key}
+				n.val.Store(&val)
+				n.height.Store(1)
+				n.parent.Store(&t.rootHolder)
+				t.rootHolder.right.Store(n)
+				t.rootHolder.mu.Unlock()
+				return 0, true
+			}
+			t.rootHolder.mu.Unlock()
+			continue
+		}
+		ovl := right.ovl.Load()
+		if ovl&(ovlShrinking|ovlUnlinked) != 0 {
+			right.waitUntilShrinkCompleted()
+			continue
+		}
+		if right != t.rootHolder.right.Load() {
+			continue
+		}
+		if v, ok, st := t.attemptInsert(key, val, right, ovl); st != stRetry {
+			return v, ok
+		}
+	}
+}
+
+func (t *Tree) attemptInsert(key, val uint64, n *node, nOVL int64) (uint64, bool, status) {
+	if key == n.key {
+		return t.attemptRevive(key, val, n)
+	}
+	for {
+		child := n.childFor(key)
+		if n.ovl.Load() != nOVL {
+			return 0, false, stRetry
+		}
+		if child == nil {
+			// Insertion point: attach a new leaf under n's lock.
+			n.mu.Lock()
+			if n.ovl.Load() != nOVL {
+				n.mu.Unlock()
+				return 0, false, stRetry
+			}
+			if n.childFor(key) != nil {
+				// A child appeared; re-read and descend into it.
+				n.mu.Unlock()
+				continue
+			}
+			leaf := &node{key: key}
+			leaf.val.Store(&val)
+			leaf.height.Store(1)
+			leaf.parent.Store(n)
+			if key < n.key {
+				n.left.Store(leaf)
+			} else {
+				n.right.Store(leaf)
+			}
+			n.mu.Unlock()
+			t.fixHeightAndRebalance(n)
+			return 0, true, stFound
+		}
+		childOVL := child.ovl.Load()
+		if childOVL&ovlShrinking != 0 {
+			child.waitUntilShrinkCompleted()
+			continue
+		}
+		if childOVL&ovlUnlinked != 0 || child != n.childFor(key) {
+			if n.ovl.Load() != nOVL {
+				return 0, false, stRetry
+			}
+			continue
+		}
+		if n.ovl.Load() != nOVL {
+			return 0, false, stRetry
+		}
+		if v, ok, st := t.attemptInsert(key, val, child, childOVL); st != stRetry {
+			return v, ok, st
+		}
+	}
+}
+
+// attemptRevive handles an insert that lands on an existing node with
+// the same key: if the node holds a value the insert fails with that
+// value; if it is a routing node the insert revives it in place.
+func (t *Tree) attemptRevive(key, val uint64, n *node) (uint64, bool, status) {
+	if vp := n.val.Load(); vp != nil {
+		return *vp, false, stFound
+	}
+	n.mu.Lock()
+	if n.ovl.Load()&ovlUnlinked != 0 {
+		n.mu.Unlock()
+		return 0, false, stRetry
+	}
+	if vp := n.val.Load(); vp != nil {
+		old := *vp
+		n.mu.Unlock()
+		return old, false, stFound
+	}
+	n.val.Store(&val)
+	n.mu.Unlock()
+	return 0, true, stFound
+}
+
+// Delete removes key and returns its value, if present.
+func (t *Tree) Delete(key uint64) (uint64, bool) {
+	for {
+		right := t.rootHolder.right.Load()
+		if right == nil {
+			return 0, false
+		}
+		ovl := right.ovl.Load()
+		if ovl&(ovlShrinking|ovlUnlinked) != 0 {
+			right.waitUntilShrinkCompleted()
+			continue
+		}
+		if right != t.rootHolder.right.Load() {
+			continue
+		}
+		if v, ok, st := t.attemptDelete(key, &t.rootHolder, right, ovl); st != stRetry {
+			return v, ok
+		}
+	}
+}
+
+func (t *Tree) attemptDelete(key uint64, parent, n *node, nOVL int64) (uint64, bool, status) {
+	if key == n.key {
+		return t.attemptRmNode(parent, n, nOVL)
+	}
+	for {
+		child := n.childFor(key)
+		if n.ovl.Load() != nOVL {
+			return 0, false, stRetry
+		}
+		if child == nil {
+			return 0, false, stAbsent
+		}
+		childOVL := child.ovl.Load()
+		if childOVL&ovlShrinking != 0 {
+			child.waitUntilShrinkCompleted()
+			continue
+		}
+		if childOVL&ovlUnlinked != 0 || child != n.childFor(key) {
+			if n.ovl.Load() != nOVL {
+				return 0, false, stRetry
+			}
+			continue
+		}
+		if n.ovl.Load() != nOVL {
+			return 0, false, stRetry
+		}
+		if v, ok, st := t.attemptDelete(key, n, child, childOVL); st != stRetry {
+			return v, ok, st
+		}
+	}
+}
+
+// attemptRmNode deletes the key stored at n. With two children the node
+// becomes a routing node (partially external deletion); with at most one
+// child it is unlinked under parent+node locks.
+func (t *Tree) attemptRmNode(parent, n *node, nOVL int64) (uint64, bool, status) {
+	if n.val.Load() == nil {
+		return 0, false, stAbsent
+	}
+	if n.left.Load() != nil && n.right.Load() != nil {
+		// Two children: convert to a routing node in place.
+		n.mu.Lock()
+		if n.ovl.Load() != nOVL {
+			n.mu.Unlock()
+			return 0, false, stRetry
+		}
+		if n.left.Load() != nil && n.right.Load() != nil {
+			vp := n.val.Load()
+			if vp == nil {
+				n.mu.Unlock()
+				return 0, false, stAbsent
+			}
+			n.val.Store(nil)
+			n.mu.Unlock()
+			return *vp, true, stFound
+		}
+		n.mu.Unlock()
+		// A child vanished concurrently; fall through to the unlink path.
+	}
+
+	// ≤1 child: unlink n. Locks go parent → node (root-to-leaf order).
+	parent.mu.Lock()
+	if parent.ovl.Load()&ovlUnlinked != 0 || n.parent.Load() != parent {
+		parent.mu.Unlock()
+		return 0, false, stRetry
+	}
+	n.mu.Lock()
+	if n.ovl.Load() != nOVL {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return 0, false, stRetry
+	}
+	vp := n.val.Load()
+	if vp == nil {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return 0, false, stAbsent
+	}
+	l, r := n.left.Load(), n.right.Load()
+	if l != nil && r != nil {
+		// Grew a second child while we took locks: routing conversion.
+		n.val.Store(nil)
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return *vp, true, stFound
+	}
+	splice := l
+	if splice == nil {
+		splice = r
+	}
+	n.val.Store(nil)
+	replaceChild(parent, n, splice)
+	if splice != nil {
+		splice.parent.Store(parent)
+	}
+	n.ovl.Store(nOVL | ovlUnlinked)
+	n.mu.Unlock()
+	parent.mu.Unlock()
+	t.fixHeightAndRebalance(parent)
+	return *vp, true, stFound
+}
+
+// Scan calls fn for every present key/value pair in ascending key order.
+// It is intended for quiescent use (validation, KeySum); concurrent
+// updates may or may not be observed.
+func (t *Tree) Scan(fn func(key, val uint64)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left.Load())
+		if vp := n.val.Load(); vp != nil {
+			fn(n.key, *vp)
+		}
+		walk(n.right.Load())
+	}
+	walk(t.rootHolder.right.Load())
+}
+
+// KeySum returns the sum (mod 2^64) of all present keys, for the
+// benchmark harness's validation scheme.
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	t.Scan(func(k, _ uint64) { s += k })
+	return s
+}
+
+// Len counts the present keys (quiescent use).
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(_, _ uint64) { n++ })
+	return n
+}

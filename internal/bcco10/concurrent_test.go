@@ -1,0 +1,181 @@
+package bcco10
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestConcurrentKeySum runs the paper's §6 validation scheme: every
+// goroutine tracks the signed sum of keys it successfully inserts and
+// deletes; the final quiescent key-sum must equal the prefill sum plus
+// all deltas.
+func TestConcurrentKeySum(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 40000
+		keyRange = 512
+	)
+	tr := New()
+	var prefill uint64
+	for k := uint64(1); k <= keyRange; k += 2 {
+		tr.Insert(k, k)
+		prefill += k
+	}
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*2654435761 + 17)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := 1 + rng.Uint64n(keyRange)
+				switch rng.Intn(3) {
+				case 0:
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				case 1:
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				default:
+					tr.Find(k)
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	want := prefill
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentHighContention hammers a tiny key range so rotations,
+// routing-node revivals, and unlinks constantly collide, then validates
+// structure and key-sum.
+func TestConcurrentHighContention(t *testing.T) {
+	const (
+		workers  = 12
+		opsEach  = 30000
+		keyRange = 16
+	)
+	tr := New()
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*7919 + 3)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := 1 + rng.Uint64n(keyRange)
+				if rng.Intn(2) == 0 {
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				} else {
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointWriters gives each goroutine a private key
+// stripe (no write-write races) with concurrent readers over the whole
+// range; per-stripe contents must match each writer's local model
+// exactly.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	const (
+		writers = 6
+		stripe  = 200
+		opsEach = 25000
+	)
+	tr := New()
+	finals := make([]map[uint64]uint64, writers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Background readers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(r) + 99)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Find(1 + rng.Uint64n(writers*stripe))
+				}
+			}
+		}(r)
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			lo := uint64(w*stripe) + 1
+			rng := xrand.New(uint64(w)*104729 + 5)
+			model := make(map[uint64]uint64)
+			for i := 0; i < opsEach; i++ {
+				k := lo + rng.Uint64n(stripe)
+				v := 1 + rng.Uint64n(1<<30)
+				if rng.Intn(2) == 0 {
+					if _, ok := tr.Insert(k, v); ok {
+						model[k] = v
+					}
+				} else {
+					if _, ok := tr.Delete(k); ok {
+						delete(model, k)
+					}
+				}
+			}
+			finals[w] = model
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	for w, model := range finals {
+		lo := uint64(w*stripe) + 1
+		for k := lo; k < lo+stripe; k++ {
+			got, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && got != mv) {
+				t.Fatalf("writer %d key %d: tree (%d,%v), model (%d,%v)", w, k, got, ok, mv, present)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// White-box inspection helpers used by tests.
+package bcco10
+
+import "fmt"
+
+// Validate walks the tree (quiescently) and checks structural
+// invariants: search-tree key order, parent back-pointers, no reachable
+// unlinked nodes, and height hints that match the true subtree heights
+// (exact at quiescence, since every update's repair walk runs to
+// completion before it returns).
+func (t *Tree) Validate() error {
+	root := t.rootHolder.right.Load()
+	if root == nil {
+		return nil
+	}
+	if p := root.parent.Load(); p != &t.rootHolder {
+		return fmt.Errorf("root parent pointer is %p, want rootHolder", p)
+	}
+	_, err := validate(root, 0, ^uint64(0))
+	return err
+}
+
+// validate checks the subtree at n against the half-open key range
+// [lo, hi] (inclusive bounds; callers narrow them) and returns its true
+// height.
+func validate(n *node, lo, hi uint64) (int32, error) {
+	if n.ovl.Load()&ovlUnlinked != 0 {
+		return 0, fmt.Errorf("reachable node %d is marked unlinked", n.key)
+	}
+	if n.ovl.Load()&ovlShrinking != 0 {
+		return 0, fmt.Errorf("node %d is shrinking at quiescence", n.key)
+	}
+	if n.key < lo || n.key > hi {
+		return 0, fmt.Errorf("node %d outside key range [%d,%d]", n.key, lo, hi)
+	}
+	var hl, hr int32
+	if l := n.left.Load(); l != nil {
+		if p := l.parent.Load(); p != n {
+			return 0, fmt.Errorf("left child %d of %d has wrong parent", l.key, n.key)
+		}
+		if n.key == 0 {
+			return 0, fmt.Errorf("node key 0 cannot have a left child")
+		}
+		var err error
+		if hl, err = validate(l, lo, n.key-1); err != nil {
+			return 0, err
+		}
+	}
+	if r := n.right.Load(); r != nil {
+		if p := r.parent.Load(); p != n {
+			return 0, fmt.Errorf("right child %d of %d has wrong parent", r.key, n.key)
+		}
+		var err error
+		if hr, err = validate(r, n.key+1, hi); err != nil {
+			return 0, err
+		}
+	}
+	h := 1 + maxi32(hl, hr)
+	if got := n.height.Load(); got != h {
+		return 0, fmt.Errorf("node %d height hint %d, true height %d", n.key, got, h)
+	}
+	return h, nil
+}
+
+// MaxBalance returns the largest |height(left)-height(right)| over all
+// reachable nodes — the tree's worst AVL violation. At quiescence this
+// should be at most 1 for sequential histories and small for concurrent
+// ones (relaxed AVL).
+func (t *Tree) MaxBalance() int32 {
+	var worst int32
+	var walk func(n *node) int32
+	walk = func(n *node) int32 {
+		if n == nil {
+			return 0
+		}
+		hl := walk(n.left.Load())
+		hr := walk(n.right.Load())
+		bal := hl - hr
+		if bal < 0 {
+			bal = -bal
+		}
+		if bal > worst {
+			worst = bal
+		}
+		return 1 + maxi32(hl, hr)
+	}
+	walk(t.rootHolder.right.Load())
+	return worst
+}
+
+// RoutingNodes counts reachable routing (value-less) nodes.
+func (t *Tree) RoutingNodes() int {
+	n := 0
+	var walk func(x *node)
+	walk = func(x *node) {
+		if x == nil {
+			return
+		}
+		if x.val.Load() == nil {
+			n++
+		}
+		walk(x.left.Load())
+		walk(x.right.Load())
+	}
+	walk(t.rootHolder.right.Load())
+	return n
+}
+
+// TreeHeight returns the true height of the tree.
+func (t *Tree) TreeHeight() int32 {
+	var walk func(n *node) int32
+	walk = func(n *node) int32 {
+		if n == nil {
+			return 0
+		}
+		return 1 + maxi32(walk(n.left.Load()), walk(n.right.Load()))
+	}
+	return walk(t.rootHolder.right.Load())
+}

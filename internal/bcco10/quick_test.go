@@ -1,0 +1,97 @@
+package bcco10
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// TestQuickModelEquivalence: property — any operation sequence leaves
+// the tree's contents equal to a reference map, and the structure valid.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		ops := 200 + int(opsRaw)%4000
+		rng := xrand.New(seed | 1)
+		tr := New()
+		model := make(map[uint64]uint64)
+		for i := 0; i < ops; i++ {
+			k := 1 + rng.Uint64n(64)
+			v := 1 + rng.Uint64n(1<<32)
+			switch rng.Intn(3) {
+			case 0:
+				if _, ok := tr.Insert(k, v); ok {
+					model[k] = v
+				}
+			case 1:
+				if _, ok := tr.Delete(k); ok {
+					delete(model, k)
+				}
+			default:
+				got, ok := tr.Find(k)
+				mv, present := model[k]
+				if ok != present || (present && got != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := tr.Find(k); !ok || got != v {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHeightLogarithmic: property — after n random inserts the tree
+// height stays within the AVL bound 1.4405*log2(n+2)+1.
+func TestQuickHeightLogarithmic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed | 1)
+		tr := New()
+		n := 0
+		for i := 0; i < 3000; i++ {
+			if _, ok := tr.Insert(1+rng.Uint64n(1<<40), 1); ok {
+				n++
+			}
+		}
+		// log2(3002) ≈ 11.55 → bound ≈ 17.6
+		return tr.TreeHeight() <= 18 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteAllLeavesEmpty: property — inserting a random key set
+// then deleting it in a different random order leaves an empty tree
+// (routing nodes must all be unlinked eventually).
+func TestQuickDeleteAllLeavesEmpty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed | 1)
+		tr := New()
+		keys := make(map[uint64]struct{})
+		for i := 0; i < 800; i++ {
+			k := 1 + rng.Uint64n(1<<20)
+			if _, ok := tr.Insert(k, k); ok {
+				keys[k] = struct{}{}
+			}
+		}
+		for k := range keys { // map order is randomized
+			if _, ok := tr.Delete(k); !ok {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package bench is the SetBench analogue: the microbenchmark harness the
+// paper's §6 evaluation is built on. It prefetches a data structure to
+// its steady-state size, drives it with a configurable operation mix and
+// key distribution from n worker threads for a fixed duration, validates
+// the result with the paper's key-sum scheme, and reports throughput.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+	"repro/internal/zipfian"
+)
+
+// Handle is a per-goroutine accessor for a dictionary under test.
+type Handle interface {
+	Find(key uint64) (uint64, bool)
+	Insert(key, val uint64) (uint64, bool)
+	Delete(key uint64) (uint64, bool)
+}
+
+// ElimStatser is implemented by dictionaries with publishing elimination;
+// the CLI reports elimination rates for them.
+type ElimStatser interface {
+	ElimStats() (inserts, deletes, upserts uint64)
+}
+
+// Dict abstracts the data structures under test.
+type Dict interface {
+	// NewHandle returns a per-goroutine accessor (structures without
+	// per-thread state return themselves).
+	NewHandle() Handle
+	// KeySum returns the quiescent sum of keys, for §6 validation.
+	KeySum() uint64
+}
+
+// Config describes one experiment cell.
+type Config struct {
+	Threads   int
+	KeyRange  uint64
+	UpdatePct int     // percentage of ops that are updates (half ins, half del)
+	ZipfS     float64 // 0 = uniform, 1 = paper's skewed setting
+	Duration  time.Duration
+	Seed      uint64
+	NoValid   bool // skip key-sum validation (used by Table 1 overhead runs)
+}
+
+// Result is one experiment cell's outcome.
+type Result struct {
+	Config
+	Ops        uint64
+	Elapsed    time.Duration
+	OpsPerUsec float64
+}
+
+// Prefill inserts uniformly random keys from [1, cfg.KeyRange] until the
+// structure holds KeyRange/2 keys — the expected steady-state size when
+// inserts and deletes are balanced (paper §6 "Methodology"). It uses all
+// available cores.
+func Prefill(d Dict, cfg Config) {
+	target := cfg.KeyRange / 2
+	workers := runtime.GOMAXPROCS(0)
+	if uint64(workers) > target && target > 0 {
+		workers = int(target)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var inserted atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			rng := xrand.New(cfg.Seed*2654435761 + uint64(w) + 1)
+			for inserted.Load() < target {
+				k := 1 + rng.Uint64n(cfg.KeyRange)
+				if _, ok := h.Insert(k, k); ok {
+					inserted.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run drives the measured phase: cfg.Threads workers each repeatedly pick
+// an operation by the update mix and a key by the Zipf(s) distribution
+// over [1, KeyRange], for cfg.Duration. It returns throughput and
+// validates the key-sum unless cfg.NoValid.
+func Run(d Dict, cfg Config) (Result, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	var baseline uint64
+	if !cfg.NoValid {
+		baseline = d.KeySum() // quiescent pre-run sum (the prefill keys)
+	}
+	sums := make([]int64, cfg.Threads)
+	counts := make([]uint64, cfg.Threads)
+	var stop atomic.Bool
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < cfg.Threads; w++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
+			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
+			ready.Done()
+			<-start
+			var sum int64
+			var ops uint64
+			for !stop.Load() {
+				k := z.Next()
+				switch r := int(rng.Uint64n(200)); {
+				case r < cfg.UpdatePct:
+					if _, ok := h.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				case r < 2*cfg.UpdatePct:
+					if _, ok := h.Delete(k); ok {
+						sum -= int64(k)
+					}
+				default:
+					h.Find(k)
+				}
+				ops++
+			}
+			sums[w] = sum
+			counts[w] = ops
+		}(w)
+	}
+	ready.Wait()
+	began := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	res := Result{Config: cfg, Elapsed: elapsed}
+	var total int64
+	for w := 0; w < cfg.Threads; w++ {
+		res.Ops += counts[w]
+		total += sums[w]
+	}
+	res.OpsPerUsec = float64(res.Ops) / float64(elapsed.Microseconds())
+
+	if !cfg.NoValid {
+		want := baseline + uint64(total) // wrapping arithmetic matches KeySum
+		if got := d.KeySum(); got != want {
+			return res, fmt.Errorf("key-sum validation failed: structure=%d, want %d", got, want)
+		}
+	}
+	return res, nil
+}
+
+// RunOps is a fixed-op-count variant used by testing.B benchmarks: each
+// of cfg.Threads workers performs opsPerThread operations; the caller
+// times it.
+func RunOps(d Dict, cfg Config, opsPerThread int) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
+			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
+			for i := 0; i < opsPerThread; i++ {
+				k := z.Next()
+				switch r := int(rng.Uint64n(200)); {
+				case r < cfg.UpdatePct:
+					h.Insert(k, k)
+				case r < 2*cfg.UpdatePct:
+					h.Delete(k)
+				default:
+					h.Find(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

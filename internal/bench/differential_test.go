@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestDifferentialAllStructures drives the identical operation sequence
+// through every registered dictionary and cross-checks each result
+// against a model map: any semantic divergence between implementations
+// (or from the spec) fails with the exact op index. This catches bugs
+// that per-structure tests with structure-specific seeds might miss.
+func TestDifferentialAllStructures(t *testing.T) {
+	const (
+		ops      = 30000
+		keyRange = 900
+		seed     = 987654321
+	)
+	type step struct {
+		op  int // 0 insert, 1 delete, 2 find
+		key uint64
+		val uint64
+	}
+	// Pre-generate the shared schedule.
+	rng := xrand.New(seed)
+	schedule := make([]step, ops)
+	for i := range schedule {
+		schedule[i] = step{
+			op:  rng.Intn(3),
+			key: 1 + rng.Uint64n(keyRange),
+			val: 1 + rng.Uint64n(1<<40),
+		}
+	}
+
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d := NewDict(name, keyRange)
+			h := d.NewHandle()
+			model := make(map[uint64]uint64)
+			for i, s := range schedule {
+				switch s.op {
+				case 0:
+					old, inserted := h.Insert(s.key, s.val)
+					mv, present := model[s.key]
+					if inserted == present {
+						t.Fatalf("op %d: Insert(%d) inserted=%v, model present=%v", i, s.key, inserted, present)
+					}
+					if present && old != mv {
+						t.Fatalf("op %d: Insert(%d) returned %d, model %d", i, s.key, old, mv)
+					}
+					if !present {
+						model[s.key] = s.val
+					}
+				case 1:
+					old, deleted := h.Delete(s.key)
+					mv, present := model[s.key]
+					if deleted != present {
+						t.Fatalf("op %d: Delete(%d) deleted=%v, model present=%v", i, s.key, deleted, present)
+					}
+					if present && old != mv {
+						t.Fatalf("op %d: Delete(%d) returned %d, model %d", i, s.key, old, mv)
+					}
+					delete(model, s.key)
+				case 2:
+					v, ok := h.Find(s.key)
+					mv, present := model[s.key]
+					if ok != present || (present && v != mv) {
+						t.Fatalf("op %d: Find(%d) = (%d,%v), model (%d,%v)", i, s.key, v, ok, mv, present)
+					}
+				}
+			}
+			if got := d.KeySum(); got != sumKeys(model) {
+				t.Fatalf("final key-sum %d, model %d", got, sumKeys(model))
+			}
+		})
+	}
+}
+
+func sumKeys(m map[uint64]uint64) uint64 {
+	var s uint64
+	for k := range m {
+		s += k
+	}
+	return s
+}

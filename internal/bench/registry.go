@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bcco10"
+	"repro/internal/bwtree"
+	"repro/internal/catree"
+	"repro/internal/cbtree"
+	"repro/internal/cist"
+	"repro/internal/core"
+	"repro/internal/efrbbst"
+	"repro/internal/extbst"
+	"repro/internal/fptree"
+	"repro/internal/lfabtree"
+	"repro/internal/olcart"
+	"repro/internal/pabtree"
+	"repro/internal/pmem"
+	"repro/internal/rntree"
+	"repro/internal/splaylist"
+)
+
+// Adapters giving every structure the Dict/Handle interface.
+
+type coreDict struct{ t *core.Tree }
+
+func (d coreDict) NewHandle() Handle { return d.t.NewThread() }
+func (d coreDict) KeySum() uint64    { return d.t.KeySum() }
+func (d coreDict) ElimStats() (uint64, uint64, uint64) {
+	return d.t.ElimStats()
+}
+
+type pabDict struct{ t *pabtree.Tree }
+
+func (d pabDict) NewHandle() Handle { return d.t.NewThread() }
+func (d pabDict) KeySum() uint64    { return d.t.KeySum() }
+func (d pabDict) ElimStats() (uint64, uint64, uint64) {
+	return d.t.ElimStats()
+}
+
+// selfDict adapts structures whose methods are directly concurrent-safe
+// (no per-thread handle state).
+type selfHandle interface {
+	Find(key uint64) (uint64, bool)
+	Insert(key, val uint64) (uint64, bool)
+	Delete(key uint64) (uint64, bool)
+	KeySum() uint64
+}
+
+type selfDict struct{ h selfHandle }
+
+func (d selfDict) NewHandle() Handle { return d.h }
+func (d selfDict) KeySum() uint64    { return d.h.KeySum() }
+
+// catree has no KeySum; wrap it.
+type catreeDict struct{ t *catree.Tree }
+
+func (d catreeDict) NewHandle() Handle { return d.t }
+func (d catreeDict) KeySum() uint64 {
+	var s uint64
+	d.t.Scan(func(k, _ uint64) { s += k })
+	return s
+}
+
+// arenaWords sizes a simulated PM arena for a workload: generous slack
+// over the steady-state node count so churn plus epoch lag never exhausts
+// the pool.
+func arenaWords(keyRange uint64) int {
+	slots := keyRange // ~5.5 keys/leaf steady state => ~keyRange/5 leaves
+	if slots < 1<<16 {
+		slots = 1 << 16
+	}
+	return int(slots * 32)
+}
+
+// Volatile structure names in the order the paper's legends use.
+var VolatileStructures = []string{
+	"OCC-ABtree", "Elim-ABtree", "LF-ABtree", "CATree", "DGT15", "EFRB10", "SplayList",
+	"BCCO10", "CBTree", "OLC-ART", "C-IST", "OpenBw-Tree",
+}
+
+// PersistentStructures for Figure 17 / Table 1.
+var PersistentStructures = []string{
+	"p-OCC-ABtree", "p-Elim-ABtree", "FPTree", "RNTree",
+}
+
+// NewDict constructs a registered structure sized for keyRange. It panics
+// on an unknown name (Names lists the registry).
+func NewDict(name string, keyRange uint64) Dict {
+	switch name {
+	case "OCC-ABtree":
+		return coreDict{core.New()}
+	case "Elim-ABtree":
+		return coreDict{core.New(core.WithElimination())}
+	case "OCC-ABtree-TAS":
+		return coreDict{core.New(core.WithTASLocks())}
+	case "OCC-ABtree-FC":
+		return coreDict{core.New(core.WithLeafCombining())}
+	case "OCC-ABtree-Cohort":
+		return coreDict{core.New(core.WithCohortLocks())}
+	case "Elim-ABtree-Cohort":
+		return coreDict{core.New(core.WithElimination(), core.WithCohortLocks())}
+	case "Elim-ABtree-TAS":
+		return coreDict{core.New(core.WithElimination(), core.WithTASLocks())}
+	case "OCC-ABtree-Sorted":
+		return coreDict{core.New(core.WithSortedLeaves())}
+	case "OCC-ABtree-LockedFind":
+		return coreDict{core.New(core.WithLockedSearch())}
+	case "OCC-ABtree-b4":
+		return coreDict{core.New(core.WithDegree(2, 4))}
+	case "OCC-ABtree-b16":
+		return coreDict{core.New(core.WithDegree(2, 16))}
+	case "LF-ABtree":
+		return selfDict{lfabtree.New()}
+	case "CATree":
+		return catreeDict{catree.New()}
+	case "DGT15":
+		return selfDict{extbst.New()}
+	case "EFRB10":
+		return selfDict{efrbbst.New()}
+	case "SplayList":
+		return selfDict{splaylist.New()}
+	case "BCCO10":
+		return selfDict{bcco10.New()}
+	case "CBTree":
+		return selfDict{cbtree.New()}
+	case "OLC-ART":
+		return selfDict{olcart.New()}
+	case "C-IST":
+		return selfDict{cist.New()}
+	case "OpenBw-Tree":
+		return selfDict{bwtree.New()}
+	case "p-OCC-ABtree":
+		return pabDict{pabtree.New(pmem.New(arenaWords(keyRange)))}
+	case "p-Elim-ABtree":
+		return pabDict{pabtree.New(pmem.New(arenaWords(keyRange)), pabtree.WithElimination())}
+	case "FPTree":
+		return selfDict{fptree.New(pmem.New(arenaWords(keyRange)))}
+	case "RNTree":
+		return selfDict{rntree.New(pmem.New(arenaWords(keyRange)))}
+	}
+	panic(fmt.Sprintf("bench: unknown structure %q (known: %v)", name, Names()))
+}
+
+// Names lists every registered structure.
+func Names() []string {
+	names := []string{
+		"OCC-ABtree", "Elim-ABtree", "OCC-ABtree-TAS", "Elim-ABtree-TAS",
+		"OCC-ABtree-Cohort", "Elim-ABtree-Cohort", "OCC-ABtree-FC",
+		"OCC-ABtree-Sorted", "OCC-ABtree-LockedFind", "OCC-ABtree-b4", "OCC-ABtree-b16",
+		"LF-ABtree", "CATree", "DGT15", "EFRB10", "SplayList",
+		"BCCO10", "CBTree", "OLC-ART", "C-IST", "OpenBw-Tree",
+		"p-OCC-ABtree", "p-Elim-ABtree", "FPTree", "RNTree",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,249 @@
+package bwtree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Find(9); ok {
+		t.Fatal("Find on empty tree succeeded")
+	}
+	if old, ok := tr.Insert(9, 90); !ok || old != 0 {
+		t.Fatalf("Insert = (%d,%v), want (0,true)", old, ok)
+	}
+	if old, ok := tr.Insert(9, 99); ok || old != 90 {
+		t.Fatalf("re-Insert = (%d,%v), want (90,false)", old, ok)
+	}
+	if v, ok := tr.Find(9); !ok || v != 90 {
+		t.Fatalf("Find = (%d,%v), want (90,true)", v, ok)
+	}
+	if v, ok := tr.Delete(9); !ok || v != 90 {
+		t.Fatalf("Delete = (%d,%v), want (90,true)", v, ok)
+	}
+	if _, ok := tr.Delete(9); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestDeltaChainSemantics checks that reads replay chains correctly
+// before any consolidation: insert/delete/reinsert the same key within
+// one chain window.
+func TestDeltaChainSemantics(t *testing.T) {
+	tr := New()
+	tr.Insert(5, 50)
+	tr.Delete(5)
+	if _, ok := tr.Find(5); ok {
+		t.Fatal("Find(5) after delete delta succeeded")
+	}
+	tr.Insert(5, 51)
+	if v, ok := tr.Find(5); !ok || v != 51 {
+		t.Fatalf("Find(5) = (%d,%v), want (51,true)", v, ok)
+	}
+	// The newest record must win even with stale records below it.
+	if v, ok := tr.Delete(5); !ok || v != 51 {
+		t.Fatalf("Delete(5) = (%d,%v), want (51,true)", v, ok)
+	}
+}
+
+func TestConsolidationAndSplit(t *testing.T) {
+	tr := New()
+	const n = 4096
+	for k := uint64(1); k <= n; k++ {
+		tr.Insert(k, k*10)
+	}
+	cons, splits := tr.Stats()
+	if cons == 0 || splits == 0 {
+		t.Fatalf("expected consolidations and splits, got %d/%d", cons, splits)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := tr.Find(k); !ok || v != k*10 {
+			t.Fatalf("Find(%d) = (%d,%v) after splits", k, v, ok)
+		}
+	}
+	if got := tr.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+}
+
+// TestDescendingInserts forces every split to land on the leftmost
+// leaf, exercising repeated root growth and parent posting.
+func TestDescendingInserts(t *testing.T) {
+	tr := New()
+	const n = 4096
+	for k := uint64(n); k >= 1; k-- {
+		tr.Insert(k, k)
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Scan(func(k, _ uint64) {
+		if !first && k <= prev {
+			t.Fatalf("Scan out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+	})
+	if count != n {
+		t.Fatalf("Scan yielded %d keys, want %d", count, n)
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	tr := New()
+	model := make(map[uint64]uint64)
+	rng := xrand.New(13)
+	for i := 0; i < 80000; i++ {
+		k := 1 + rng.Uint64n(1000)
+		v := 1 + rng.Uint64n(1<<40)
+		switch rng.Intn(3) {
+		case 0:
+			old, ok := tr.Insert(k, v)
+			mv, present := model[k]
+			if ok == present || (present && old != mv) {
+				t.Fatalf("op %d: Insert(%d) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, ok := tr.Delete(k)
+			mv, present := model[k]
+			if ok != present || (present && old != mv) {
+				t.Fatalf("op %d: Delete(%d) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			delete(model, k)
+		default:
+			got, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && got != mv) {
+				t.Fatalf("op %d: Find(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, mv, present)
+			}
+		}
+	}
+	if got, want := tr.Len(), len(model); got != want {
+		t.Fatalf("Len = %d, model %d", got, want)
+	}
+}
+
+func TestConcurrentKeySum(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 30000
+		keyRange = 1024
+	)
+	tr := New()
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*86243 + 29)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := 1 + rng.Uint64n(keyRange)
+				switch rng.Intn(3) {
+				case 0:
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				case 1:
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				default:
+					tr.Find(k)
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentSplitStorm drives all threads into one growing region
+// so consolidations, leaf splits, inner splits, and root growth all
+// race with the delta prepends.
+func TestConcurrentSplitStorm(t *testing.T) {
+	const (
+		workers = 10
+		opsEach = 20000
+	)
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * opsEach)
+			for i := 0; i < opsEach; i++ {
+				tr.Insert(base+uint64(i)+1, uint64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := tr.Len(), workers*opsEach; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	var prev uint64
+	first := true
+	tr.Scan(func(k, _ uint64) {
+		if !first && k <= prev {
+			t.Fatalf("Scan out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+	})
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		ops := 300 + int(opsRaw)%4000
+		rng := xrand.New(seed | 1)
+		tr := New()
+		model := make(map[uint64]uint64)
+		for i := 0; i < ops; i++ {
+			k := 1 + rng.Uint64n(256)
+			v := 1 + rng.Uint64n(1<<32)
+			switch rng.Intn(3) {
+			case 0:
+				if _, ok := tr.Insert(k, v); ok {
+					model[k] = v
+				}
+			case 1:
+				if _, ok := tr.Delete(k); ok {
+					delete(model, k)
+				}
+			default:
+				got, ok := tr.Find(k)
+				mv, present := model[k]
+				if ok != present || (present && got != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := tr.Find(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package catree
+
+// Sequential AVL tree used as the per-base-node dictionary, as in the
+// CATree paper's own evaluation (Sagonas & Winblad, ISPDC 2015) and the
+// Elim-ABtree paper's comparison setup (§2).
+
+type avlNode struct {
+	k, v        uint64
+	left, right *avlNode
+	height      int
+}
+
+func h(n *avlNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *avlNode) *avlNode {
+	n.height = 1 + max(h(n.left), h(n.right))
+	switch bf := h(n.left) - h(n.right); {
+	case bf > 1:
+		if h(n.left.left) < h(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if h(n.right.right) < h(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateRight(n *avlNode) *avlNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(h(n.left), h(n.right))
+	l.height = 1 + max(h(l.left), h(l.right))
+	return l
+}
+
+func rotateLeft(n *avlNode) *avlNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(h(n.left), h(n.right))
+	r.height = 1 + max(h(r.left), h(r.right))
+	return r
+}
+
+// avl is a sequential ordered dictionary with size tracking.
+type avl struct {
+	root *avlNode
+	n    int
+}
+
+func (t *avl) get(k uint64) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case k < n.k:
+			n = n.left
+		case k > n.k:
+			n = n.right
+		default:
+			return n.v, true
+		}
+	}
+	return 0, false
+}
+
+// insert adds <k, v> if absent; it returns the existing value and false
+// if present (insert-if-absent semantics, matching the trees under test).
+func (t *avl) insert(k, v uint64) (old uint64, inserted bool) {
+	var ins func(n *avlNode) *avlNode
+	ins = func(n *avlNode) *avlNode {
+		if n == nil {
+			inserted = true
+			return &avlNode{k: k, v: v, height: 1}
+		}
+		switch {
+		case k < n.k:
+			n.left = ins(n.left)
+		case k > n.k:
+			n.right = ins(n.right)
+		default:
+			old = n.v
+			return n
+		}
+		return fix(n)
+	}
+	t.root = ins(t.root)
+	if inserted {
+		t.n++
+	}
+	return old, inserted
+}
+
+// remove deletes k if present, returning its value.
+func (t *avl) remove(k uint64) (old uint64, removed bool) {
+	var del func(n *avlNode) *avlNode
+	del = func(n *avlNode) *avlNode {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case k < n.k:
+			n.left = del(n.left)
+		case k > n.k:
+			n.right = del(n.right)
+		default:
+			old, removed = n.v, true
+			if n.left == nil {
+				return n.right
+			}
+			if n.right == nil {
+				return n.left
+			}
+			// Replace with successor.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.k, n.v = succ.k, succ.v
+			n.right = removeMin(n.right)
+		}
+		return fix(n)
+	}
+	t.root = del(t.root)
+	if removed {
+		t.n--
+	}
+	return old, removed
+}
+
+func removeMin(n *avlNode) *avlNode {
+	if n.left == nil {
+		return n.right
+	}
+	n.left = removeMin(n.left)
+	return fix(n)
+}
+
+// items appends the tree's pairs in key order.
+func (t *avl) items(dst []kvPair) []kvPair {
+	var walk func(n *avlNode)
+	walk = func(n *avlNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		dst = append(dst, kvPair{n.k, n.v})
+		walk(n.right)
+	}
+	walk(t.root)
+	return dst
+}
+
+type kvPair struct{ k, v uint64 }
+
+// buildBalanced constructs a perfectly balanced AVL from sorted pairs.
+func buildBalanced(items []kvPair) *avl {
+	var build func(lo, hi int) *avlNode
+	build = func(lo, hi int) *avlNode {
+		if lo >= hi {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		n := &avlNode{k: items[mid].k, v: items[mid].v}
+		n.left = build(lo, mid)
+		n.right = build(mid+1, hi)
+		n.height = 1 + max(h(n.left), h(n.right))
+		return n
+	}
+	return &avl{root: build(0, len(items)), n: len(items)}
+}

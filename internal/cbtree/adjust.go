@@ -1,0 +1,133 @@
+// Counter-driven self-adjustment for the CBTree.
+//
+// A sampled operation walks from its accessed node toward the root,
+// performing a single rotation whenever the node's subtree access count
+// exceeds half of its parent's (i.e. the node is hotter than the rest of
+// the parent's subtree combined). Rotations reuse the optimistic
+// validation protocol: grandparent, parent, and node are locked in
+// root-to-leaf order, and the demoted parent — whose key range shrinks —
+// gets a shrink version change so concurrent searches wait and retry.
+package cbtree
+
+func (t *Tree) maybeAdjust(n *node) {
+	if t.opSeq.Add(1)&adjustMask != 0 {
+		return
+	}
+	for i := 0; i < maxAdjustRotations; i++ {
+		parent := n.parent.Load()
+		if parent == nil || parent == &t.rootHolder {
+			return
+		}
+		// Rotation condition: n's subtree accounts for more than half of
+		// the accesses into parent's subtree, with a hysteresis floor so
+		// cold startup noise does not trigger rotations.
+		wn, wp := n.weight.Load(), parent.weight.Load()
+		if wn < 64 || 2*wn <= wp {
+			return
+		}
+		if !t.tryRotateUp(n) {
+			return
+		}
+	}
+}
+
+// tryRotateUp promotes n above its parent with a single rotation.
+// Returns false if validation failed; the adjustment is abandoned (it is
+// only a heuristic — a later sampled op will retry).
+func (t *Tree) tryRotateUp(n *node) bool {
+	parent := n.parent.Load()
+	if parent == nil || parent == &t.rootHolder {
+		return false
+	}
+	gp := parent.parent.Load()
+	if gp == nil {
+		return false
+	}
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	if gp.ovl.Load()&ovlUnlinked != 0 || parent.parent.Load() != gp {
+		return false
+	}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	if parent.ovl.Load()&ovlUnlinked != 0 || n.parent.Load() != parent {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ovl.Load()&ovlUnlinked != 0 {
+		return false
+	}
+	if parent.left.Load() == n {
+		t.rotateRight(gp, parent, n)
+	} else {
+		t.rotateLeft(gp, parent, n)
+	}
+	return true
+}
+
+func beginShrink(n *node) int64 {
+	v := n.ovl.Load()
+	n.ovl.Store(v | ovlShrinking)
+	return v
+}
+
+func endShrink(n *node, v int64) {
+	n.ovl.Store(v + ovlCountStep)
+}
+
+// rotateRight promotes l = p.left above p. Locks held: gp, p, l.
+// Weight fixup keeps the subtree-access interpretation: l now covers p's
+// old subtree, p keeps its own accesses minus l's plus the transferred
+// middle subtree's.
+//
+//	   gp                  gp
+//	    |                   |
+//	    p                   l
+//	   / \                 / \
+//	  l   c      =>       a   p
+//	 / \                     / \
+//	a   b                   b   c
+func (t *Tree) rotateRight(gp, p, l *node) {
+	pv := beginShrink(p)
+	b := l.right.Load()
+	wl, wp := l.weight.Load(), p.weight.Load()
+	replaceChild(gp, p, l)
+	l.parent.Store(gp)
+	p.left.Store(b)
+	if b != nil {
+		b.parent.Store(p)
+	}
+	l.right.Store(p)
+	p.parent.Store(l)
+	// p's subtree lost l's accesses and gained b's.
+	newWP := wp - wl + weight(b)
+	if wl > wp { // racy counters can transiently invert; clamp
+		newWP = weight(b) + 1
+	}
+	p.weight.Store(newWP)
+	l.weight.Store(wp)
+	endShrink(p, pv)
+}
+
+// rotateLeft promotes r = p.right above p (mirror image).
+func (t *Tree) rotateLeft(gp, p, r *node) {
+	pv := beginShrink(p)
+	b := r.left.Load()
+	wr, wp := r.weight.Load(), p.weight.Load()
+	replaceChild(gp, p, r)
+	r.parent.Store(gp)
+	p.right.Store(b)
+	if b != nil {
+		b.parent.Store(p)
+	}
+	r.left.Store(p)
+	p.parent.Store(r)
+	newWP := wp - wr + weight(b)
+	if wr > wp {
+		newWP = weight(b) + 1
+	}
+	p.weight.Store(newWP)
+	r.weight.Store(wp)
+	endShrink(p, pv)
+}

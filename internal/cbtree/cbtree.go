@@ -1,0 +1,429 @@
+// Package cbtree implements the CBTree baseline: the practical
+// concurrent self-adjusting search tree of Afek, Kaplan, Korenfeld,
+// Morrison & Tarjan ("CBTree: A Practical Concurrent Self-Adjusting
+// Search Tree", DISC 2012), the counting-based splay-tree relative the
+// paper's §6 evaluation compares against on skewed workloads.
+//
+// The CBTree replaces the splay tree's rotate-to-root discipline with
+// counting: every node keeps a counter of accesses to its subtree, each
+// operation increments the counters along its search path, and a node is
+// rotated above its parent only when its subtree's access count exceeds
+// half of the parent's — so a key requested with frequency p settles at
+// depth O(log 1/p) while rotations (the contention points) stay rare.
+// Following the original's amortization, only a sampled fraction of
+// operations attempt rotations at all.
+//
+// Concurrency control is the same optimistic hand-over-hand version
+// validation used by our BCCO10 implementation (package bcco10), which
+// the CBTree authors also build on: per-node version words with a
+// shrinking bit for in-progress rotations, child pointers written only
+// under the parent's lock, partially external deletion with routing
+// nodes. Counters are heuristic (racy increments are benign) — only the
+// tree structure needs synchronization.
+package cbtree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	ovlShrinking = int64(1) << 0
+	ovlUnlinked  = int64(1) << 1
+	ovlCountStep = int64(1) << 2
+)
+
+// adjustMask samples which operations attempt rotations: one in 16, the
+// amortization that keeps splaying off the critical path.
+const adjustMask = 15
+
+// maxAdjustRotations bounds the rotations a single sampled operation
+// performs while promoting its node toward the root.
+const maxAdjustRotations = 4
+
+type status int
+
+const (
+	stRetry status = iota
+	stFound
+	stAbsent
+)
+
+type node struct {
+	key    uint64
+	val    atomic.Pointer[uint64] // nil = routing node
+	parent atomic.Pointer[node]
+	left   atomic.Pointer[node]
+	right  atomic.Pointer[node]
+	ovl    atomic.Int64
+	weight atomic.Uint64 // accesses to this node's subtree (heuristic)
+	mu     sync.Mutex
+}
+
+func (n *node) waitUntilShrinkCompleted() {
+	spins := 0
+	for n.ovl.Load()&ovlShrinking != 0 {
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (n *node) childFor(key uint64) *node {
+	if key < n.key {
+		return n.left.Load()
+	}
+	return n.right.Load()
+}
+
+func weight(n *node) uint64 {
+	if n == nil {
+		return 0
+	}
+	return n.weight.Load()
+}
+
+func replaceChild(parent, old, new *node) {
+	if parent.left.Load() == old {
+		parent.left.Store(new)
+	} else {
+		parent.right.Store(new)
+	}
+}
+
+// Tree is a concurrent counting-based self-adjusting BST.
+type Tree struct {
+	rootHolder node
+	opSeq      atomic.Uint64 // samples which ops run the adjust pass
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{}
+}
+
+// Find returns the value associated with key, if present. The traversal
+// bumps subtree counters; a sampled fraction of finds then promotes the
+// accessed node (splaying applies to reads too — that is what makes the
+// CBTree adaptive on read-mostly skewed workloads).
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	for {
+		right := t.rootHolder.right.Load()
+		if right == nil {
+			return 0, false
+		}
+		ovl := right.ovl.Load()
+		if ovl&(ovlShrinking|ovlUnlinked) != 0 {
+			right.waitUntilShrinkCompleted()
+			continue
+		}
+		if right != t.rootHolder.right.Load() {
+			continue
+		}
+		v, hit, st := t.attemptGet(key, right, ovl)
+		if st == stRetry {
+			continue
+		}
+		if hit != nil {
+			t.maybeAdjust(hit)
+		}
+		return v, st == stFound
+	}
+}
+
+// attemptGet mirrors bcco10's validated descent, additionally counting
+// the access into every visited subtree and reporting the node where the
+// search terminated (for the adjust pass).
+func (t *Tree) attemptGet(key uint64, n *node, nOVL int64) (uint64, *node, status) {
+	n.weight.Add(1)
+	if key == n.key {
+		if vp := n.val.Load(); vp != nil {
+			return *vp, n, stFound
+		}
+		return 0, n, stAbsent
+	}
+	for {
+		child := n.childFor(key)
+		if n.ovl.Load() != nOVL {
+			return 0, nil, stRetry
+		}
+		if child == nil {
+			return 0, n, stAbsent
+		}
+		childOVL := child.ovl.Load()
+		if childOVL&ovlShrinking != 0 {
+			child.waitUntilShrinkCompleted()
+			continue
+		}
+		if childOVL&ovlUnlinked != 0 || child != n.childFor(key) {
+			if n.ovl.Load() != nOVL {
+				return 0, nil, stRetry
+			}
+			continue
+		}
+		if n.ovl.Load() != nOVL {
+			return 0, nil, stRetry
+		}
+		if v, hit, st := t.attemptGet(key, child, childOVL); st != stRetry {
+			return v, hit, st
+		}
+	}
+}
+
+// Insert adds key→val if absent; if present it returns the existing
+// value and false.
+func (t *Tree) Insert(key, val uint64) (uint64, bool) {
+	for {
+		right := t.rootHolder.right.Load()
+		if right == nil {
+			t.rootHolder.mu.Lock()
+			if t.rootHolder.right.Load() == nil {
+				n := &node{key: key}
+				n.val.Store(&val)
+				n.weight.Store(1)
+				n.parent.Store(&t.rootHolder)
+				t.rootHolder.right.Store(n)
+				t.rootHolder.mu.Unlock()
+				return 0, true
+			}
+			t.rootHolder.mu.Unlock()
+			continue
+		}
+		ovl := right.ovl.Load()
+		if ovl&(ovlShrinking|ovlUnlinked) != 0 {
+			right.waitUntilShrinkCompleted()
+			continue
+		}
+		if right != t.rootHolder.right.Load() {
+			continue
+		}
+		v, ok, hit, st := t.attemptInsert(key, val, right, ovl)
+		if st == stRetry {
+			continue
+		}
+		if hit != nil {
+			t.maybeAdjust(hit)
+		}
+		return v, ok
+	}
+}
+
+func (t *Tree) attemptInsert(key, val uint64, n *node, nOVL int64) (uint64, bool, *node, status) {
+	n.weight.Add(1)
+	if key == n.key {
+		v, ok, st := t.attemptRevive(val, n)
+		return v, ok, n, st
+	}
+	for {
+		child := n.childFor(key)
+		if n.ovl.Load() != nOVL {
+			return 0, false, nil, stRetry
+		}
+		if child == nil {
+			n.mu.Lock()
+			if n.ovl.Load() != nOVL {
+				n.mu.Unlock()
+				return 0, false, nil, stRetry
+			}
+			if n.childFor(key) != nil {
+				n.mu.Unlock()
+				continue
+			}
+			leaf := &node{key: key}
+			leaf.val.Store(&val)
+			leaf.weight.Store(1)
+			leaf.parent.Store(n)
+			if key < n.key {
+				n.left.Store(leaf)
+			} else {
+				n.right.Store(leaf)
+			}
+			n.mu.Unlock()
+			return 0, true, leaf, stFound
+		}
+		childOVL := child.ovl.Load()
+		if childOVL&ovlShrinking != 0 {
+			child.waitUntilShrinkCompleted()
+			continue
+		}
+		if childOVL&ovlUnlinked != 0 || child != n.childFor(key) {
+			if n.ovl.Load() != nOVL {
+				return 0, false, nil, stRetry
+			}
+			continue
+		}
+		if n.ovl.Load() != nOVL {
+			return 0, false, nil, stRetry
+		}
+		if v, ok, hit, st := t.attemptInsert(key, val, child, childOVL); st != stRetry {
+			return v, ok, hit, st
+		}
+	}
+}
+
+func (t *Tree) attemptRevive(val uint64, n *node) (uint64, bool, status) {
+	if vp := n.val.Load(); vp != nil {
+		return *vp, false, stFound
+	}
+	n.mu.Lock()
+	if n.ovl.Load()&ovlUnlinked != 0 {
+		n.mu.Unlock()
+		return 0, false, stRetry
+	}
+	if vp := n.val.Load(); vp != nil {
+		old := *vp
+		n.mu.Unlock()
+		return old, false, stFound
+	}
+	n.val.Store(&val)
+	n.mu.Unlock()
+	return 0, true, stFound
+}
+
+// Delete removes key and returns its value, if present. Deletion is
+// partially external: a node with two children becomes a routing node.
+func (t *Tree) Delete(key uint64) (uint64, bool) {
+	for {
+		right := t.rootHolder.right.Load()
+		if right == nil {
+			return 0, false
+		}
+		ovl := right.ovl.Load()
+		if ovl&(ovlShrinking|ovlUnlinked) != 0 {
+			right.waitUntilShrinkCompleted()
+			continue
+		}
+		if right != t.rootHolder.right.Load() {
+			continue
+		}
+		if v, ok, st := t.attemptDelete(key, &t.rootHolder, right, ovl); st != stRetry {
+			return v, ok
+		}
+	}
+}
+
+func (t *Tree) attemptDelete(key uint64, parent, n *node, nOVL int64) (uint64, bool, status) {
+	if key == n.key {
+		return t.attemptRmNode(parent, n, nOVL)
+	}
+	for {
+		child := n.childFor(key)
+		if n.ovl.Load() != nOVL {
+			return 0, false, stRetry
+		}
+		if child == nil {
+			return 0, false, stAbsent
+		}
+		childOVL := child.ovl.Load()
+		if childOVL&ovlShrinking != 0 {
+			child.waitUntilShrinkCompleted()
+			continue
+		}
+		if childOVL&ovlUnlinked != 0 || child != n.childFor(key) {
+			if n.ovl.Load() != nOVL {
+				return 0, false, stRetry
+			}
+			continue
+		}
+		if n.ovl.Load() != nOVL {
+			return 0, false, stRetry
+		}
+		if v, ok, st := t.attemptDelete(key, n, child, childOVL); st != stRetry {
+			return v, ok, st
+		}
+	}
+}
+
+func (t *Tree) attemptRmNode(parent, n *node, nOVL int64) (uint64, bool, status) {
+	if n.val.Load() == nil {
+		return 0, false, stAbsent
+	}
+	if n.left.Load() != nil && n.right.Load() != nil {
+		n.mu.Lock()
+		if n.ovl.Load() != nOVL {
+			n.mu.Unlock()
+			return 0, false, stRetry
+		}
+		if n.left.Load() != nil && n.right.Load() != nil {
+			vp := n.val.Load()
+			if vp == nil {
+				n.mu.Unlock()
+				return 0, false, stAbsent
+			}
+			n.val.Store(nil)
+			n.mu.Unlock()
+			return *vp, true, stFound
+		}
+		n.mu.Unlock()
+	}
+	parent.mu.Lock()
+	if parent.ovl.Load()&ovlUnlinked != 0 || n.parent.Load() != parent {
+		parent.mu.Unlock()
+		return 0, false, stRetry
+	}
+	n.mu.Lock()
+	if n.ovl.Load() != nOVL {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return 0, false, stRetry
+	}
+	vp := n.val.Load()
+	if vp == nil {
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return 0, false, stAbsent
+	}
+	l, r := n.left.Load(), n.right.Load()
+	if l != nil && r != nil {
+		n.val.Store(nil)
+		n.mu.Unlock()
+		parent.mu.Unlock()
+		return *vp, true, stFound
+	}
+	splice := l
+	if splice == nil {
+		splice = r
+	}
+	n.val.Store(nil)
+	replaceChild(parent, n, splice)
+	if splice != nil {
+		splice.parent.Store(parent)
+	}
+	n.ovl.Store(nOVL | ovlUnlinked)
+	n.mu.Unlock()
+	parent.mu.Unlock()
+	return *vp, true, stFound
+}
+
+// Scan calls fn for every present key/value in ascending order
+// (quiescent use).
+func (t *Tree) Scan(fn func(key, val uint64)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left.Load())
+		if vp := n.val.Load(); vp != nil {
+			fn(n.key, *vp)
+		}
+		walk(n.right.Load())
+	}
+	walk(t.rootHolder.right.Load())
+}
+
+// KeySum returns the sum (mod 2^64) of present keys.
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	t.Scan(func(k, _ uint64) { s += k })
+	return s
+}
+
+// Len counts present keys (quiescent use).
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(_, _ uint64) { n++ })
+	return n
+}

@@ -1,0 +1,208 @@
+package cbtree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Find(5); ok {
+		t.Fatal("Find on empty tree succeeded")
+	}
+	if old, ok := tr.Insert(5, 50); !ok || old != 0 {
+		t.Fatalf("Insert = (%d,%v), want (0,true)", old, ok)
+	}
+	if old, ok := tr.Insert(5, 99); ok || old != 50 {
+		t.Fatalf("re-Insert = (%d,%v), want (50,false)", old, ok)
+	}
+	if v, ok := tr.Delete(5); !ok || v != 50 {
+		t.Fatalf("Delete = (%d,%v), want (50,true)", v, ok)
+	}
+	if _, ok := tr.Delete(5); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	tr := New()
+	model := make(map[uint64]uint64)
+	rng := xrand.New(7)
+	for i := 0; i < 60000; i++ {
+		k := 1 + rng.Uint64n(400)
+		v := 1 + rng.Uint64n(1<<40)
+		switch rng.Intn(3) {
+		case 0:
+			old, ok := tr.Insert(k, v)
+			mv, present := model[k]
+			if ok == present || (present && old != mv) {
+				t.Fatalf("op %d: Insert(%d) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, ok := tr.Delete(k)
+			mv, present := model[k]
+			if ok != present || (present && old != mv) {
+				t.Fatalf("op %d: Delete(%d) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			delete(model, k)
+		default:
+			got, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && got != mv) {
+				t.Fatalf("op %d: Find(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, mv, present)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Len(), len(model); got != want {
+		t.Fatalf("Len = %d, model %d", got, want)
+	}
+}
+
+// TestAdaptivity is the CBTree's defining property: hammering one key
+// must move it near the root, far above its uniform-tree depth.
+func TestAdaptivity(t *testing.T) {
+	tr := New()
+	const n = 4096
+	// Balanced-order insertion of 1..n.
+	var build func(lo, hi uint64)
+	build = func(lo, hi uint64) {
+		if lo > hi {
+			return
+		}
+		mid := lo + (hi-lo)/2
+		tr.Insert(mid, mid)
+		build(lo, mid-1)
+		build(mid+1, hi)
+	}
+	build(1, n)
+	hot := uint64(1) // deepest leaf region of the balanced tree
+	before := tr.Depth(hot)
+	for i := 0; i < 200000; i++ {
+		tr.Find(hot)
+	}
+	after := tr.Depth(hot)
+	if after > 4 {
+		t.Fatalf("hot key depth %d → %d; want ≤4 after 200k accesses", before, after)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold keys must all still be present.
+	for k := uint64(1); k <= n; k++ {
+		if _, ok := tr.Find(k); !ok {
+			t.Fatalf("key %d lost during adjustment", k)
+		}
+	}
+}
+
+func TestConcurrentKeySum(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 30000
+		keyRange = 256
+	)
+	tr := New()
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*48611 + 13)
+			z := uint64(0)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				// Skewed accesses: 3/4 of ops hit an 8-key hot set, so
+				// rotations and updates collide constantly.
+				var k uint64
+				if rng.Intn(4) != 0 {
+					k = 1 + z%8
+					z++
+				} else {
+					k = 1 + rng.Uint64n(keyRange)
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				case 1:
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				default:
+					tr.Find(k)
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelEquivalence: random op sequences match a reference map
+// and leave a valid structure, under heavy sampling of the adjust path.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		ops := 500 + int(opsRaw)%3000
+		rng := xrand.New(seed | 1)
+		tr := New()
+		model := make(map[uint64]uint64)
+		for i := 0; i < ops; i++ {
+			k := 1 + rng.Uint64n(48)
+			v := 1 + rng.Uint64n(1<<32)
+			switch rng.Intn(4) {
+			case 0:
+				if _, ok := tr.Insert(k, v); ok {
+					model[k] = v
+				}
+			case 1:
+				if _, ok := tr.Delete(k); ok {
+					delete(model, k)
+				}
+			default: // find-heavy to drive rotations
+				got, ok := tr.Find(k)
+				mv, present := model[k]
+				if ok != present || (present && got != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleTree() {
+	tr := New()
+	tr.Insert(2, 20)
+	tr.Insert(1, 10)
+	v, ok := tr.Find(2)
+	fmt.Println(v, ok)
+	// Output: 20 true
+}

@@ -1,0 +1,67 @@
+// White-box inspection helpers used by tests.
+package cbtree
+
+import "fmt"
+
+// Validate checks structural invariants at quiescence: search-tree key
+// order, parent back-pointers, and no reachable unlinked or mid-shrink
+// nodes. (Weights are heuristic and not validated.)
+func (t *Tree) Validate() error {
+	root := t.rootHolder.right.Load()
+	if root == nil {
+		return nil
+	}
+	if p := root.parent.Load(); p != &t.rootHolder {
+		return fmt.Errorf("root parent pointer is %p, want rootHolder", p)
+	}
+	return validate(root, 0, ^uint64(0))
+}
+
+func validate(n *node, lo, hi uint64) error {
+	if n.ovl.Load()&ovlUnlinked != 0 {
+		return fmt.Errorf("reachable node %d is marked unlinked", n.key)
+	}
+	if n.ovl.Load()&ovlShrinking != 0 {
+		return fmt.Errorf("node %d is shrinking at quiescence", n.key)
+	}
+	if n.key < lo || n.key > hi {
+		return fmt.Errorf("node %d outside key range [%d,%d]", n.key, lo, hi)
+	}
+	if l := n.left.Load(); l != nil {
+		if l.parent.Load() != n {
+			return fmt.Errorf("left child %d of %d has wrong parent", l.key, n.key)
+		}
+		if n.key == 0 {
+			return fmt.Errorf("node key 0 cannot have a left child")
+		}
+		if err := validate(l, lo, n.key-1); err != nil {
+			return err
+		}
+	}
+	if r := n.right.Load(); r != nil {
+		if r.parent.Load() != n {
+			return fmt.Errorf("right child %d of %d has wrong parent", r.key, n.key)
+		}
+		if err := validate(r, n.key+1, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Depth returns key's depth (root = 1), or -1 if absent. Quiescent use.
+func (t *Tree) Depth(key uint64) int {
+	d := 1
+	n := t.rootHolder.right.Load()
+	for n != nil {
+		if n.key == key {
+			if n.val.Load() == nil {
+				return -1
+			}
+			return d
+		}
+		n = n.childFor(key)
+		d++
+	}
+	return -1
+}

@@ -1,0 +1,262 @@
+package cist
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Find(3); ok {
+		t.Fatal("Find on empty tree succeeded")
+	}
+	if old, ok := tr.Insert(3, 30); !ok || old != 0 {
+		t.Fatalf("Insert = (%d,%v), want (0,true)", old, ok)
+	}
+	if old, ok := tr.Insert(3, 99); ok || old != 30 {
+		t.Fatalf("re-Insert = (%d,%v), want (30,false)", old, ok)
+	}
+	if v, ok := tr.Delete(3); !ok || v != 30 {
+		t.Fatalf("Delete = (%d,%v), want (30,true)", v, ok)
+	}
+	if _, ok := tr.Delete(3); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	seps := []uint64{10, 20, 30, 40}
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 2}, {29, 2}, {30, 3}, {39, 3}, {40, 4}, {1000, 4},
+	}
+	for _, c := range cases {
+		if got := locate(seps, c.key); got != c.want {
+			t.Errorf("locate(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if got := locate(nil, 7); got != 0 {
+		t.Errorf("locate on empty seps = %d, want 0", got)
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	tr := New()
+	model := make(map[uint64]uint64)
+	rng := xrand.New(21)
+	for i := 0; i < 60000; i++ {
+		k := 1 + rng.Uint64n(700)
+		v := 1 + rng.Uint64n(1<<40)
+		switch rng.Intn(3) {
+		case 0:
+			old, ok := tr.Insert(k, v)
+			mv, present := model[k]
+			if ok == present || (present && old != mv) {
+				t.Fatalf("op %d: Insert(%d) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, ok := tr.Delete(k)
+			mv, present := model[k]
+			if ok != present || (present && old != mv) {
+				t.Fatalf("op %d: Delete(%d) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			delete(model, k)
+		default:
+			got, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && got != mv) {
+				t.Fatalf("op %d: Find(%d) = (%d,%v), model (%d,%v)", i, k, got, ok, mv, present)
+			}
+		}
+	}
+	if got, want := tr.Len(), len(model); got != want {
+		t.Fatalf("Len = %d, model %d", got, want)
+	}
+	if tr.Rebuilds() == 0 {
+		t.Fatal("60k updates over 700 keys triggered no rebuilds")
+	}
+}
+
+// TestDoublyLogDepth: after rebuilds settle, an IST over n uniform keys
+// must be far shallower than a binary or B-tree — doubly-logarithmic
+// plus the bounded degradation between rebuilds.
+func TestDoublyLogDepth(t *testing.T) {
+	tr := New()
+	rng := xrand.New(9)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.Uint64(), 1)
+	}
+	// Force an ideal rebuild to measure the settled structure.
+	root := tr.root.Load()
+	if root.kind == kInner {
+		tr.rebuild(root, nil, 0)
+	}
+	// Ideal: 1 + loglog levels ≈ 4-5 for 200k keys (leaves of ≤8).
+	if d := tr.Depth(); d > 6 {
+		t.Fatalf("IST depth %d for %d uniform keys; want ≤6", d, n)
+	}
+}
+
+// TestScanSorted checks ascending iteration across leaf boundaries.
+func TestScanSorted(t *testing.T) {
+	tr := New()
+	rng := xrand.New(31)
+	inserted := 0
+	for i := 0; i < 5000; i++ {
+		if _, ok := tr.Insert(rng.Uint64(), 1); ok {
+			inserted++
+		}
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Scan(func(k, _ uint64) {
+		if !first && k <= prev {
+			t.Fatalf("Scan out of order: %d after %d", k, prev)
+		}
+		prev, first = k, false
+		count++
+	})
+	if count != inserted {
+		t.Fatalf("Scan yielded %d keys, want %d", count, inserted)
+	}
+}
+
+func TestConcurrentKeySum(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 25000
+		keyRange = 2048
+	)
+	tr := New()
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*5077 + 23)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := 1 + rng.Uint64n(keyRange)
+				switch rng.Intn(3) {
+				case 0:
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				case 1:
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				default:
+					tr.Find(k)
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d (after %d rebuilds)", got, want, tr.Rebuilds())
+	}
+	if tr.Rebuilds() == 0 {
+		t.Fatal("concurrent update storm triggered no rebuilds")
+	}
+}
+
+// TestConcurrentRebuildStorm shrinks thresholds' effect by hammering a
+// small range so rebuilds overlap with updates constantly; every
+// update must survive into the final contents.
+func TestConcurrentRebuildStorm(t *testing.T) {
+	const (
+		workers = 10
+		opsEach = 15000
+	)
+	tr := New()
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*131 + 3)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := 1 + rng.Uint64n(64)
+				if rng.Intn(2) == 0 {
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				} else {
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+}
+
+// TestQuickModelEquivalence: random op sequences match a reference map.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		ops := 300 + int(opsRaw)%4000
+		rng := xrand.New(seed | 1)
+		tr := New()
+		model := make(map[uint64]uint64)
+		for i := 0; i < ops; i++ {
+			k := 1 + rng.Uint64n(128)
+			v := 1 + rng.Uint64n(1<<32)
+			switch rng.Intn(3) {
+			case 0:
+				if _, ok := tr.Insert(k, v); ok {
+					model[k] = v
+				}
+			case 1:
+				if _, ok := tr.Delete(k); ok {
+					delete(model, k)
+				}
+			default:
+				got, ok := tr.Find(k)
+				mv, present := model[k]
+				if ok != present || (present && got != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := tr.Find(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

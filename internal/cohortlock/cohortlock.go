@@ -1,0 +1,102 @@
+// Package cohortlock implements lock cohorting (Dice, Marathe & Shavit,
+// "Lock Cohorting: A General Technique for Designing NUMA Locks",
+// PPoPP 2012) — one of the NUMA-aware locks the paper's §7 suggests as
+// future work for the OCC-ABtree ("using NUMA-aware locks like HCLH,
+// lock cohorting, or NUMA-aware reader-writer locks might be a simple
+// way of improving performance further").
+//
+// A cohort lock composes a global lock with one local lock per NUMA
+// socket (here: simulated sockets, since a goroutine has no fixed CPU —
+// threads are assigned sockets round-robin at creation, mirroring the
+// paper's thread-pinning discipline). To acquire, a thread takes its
+// socket's local MCS lock and then the global lock. To release, a
+// holder whose socket has local waiters passes global ownership
+// directly to its local successor ("cohort detection"), so the lock —
+// and the data it protects — stay on one socket's cache for a bounded
+// batch of acquisitions before fairness forces a socket switch.
+//
+// This is the C-TAS-MCS variant: a test-and-set global (its unfairness
+// is harmless, the batch bound provides fairness) under per-socket MCS
+// locals, the combination the original paper evaluates as both simplest
+// and near-fastest.
+package cohortlock
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/mcslock"
+)
+
+// MaxSockets is the number of simulated NUMA domains. The benchmark
+// machine in the paper has 4 sockets.
+const MaxSockets = 4
+
+// batch bounds consecutive same-socket handoffs, the cohorting paper's
+// fairness knob.
+const batch = 64
+
+// Lock is a cohort lock. The zero value is an unlocked lock.
+type Lock struct {
+	global atomic.Uint32
+	local  [MaxSockets]mcslock.Lock
+	// grant[s] hands global ownership to the next local holder on
+	// socket s without touching the global word.
+	grant  [MaxSockets]atomic.Bool
+	streak atomic.Int32 // consecutive handoffs on the owning socket
+}
+
+func (l *Lock) acquireGlobal() {
+	spins := 0
+	for {
+		if l.global.Load() == 0 && l.global.CompareAndSwap(0, 1) {
+			return
+		}
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Acquire blocks until the caller holds l. socket identifies the
+// caller's cohort; qn is the caller's MCS queue node for this
+// acquisition.
+func (l *Lock) Acquire(socket int, qn *mcslock.QNode) {
+	l.local[socket].Acquire(qn)
+	if l.grant[socket].Load() {
+		// Our local predecessor passed us the global lock.
+		l.grant[socket].Store(false)
+		return
+	}
+	l.acquireGlobal()
+}
+
+// TryAcquire acquires l if both tiers are immediately free.
+func (l *Lock) TryAcquire(socket int, qn *mcslock.QNode) bool {
+	if !l.local[socket].TryAcquire(qn) {
+		return false
+	}
+	// A successful local TryAcquire means the local queue was empty, so
+	// no predecessor could have set the grant flag for us.
+	if l.global.Load() == 0 && l.global.CompareAndSwap(0, 1) {
+		return true
+	}
+	l.local[socket].Release(qn)
+	return false
+}
+
+// Release unlocks l. If same-socket waiters exist and the fairness
+// batch is not exhausted, global ownership is handed to the local
+// successor; otherwise the global lock is freed for other sockets.
+func (l *Lock) Release(socket int, qn *mcslock.QNode) {
+	if l.streak.Load() < batch && l.local[socket].HasWaiter(qn) {
+		l.streak.Add(1)
+		l.grant[socket].Store(true)
+		l.local[socket].Release(qn)
+		return
+	}
+	l.streak.Store(0)
+	l.global.Store(0)
+	l.local[socket].Release(qn)
+}

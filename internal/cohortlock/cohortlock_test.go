@@ -1,0 +1,178 @@
+package cohortlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mcslock"
+)
+
+// TestMutualExclusion increments a plain counter under the lock from
+// many goroutines across all sockets; any exclusion bug loses counts.
+func TestMutualExclusion(t *testing.T) {
+	const (
+		workers = 16
+		each    = 20000
+	)
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var qn mcslock.QNode
+			socket := w % MaxSockets
+			for i := 0; i < each; i++ {
+				l.Acquire(socket, &qn)
+				counter++
+				l.Release(socket, &qn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*each {
+		t.Fatalf("counter = %d, want %d", counter, workers*each)
+	}
+}
+
+// TestHandoffKeepsExclusion targets the grant path: all contenders on
+// one socket, so nearly every release is a cohort handoff.
+func TestHandoffKeepsExclusion(t *testing.T) {
+	const (
+		workers = 8
+		each    = 30000
+	)
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var qn mcslock.QNode
+			for i := 0; i < each; i++ {
+				l.Acquire(0, &qn)
+				counter++
+				l.Release(0, &qn)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*each {
+		t.Fatalf("counter = %d, want %d", counter, workers*each)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	var l Lock
+	var qn1, qn2 mcslock.QNode
+	if !l.TryAcquire(0, &qn1) {
+		t.Fatal("TryAcquire on free lock failed")
+	}
+	// Same socket: local MCS is held, so TryAcquire must fail.
+	if l.TryAcquire(0, &qn2) {
+		t.Fatal("TryAcquire succeeded while lock held (same socket)")
+	}
+	// Different socket: local free, but global must be held.
+	if l.TryAcquire(1, &qn2) {
+		t.Fatal("TryAcquire succeeded while lock held (other socket)")
+	}
+	l.Release(0, &qn1)
+	if !l.TryAcquire(1, &qn2) {
+		t.Fatal("TryAcquire on released lock failed")
+	}
+	l.Release(1, &qn2)
+}
+
+// TestCrossSocketFairness checks the batch bound: with heavy traffic on
+// socket 0, a socket-1 thread must still complete a fixed number of
+// acquisitions (no starvation).
+func TestCrossSocketFairness(t *testing.T) {
+	var l Lock
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var qn mcslock.QNode
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Acquire(0, &qn)
+				l.Release(0, &qn)
+			}
+		}()
+	}
+	var qn mcslock.QNode
+	for i := 0; i < 2000; i++ {
+		l.Acquire(1, &qn)
+		l.Release(1, &qn)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentTryAcquire mixes blocking and non-blocking acquisitions.
+func TestConcurrentTryAcquire(t *testing.T) {
+	const workers = 8
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var qn mcslock.QNode
+			socket := w % MaxSockets
+			done := 0
+			for done < 10000 {
+				if w%2 == 0 {
+					l.Acquire(socket, &qn)
+					counter++
+					l.Release(socket, &qn)
+					done++
+				} else if l.TryAcquire(socket, &qn) {
+					counter++
+					l.Release(socket, &qn)
+					done++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*10000 {
+		t.Fatalf("counter = %d, want %d", counter, workers*10000)
+	}
+}
+
+// BenchmarkCohortUncontended and BenchmarkCohortContended mirror the
+// MCS/TAS benchmarks in internal/mcslock, completing the §7 lock
+// comparison at the lock level (the tree-level comparison is
+// BenchmarkAblationCohortLock at the repository root).
+func BenchmarkCohortUncontended(b *testing.B) {
+	var l Lock
+	var qn mcslock.QNode
+	for i := 0; i < b.N; i++ {
+		l.Acquire(0, &qn)
+		l.Release(0, &qn)
+	}
+}
+
+func BenchmarkCohortContended(b *testing.B) {
+	var l Lock
+	var socketSeq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		var qn mcslock.QNode
+		socket := int(socketSeq.Add(1)-1) % MaxSockets
+		for pb.Next() {
+			l.Acquire(socket, &qn)
+			l.Release(socket, &qn)
+		}
+	})
+}

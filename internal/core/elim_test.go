@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublishingEliminationDeterministic constructs the paper's Figure 11
+// scenario by hand: an in-progress simple insert has locked a leaf,
+// incremented its version to an odd value and published an ElimRecord.
+// Operations on the same key that *start* during this window (their start
+// version <= rec.Ver) must eliminate themselves once the publisher
+// finishes: the insert returns the record's value, the delete returns ⊥,
+// and neither touches the tree.
+func TestPublishingEliminationDeterministic(t *testing.T) {
+	tr := New(WithElimination())
+
+	// The publisher: manually perform the first half of insert(7, 42).
+	pub := tr.NewThread()
+	leaf := tr.search(7, nil).n
+	pub.lockNode(leaf)
+	ver := leaf.ver.Add(1) // odd: modification in progress
+	leaf.rec.Store(&ElimRecord{Key: 7, Val: 42, Ver: ver})
+
+	// Concurrent operations on key 7 start inside the window. Both will
+	// spin in lockOrElim until the publisher's second increment, then
+	// must eliminate rather than lock.
+	insRes := make(chan [2]uint64, 1)
+	delRes := make(chan [2]uint64, 1)
+	go func() {
+		th := tr.NewThread()
+		v, ins := th.Insert(7, 99)
+		insRes <- [2]uint64{v, b2u(ins)}
+	}()
+	go func() {
+		th := tr.NewThread()
+		v, del := th.Delete(7)
+		delRes <- [2]uint64{v, b2u(del)}
+	}()
+	time.Sleep(100 * time.Millisecond) // let both reach lockOrElim
+
+	// Publisher completes the insert: write the pair, make the version
+	// even (the linearization point), unlock.
+	leaf.vals[0].Store(42)
+	leaf.keys[0].Store(7)
+	leaf.size.Add(1)
+	leaf.ver.Add(1)
+	pub.unlockAll()
+
+	ins := <-insRes
+	if ins[0] != 42 || ins[1] != 0 {
+		t.Fatalf("concurrent insert returned (%d, %v), want (42, false): must "+
+			"linearize right after the published insert", ins[0], ins[1] == 1)
+	}
+	del := <-delRes
+	if del[1] != 0 || del[0] != 0 {
+		t.Fatalf("concurrent delete returned (%d, %v), want (0, false): "+
+			"eliminated deletes return ⊥", del[0], del[1] == 1)
+	}
+
+	ei, ed, _ := tr.ElimStats()
+	if ei != 1 || ed != 1 {
+		t.Fatalf("ElimStats = (%d, %d), want (1, 1): both ops must have "+
+			"been eliminated, not executed", ei, ed)
+	}
+
+	// The eliminated ops must not have modified the tree: key 7 present
+	// with the publisher's value.
+	th := tr.NewThread()
+	if v, ok := th.Find(7); !ok || v != 42 {
+		t.Fatalf("Find(7) = (%d, %v), want (42, true)", v, ok)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEliminationRequiresOverlap: an operation that starts after the
+// publisher completed (start version > rec.Ver) must NOT eliminate — it
+// would not have been concurrent with the publisher.
+func TestEliminationRequiresOverlap(t *testing.T) {
+	tr := New(WithElimination())
+	th := tr.NewThread()
+	th.Insert(7, 42) // completes fully; rec published with some odd ver
+
+	// A later delete must actually delete (not eliminate against the old
+	// record).
+	if v, ok := th.Delete(7); !ok || v != 42 {
+		t.Fatalf("Delete(7) = (%d, %v), want (42, true)", v, ok)
+	}
+	if _, ok := th.Find(7); ok {
+		t.Fatal("key 7 still present: delete was wrongly eliminated")
+	}
+	// And a later insert must actually insert.
+	if _, ins := th.Insert(7, 50); !ins {
+		t.Fatal("insert wrongly eliminated / found phantom key")
+	}
+	if v, _ := th.Find(7); v != 50 {
+		t.Fatalf("Find(7) = %d, want 50", v)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestFindEliminationDeterministic: a find that starts while a publisher
+// is mid-update and keeps getting interrupted answers from the record —
+// after the publisher's linearization, with the publisher's value.
+func TestFindEliminationDeterministic(t *testing.T) {
+	tr := New(WithElimination(), WithFindElimination())
+	pub := tr.NewThread()
+	leaf := tr.search(7, nil).n
+	pub.lockNode(leaf)
+	ver := leaf.ver.Add(1) // leaf stays "mid-update": scans never consistent
+	leaf.rec.Store(&ElimRecord{Key: 7, Val: 42, Ver: ver, Kind: RecInsert})
+
+	res := make(chan [2]uint64, 1)
+	go func() {
+		th := tr.NewThread()
+		v, ok := th.Find(7)
+		res <- [2]uint64{v, b2u(ok)}
+	}()
+	// The find can complete even though the leaf version never returns to
+	// even — this is the §4.1 anti-starvation property.
+	select {
+	case got := <-res:
+		t.Fatalf("find returned (%d,%v) before the publisher linearized", got[0], got[1] == 1)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Publisher linearizes (even version) but immediately starts the next
+	// modification, so scans stay interrupted; the record must answer.
+	leaf.vals[0].Store(42)
+	leaf.keys[0].Store(7)
+	leaf.size.Add(1)
+	leaf.ver.Add(1) // even: linearized
+	got := <-res
+	if got[0] != 42 || got[1] != 1 {
+		t.Fatalf("eliminated find = (%d,%v), want (42,true)", got[0], got[1] == 1)
+	}
+	if tr.ElimFindHits() == 0 {
+		t.Fatal("find did not use the elimination record")
+	}
+	pub.unlockAll()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindEliminationDeleteRecord: against a delete record, an
+// overlapping find answers absent.
+func TestFindEliminationDeleteRecord(t *testing.T) {
+	tr := New(WithElimination(), WithFindElimination())
+	pub := tr.NewThread()
+	pub.Insert(7, 1)
+	leaf := tr.search(7, nil).n
+	pub.lockNode(leaf)
+	ver := leaf.ver.Add(1)
+	leaf.rec.Store(&ElimRecord{Key: 7, Val: 1, Ver: ver, Kind: RecDelete})
+
+	res := make(chan [2]uint64, 1)
+	go func() {
+		th := tr.NewThread()
+		v, ok := th.Find(7)
+		res <- [2]uint64{v, b2u(ok)}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < tr.b; i++ {
+		if leaf.keys[i].Load() == 7 {
+			leaf.keys[i].Store(emptyKey)
+			leaf.size.Add(-1)
+			break
+		}
+	}
+	leaf.ver.Add(1)
+	got := <-res
+	if got[1] != 0 {
+		t.Fatalf("find against delete record = (%d,%v), want absent", got[0], got[1] == 1)
+	}
+	pub.unlockAll()
+}
+
+func TestFindEliminationRequiresElim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(WithFindElimination())
+}

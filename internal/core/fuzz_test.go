@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+// FuzzOps drives both trees from a fuzzer-controlled byte stream: each
+// 4-byte group encodes (op, key, value). The model map is the oracle;
+// structural invariants are checked at the end. Run with
+// `go test -fuzz FuzzOps ./internal/core` to explore; the seed corpus
+// runs as a regular test.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 1, 1, 0, 0, 2, 1, 0, 0})
+	f.Add([]byte{0, 5, 1, 9, 3, 5, 2, 2, 1, 5, 0, 0, 0, 5, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, elim := range []bool{false, true} {
+			var tr *Tree
+			if elim {
+				tr = New(WithElimination())
+			} else {
+				tr = New(WithDegree(2, 4)) // small b: more structural churn
+			}
+			th := tr.NewThread()
+			model := make(map[uint64]uint64)
+			for i := 0; i+3 < len(data); i += 4 {
+				op := data[i] % 4
+				k := uint64(data[i+1])%64 + 1
+				v := uint64(data[i+2])<<8 | uint64(data[i+3])
+				switch op {
+				case 0:
+					old, ins := th.Insert(k, v)
+					mv, present := model[k]
+					if ins == present || (present && old != mv) {
+						t.Fatalf("elim=%v op %d: Insert(%d) mismatch", elim, i, k)
+					}
+					if !present {
+						model[k] = v
+					}
+				case 1:
+					old, del := th.Delete(k)
+					mv, present := model[k]
+					if del != present || (present && old != mv) {
+						t.Fatalf("elim=%v op %d: Delete(%d) mismatch", elim, i, k)
+					}
+					delete(model, k)
+				case 2:
+					got, ok := th.Find(k)
+					mv, present := model[k]
+					if ok != present || (present && got != mv) {
+						t.Fatalf("elim=%v op %d: Find(%d) mismatch", elim, i, k)
+					}
+				case 3:
+					th.Upsert(k, v)
+					model[k] = v
+				}
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("elim=%v: Len %d vs model %d", elim, tr.Len(), len(model))
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("elim=%v: %v", elim, err)
+			}
+		}
+	})
+}

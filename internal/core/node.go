@@ -1,0 +1,175 @@
+// Package core implements the two volatile data structures contributed by
+// "Elimination (a,b)-trees with fast, durable updates" (Srivastava & Brown,
+// PPoPP 2022):
+//
+//   - the OCC-ABtree (paper §3): a concurrent relaxed (a,b)-tree using
+//     fine-grained versioned MCS locks for updates and lock-free,
+//     version-validated searches, and
+//   - the Elim-ABtree (paper §4): the OCC-ABtree extended with *publishing
+//     elimination*, where an update publishes an ElimRecord in the leaf it
+//     modified so that concurrent inserts/deletes of the same key can
+//     linearize against it and return without writing to the tree.
+//
+// Both trees are instances of one Tree type (elimination is a construction
+// option) because they share the node layout, search, and rebalancing code;
+// the paper describes the Elim-ABtree as "a modified version of the
+// OCC-ABtree".
+//
+// Keys and values are uint64. Key 0 is reserved as the paper's ⊥ (the
+// empty-slot sentinel in leaf key arrays).
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cohortlock"
+	"repro/internal/mcslock"
+)
+
+const (
+	// maxCap is the compile-time capacity of per-node arrays. The runtime
+	// degree b can be configured anywhere in [4, maxCap]; the paper uses 11.
+	maxCap = 16
+
+	// DefaultMaxSize is the paper's b: at most 11 keys per leaf and 11
+	// child pointers per internal node.
+	DefaultMaxSize = 11
+
+	// DefaultMinSize is the paper's a: at least 2 keys per leaf and 2
+	// child pointers per internal node (except the root).
+	DefaultMinSize = 2
+
+	// emptyKey is ⊥: an empty slot in a leaf's keys array.
+	emptyKey = 0
+)
+
+type kind uint8
+
+const (
+	leafKind kind = iota
+	internalKind
+	// taggedKind marks a TaggedInternal node: a temporary height imbalance
+	// created by a splitting insert (or by fixTagged's split case), always
+	// with exactly two children, removed by fixTagged.
+	taggedKind
+)
+
+// ElimRecord summarises the last simple insert or successful delete that
+// modified a leaf (paper §4.1). Records are immutable once published.
+type ElimRecord struct {
+	Key uint64
+	Val uint64
+	// Kind says which operation published the record (insert, delete or
+	// replace); eliminating operations consult the §7 compatibility
+	// matrix in upsert.go.
+	Kind RecKind
+	// Ver is the (odd) version the publishing operation installed with its
+	// first version increment. An operation O' whose start version is
+	// <= Ver was in progress when the publisher linearized, so O' may
+	// eliminate itself against this record.
+	Ver uint64
+}
+
+// node is a tree node. One struct serves leaves, internal nodes and tagged
+// internal nodes (discriminated by kind): unifying them keeps search,
+// fixTagged and fixUnderfull free of type switches on a hot path, at the
+// cost of each node carrying one unused array (vals for internals, ptrs for
+// leaves).
+//
+// Mutability discipline:
+//   - leaf keys/vals/size/ver/rec: mutated only while the leaf's lock is
+//     held, between the two ver increments; read lock-free by searches.
+//   - internal routing keys and nchildren: immutable after publication
+//     ("once an internal node is created, its routing keys are never
+//     changed" — §3.1). Adding/removing a routing key replaces the node.
+//   - internal ptrs: mutated only while the node's lock is held; read
+//     lock-free by searches.
+//   - marked: set (once, never cleared) while the node's lock is held,
+//     when the node is unlinked from the tree.
+type node struct {
+	mcs mcslock.Lock
+	tas mcslock.TASLock
+	// cohort is the node's NUMA-aware cohort lock, allocated lazily on
+	// first acquisition (WithCohortLocks only, so the common
+	// configurations don't carry its footprint).
+	cohort atomic.Pointer[cohortlock.Lock]
+	// fcq is the leaf's flat-combining publication list, allocated
+	// lazily on first use (WithLeafCombining only).
+	fcq    atomic.Pointer[fcQueue]
+	marked atomic.Bool
+	kind   kind
+
+	// nchildren is an internal node's child-pointer count (immutable);
+	// the node has nchildren-1 routing keys in keys[0..nchildren-2].
+	nchildren uint8
+
+	// searchKey is an immutable key within this node's key range, used by
+	// fixTagged/fixUnderfull to re-locate the node: the unique search path
+	// for searchKey passes through every reachable node whose key range
+	// contains it (paper Def. 3.3/3.4), hence through this node.
+	searchKey uint64
+
+	// ver is a leaf's version: even when quiescent, odd while the lock
+	// holder is modifying the leaf. Searches use it for double-collect
+	// validation (§3.2); publishing elimination keys off it (§4.1).
+	ver atomic.Uint64
+
+	// size is a leaf's number of non-empty keys.
+	size atomic.Int64
+
+	// rec is the leaf's elimination record (Elim-ABtree only; nil until
+	// the first publishing update).
+	rec atomic.Pointer[ElimRecord]
+
+	keys [maxCap]atomic.Uint64
+	vals [maxCap]atomic.Uint64
+	ptrs [maxCap]atomic.Pointer[node]
+}
+
+func (n *node) isLeaf() bool { return n.kind == leafKind }
+func (n *node) tagged() bool { return n.kind == taggedKind }
+
+// routingKeys returns the number of routing keys in an internal node.
+func (n *node) routingKeys() int { return int(n.nchildren) - 1 }
+
+// kv is a key-value pair staged during node construction.
+type kv struct{ k, v uint64 }
+
+// newLeaf builds a leaf containing items (at most b of them), packed into
+// the first len(items) slots. searchKey must lie within the leaf's key
+// range.
+func newLeaf(items []kv, searchKey uint64) *node {
+	n := &node{kind: leafKind, searchKey: searchKey}
+	for i, it := range items {
+		n.keys[i].Store(it.k)
+		n.vals[i].Store(it.v)
+	}
+	n.size.Store(int64(len(items)))
+	return n
+}
+
+// newInternal builds an internal or tagged node with the given routing keys
+// and children; len(children) must equal len(keys)+1. searchKey must lie
+// within the node's key range.
+func newInternal(k kind, keys []uint64, children []*node, searchKey uint64) *node {
+	if len(children) != len(keys)+1 {
+		panic("core: internal node children/keys arity mismatch")
+	}
+	n := &node{kind: k, nchildren: uint8(len(children)), searchKey: searchKey}
+	for i, rk := range keys {
+		n.keys[i].Store(rk)
+	}
+	for i, c := range children {
+		n.ptrs[i].Store(c)
+	}
+	return n
+}
+
+// sizeOf returns a node's occupancy in the (a,b) sense: key count for a
+// leaf, child count for an internal node.
+func sizeOf(n *node) int {
+	if n.isLeaf() {
+		return int(n.size.Load())
+	}
+	return int(n.nchildren)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickOpSequences drives both trees with generated op sequences via
+// testing/quick and checks them against a model map plus the structural
+// invariants. Each generated case is an arbitrary interleaving of inserts,
+// deletes and finds over a small key space (to force splits, merges and
+// root collapses).
+func TestQuickOpSequences(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  uint32
+	}
+	run := func(elim bool) func(ops []op) bool {
+		return func(ops []op) bool {
+			var tr *Tree
+			if elim {
+				tr = New(WithElimination())
+			} else {
+				tr = New()
+			}
+			th := tr.NewThread()
+			model := make(map[uint64]uint64)
+			for _, o := range ops {
+				k := uint64(o.Key)%512 + 1
+				v := uint64(o.Val)
+				switch o.Kind % 3 {
+				case 0:
+					old, inserted := th.Insert(k, v)
+					mv, present := model[k]
+					if inserted == present || (present && old != mv) {
+						return false
+					}
+					if !present {
+						model[k] = v
+					}
+				case 1:
+					old, deleted := th.Delete(k)
+					mv, present := model[k]
+					if deleted != present || (present && old != mv) {
+						return false
+					}
+					delete(model, k)
+				case 2:
+					got, ok := th.Find(k)
+					mv, present := model[k]
+					if ok != present || (present && got != mv) {
+						return false
+					}
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+			return tr.Validate() == nil
+		}
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(run(false), cfg); err != nil {
+		t.Errorf("OCC: %v", err)
+	}
+	if err := quick.Check(run(true), cfg); err != nil {
+		t.Errorf("Elim: %v", err)
+	}
+}
+
+// TestQuickSetSemantics: inserting a set of distinct keys then scanning
+// must return exactly that set in sorted order, for any key set and any
+// insertion order.
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(raw []uint32) bool {
+		tr := New()
+		th := tr.NewThread()
+		want := make(map[uint64]bool)
+		for _, r := range raw {
+			k := uint64(r) + 1
+			th.Insert(k, k)
+			want[k] = true
+		}
+		got := make(map[uint64]bool)
+		prev := uint64(0)
+		sorted := true
+		tr.Scan(func(k, v uint64) {
+			if k <= prev {
+				sorted = false
+			}
+			prev = k
+			got[k] = true
+		})
+		if !sorted || len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertDeleteInverse: for any key set, inserting all keys and
+// deleting them again returns the tree to empty with height 1.
+func TestQuickInsertDeleteInverse(t *testing.T) {
+	f := func(raw []uint16, elim bool) bool {
+		var tr *Tree
+		if elim {
+			tr = New(WithElimination())
+		} else {
+			tr = New()
+		}
+		th := tr.NewThread()
+		for _, r := range raw {
+			th.Insert(uint64(r)+1, 1)
+		}
+		for _, r := range raw {
+			th.Delete(uint64(r) + 1)
+		}
+		return tr.Len() == 0 && tr.Height() == 1 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

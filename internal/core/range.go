@@ -1,0 +1,87 @@
+package core
+
+// Range scanning. The paper's trees do not include range queries ("could
+// be added using the techniques described in [Arbel-Raviv & Brown,
+// PPoPP'18]", §3); this implementation provides the practical middle
+// ground that B-tree libraries usually ship: each leaf is read as an
+// atomic snapshot (double-collect, like leafSearch), and the scan hops
+// leaf to leaf using the key-range upper bounds discovered on the search
+// path. The scan as a whole is therefore not one atomic snapshot; keys
+// inserted or deleted mid-scan in not-yet-visited leaves may or may not
+// appear.
+
+// searchWithBound is search(key, nil) that also reports the leaf's
+// key-range upper bound: the smallest routing key greater than the path
+// taken. hasBound is false for the rightmost leaf.
+func (t *Tree) searchWithBound(key uint64) (leaf *node, bound uint64, hasBound bool) {
+	n := t.entry
+	for !n.isLeaf() {
+		nIdx := 0
+		rk := n.routingKeys()
+		for nIdx < rk && key >= n.keys[nIdx].Load() {
+			nIdx++
+		}
+		if nIdx < rk {
+			// We did not take the last child: keys[nIdx] bounds the
+			// subtree we descend into, and it is tighter than any bound
+			// found higher up.
+			bound = n.keys[nIdx].Load()
+			hasBound = true
+		}
+		n = n.ptrs[nIdx].Load()
+	}
+	return n, bound, hasBound
+}
+
+// snapshotLeaf returns a consistent copy of the leaf's pairs within
+// [lo, hi], sorted.
+func (t *Tree) snapshotLeaf(l *node, lo, hi uint64) []kv {
+	spins := 0
+	for {
+		v1 := l.ver.Load()
+		if v1&1 == 1 {
+			spinPause(&spins)
+			continue
+		}
+		items := make([]kv, 0, t.b)
+		for i := 0; i < t.b; i++ {
+			k := l.keys[i].Load()
+			if k != emptyKey && k >= lo && k <= hi {
+				items = append(items, kv{k, l.vals[i].Load()})
+			}
+		}
+		if l.ver.Load() == v1 {
+			sortKVs(items)
+			return items
+		}
+		spinPause(&spins)
+	}
+}
+
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, stopping early if fn returns false. Safe under concurrency;
+// per-leaf atomic (see file comment).
+func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	if lo == emptyKey {
+		lo = 1
+	}
+	checkKey(lo)
+	if hi < lo {
+		return
+	}
+	t := th.t
+	cursor := lo
+	for {
+		leaf, bound, hasBound := t.searchWithBound(cursor)
+		for _, it := range t.snapshotLeaf(leaf, cursor, hi) {
+			if !fn(it.k, it.v) {
+				return
+			}
+		}
+		if !hasBound || bound > hi {
+			return
+		}
+		// The next leaf's range starts at this leaf's upper bound.
+		cursor = bound
+	}
+}

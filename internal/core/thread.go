@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cohortlock"
+	"repro/internal/mcslock"
+)
+
+// maxHeld is the most node locks any operation holds at once:
+// fixUnderfull locks the target, its sibling, parent and grandparent.
+const maxHeld = 4
+
+// nextSocket assigns simulated NUMA sockets to threads round-robin,
+// mirroring the paper's pinning discipline (fill a socket's cores before
+// moving to the next would need core counts; round-robin spreads
+// cohorts evenly, which is the interesting regime for cohort locks).
+var nextSocket atomic.Uint64
+
+// Thread is a per-goroutine handle through which all tree operations run.
+// It owns the MCS queue nodes for the (up to four) locks an operation may
+// hold, so lock acquisition allocates nothing. A Thread must not be used
+// concurrently; create one per worker goroutine with Tree.NewThread.
+type Thread struct {
+	t      *Tree
+	socket int // simulated NUMA domain (WithCohortLocks)
+	qn     [maxHeld]mcslock.QNode
+	held   [maxHeld]*node
+	nheld  int
+}
+
+// NewThread returns a new operation handle for t.
+func (t *Tree) NewThread() *Thread {
+	return &Thread{
+		t:      t,
+		socket: int(nextSocket.Add(1)-1) % cohortlock.MaxSockets,
+	}
+}
+
+// Tree returns the tree this handle operates on.
+func (th *Thread) Tree() *Tree { return th.t }
+
+// cohortOf returns n's cohort lock, allocating it on first use.
+func cohortOf(n *node) *cohortlock.Lock {
+	if l := n.cohort.Load(); l != nil {
+		return l
+	}
+	n.cohort.CompareAndSwap(nil, new(cohortlock.Lock))
+	return n.cohort.Load()
+}
+
+// lockNode acquires n's lock, blocking, and records it for unlockAll.
+// Locks must be taken bottom-to-top, ties broken left-to-right, to
+// preserve the paper's deadlock-freedom argument (§3.3.5).
+func (th *Thread) lockNode(n *node) {
+	if th.nheld == maxHeld {
+		panic("core: too many locks held")
+	}
+	qn := &th.qn[th.nheld]
+	switch th.t.lock {
+	case lockTAS:
+		n.tas.Acquire(qn)
+	case lockCohort:
+		cohortOf(n).Acquire(th.socket, qn)
+	default:
+		n.mcs.Acquire(qn)
+	}
+	th.held[th.nheld] = n
+	th.nheld++
+}
+
+// tryLockNode attempts to acquire n's lock without waiting.
+func (th *Thread) tryLockNode(n *node) bool {
+	if th.nheld == maxHeld {
+		panic("core: too many locks held")
+	}
+	qn := &th.qn[th.nheld]
+	ok := false
+	switch th.t.lock {
+	case lockTAS:
+		ok = n.tas.TryAcquire(qn)
+	case lockCohort:
+		ok = cohortOf(n).TryAcquire(th.socket, qn)
+	default:
+		ok = n.mcs.TryAcquire(qn)
+	}
+	if ok {
+		th.held[th.nheld] = n
+		th.nheld++
+	}
+	return ok
+}
+
+// unlockAll releases every lock this thread holds, most recent first.
+func (th *Thread) unlockAll() {
+	for i := th.nheld - 1; i >= 0; i-- {
+		n := th.held[i]
+		switch th.t.lock {
+		case lockTAS:
+			n.tas.Release(&th.qn[i])
+		case lockCohort:
+			n.cohort.Load().Release(th.socket, &th.qn[i])
+		default:
+			n.mcs.Release(&th.qn[i])
+		}
+		th.held[i] = nil
+	}
+	th.nheld = 0
+}

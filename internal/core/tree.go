@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Tree is an OCC-ABtree or (with WithElimination) an Elim-ABtree.
+//
+// All operations go through a Thread handle (see NewThread); the handle
+// owns the per-thread MCS queue nodes, mirroring the paper's C++ threads.
+// A Tree is safe for use by any number of Threads concurrently.
+type Tree struct {
+	// entry is the sentinel: an internal node with no keys and one child
+	// pointer (the root). It is never removed or replaced (§3).
+	entry *node
+
+	a, b int      // min/max node size
+	elim bool     // publishing elimination enabled (Elim-ABtree)
+	lock lockKind // node lock implementation (MCS, TAS, or cohort)
+
+	combining  bool // leaf-level flat combining instead of elimination (ablation)
+	sorted     bool // sorted dense leaves (ablation)
+	lockedFind bool // Find locks the leaf instead of version-validating (ablation)
+	elimFinds  bool // finds may answer from elimination records (§4.1 remark)
+
+	// Elimination counters (Elim-ABtree only): operations that returned
+	// via publishing elimination instead of modifying the tree. They
+	// expose the mechanism directly, independent of core count.
+	elimInserts  atomic.Uint64
+	elimDeletes  atomic.Uint64
+	elimUpserts  atomic.Uint64
+	elimFindHits atomic.Uint64
+
+	// fcCombined counts operations applied by another thread's combiner
+	// (WithLeafCombining only).
+	fcCombined atomic.Uint64
+}
+
+// FCCombined reports how many operations were applied on their owners'
+// behalf by a flat-combining leaf combiner (WithLeafCombining only).
+func (t *Tree) FCCombined() uint64 { return t.fcCombined.Load() }
+
+// ElimFindHits reports how many finds answered from an elimination record
+// (WithFindElimination only).
+func (t *Tree) ElimFindHits() uint64 { return t.elimFindHits.Load() }
+
+// ElimStats reports how many inserts, deletes and upserts were eliminated
+// against a published record rather than executed against the tree.
+func (t *Tree) ElimStats() (inserts, deletes, upserts uint64) {
+	return t.elimInserts.Load(), t.elimDeletes.Load(), t.elimUpserts.Load()
+}
+
+// Option configures a Tree.
+type Option func(*Tree)
+
+// WithElimination enables publishing elimination, turning the OCC-ABtree
+// into the Elim-ABtree.
+func WithElimination() Option { return func(t *Tree) { t.elim = true } }
+
+// WithDegree sets the (a,b) node-size bounds. Requires 2 <= a <= b/2 and
+// 4 <= b <= 16 (the paper uses a=2, b=11).
+func WithDegree(a, b int) Option { return func(t *Tree) { t.a, t.b = a, b } }
+
+// lockKind selects the node lock implementation.
+type lockKind uint8
+
+const (
+	lockMCS    lockKind = iota // paper default (§3.1)
+	lockTAS                    // test-and-test-and-set (ablation)
+	lockCohort                 // NUMA-aware cohort lock (§7 future work)
+)
+
+// WithTASLocks replaces the MCS node locks with test-and-test-and-set
+// spinlocks. This exists only for the lock ablation study (paper §7 notes
+// MCS locks "significantly increased the scalability").
+func WithTASLocks() Option { return func(t *Tree) { t.lock = lockTAS } }
+
+// WithCohortLocks replaces the MCS node locks with NUMA-aware cohort
+// locks (Dice/Marathe/Shavit, PPoPP 2012), implementing the paper's §7
+// suggestion that NUMA-aware locks "might be a simple way of improving
+// performance further". Threads are assigned simulated sockets
+// round-robin by NewThread.
+func WithCohortLocks() Option { return func(t *Tree) { t.lock = lockCohort } }
+
+// WithLeafCombining replaces publishing elimination with per-leaf flat
+// combining — the alternative design the paper tested and found "much
+// slower than our publishing elimination technique" (§2). It exists for
+// the combining-vs-elimination ablation (BenchmarkAblationCombining).
+func WithLeafCombining() Option { return func(t *Tree) { t.combining = true } }
+
+// New returns an empty tree.
+func New(opts ...Option) *Tree {
+	t := &Tree{a: DefaultMinSize, b: DefaultMaxSize}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.b < 4 || t.b > maxCap || t.a < 2 || t.a > t.b/2 {
+		panic(fmt.Sprintf("core: invalid degree (a=%d, b=%d): need 2 <= a <= b/2 and 4 <= b <= %d", t.a, t.b, maxCap))
+	}
+	if t.sorted && t.elim {
+		panic("core: WithSortedLeaves is an OCC-only ablation, incompatible with WithElimination")
+	}
+	if t.combining && (t.elim || t.sorted) {
+		panic("core: WithLeafCombining is incompatible with WithElimination and WithSortedLeaves")
+	}
+	if t.elimFinds && !t.elim {
+		panic("core: WithFindElimination requires WithElimination")
+	}
+	root := newLeaf(nil, 0)
+	t.entry = newInternal(internalKind, nil, []*node{root}, 0)
+	return t
+}
+
+// Elim reports whether publishing elimination is enabled.
+func (t *Tree) Elim() bool { return t.elim }
+
+// MinSize returns a, MaxSize returns b.
+func (t *Tree) MinSize() int { return t.a }
+
+// MaxSize returns the maximum node size b.
+func (t *Tree) MaxSize() int { return t.b }
+
+// pathInfo is the result of a search: the node reached, its parent and
+// grandparent, and the child indices along the way (paper Figure 1).
+type pathInfo struct {
+	gp   *node // grandparent (nil if p is the entry or n is the root)
+	p    *node // parent (entry if n is the root; nil if n is the entry)
+	pIdx int   // index of p in gp.ptrs
+	n    *node // the leaf reached, or target if encountered
+	nIdx int   // index of n in p.ptrs
+}
+
+// search descends from the entry toward key, stopping at a leaf or at
+// target (whichever comes first), taking no locks (paper Figure 2).
+func (t *Tree) search(key uint64, target *node) pathInfo {
+	var gp, p *node
+	pIdx := 0
+	n := t.entry
+	nIdx := 0
+	for !n.isLeaf() {
+		if n == target {
+			break
+		}
+		gp, p, pIdx = p, n, nIdx
+		nIdx = 0
+		rk := n.routingKeys()
+		for nIdx < rk && key >= n.keys[nIdx].Load() {
+			nIdx++
+		}
+		n = n.ptrs[nIdx].Load()
+	}
+	return pathInfo{gp: gp, p: p, pIdx: pIdx, n: n, nIdx: nIdx}
+}
+
+// leafSearch obtains a consistent snapshot answer for key in leaf l using
+// the double-collect pattern (paper Figure 2, searchLeaf): read the
+// version, scan, re-read the version; retry if the leaf changed or was
+// being modified. It never takes a lock — find operations never restart
+// from the root in the OCC-ABtree.
+func (t *Tree) leafSearch(l *node, key uint64) (uint64, bool) {
+	spins := 0
+	for {
+		v1 := l.ver.Load()
+		if v1&1 == 1 {
+			spinPause(&spins)
+			continue
+		}
+		var val uint64
+		found := false
+		for i := 0; i < t.b; i++ {
+			if l.keys[i].Load() == key {
+				val = l.vals[i].Load()
+				found = true
+				break
+			}
+		}
+		if l.ver.Load() == v1 {
+			return val, found
+		}
+		spinPause(&spins)
+	}
+}
+
+// leafScanOnce performs the Elim-ABtree's single optimistic scan (§4.1):
+// one pass over the leaf, with consistent reporting whether the leaf was
+// quiescent and unchanged across the scan.
+func (t *Tree) leafScanOnce(l *node, key uint64) (val uint64, found, consistent bool) {
+	v1 := l.ver.Load()
+	if v1&1 == 1 {
+		return 0, false, false
+	}
+	for i := 0; i < t.b; i++ {
+		if l.keys[i].Load() == key {
+			val = l.vals[i].Load()
+			found = true
+			break
+		}
+	}
+	return val, found, l.ver.Load() == v1
+}
+
+// yield_ cedes the processor once; used by retry loops that are waiting
+// for another thread's structural fix to land.
+func yield_() { runtime.Gosched() }
+
+// spinPause backs off a busy-wait loop, yielding the processor
+// periodically so lock/version holders preempted by the Go scheduler can
+// make progress.
+func spinPause(spins *int) {
+	*spins++
+	if *spins%32 == 0 {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+// This file implements the paper's §7 ("Future work") extension: an
+// insert with replace semantics that returns no value — "publishing
+// elimination does not require any modifications: the thread that
+// successfully modifies the data structure is linearized last".
+//
+// Supporting Upsert alongside the original insert/delete requires the
+// elimination record to say *what kind* of operation published it,
+// because the legal linearization orders differ:
+//
+//	record kind →     insert           delete           replace
+//	eliminated op ↓
+//	Insert            after, rec.Val   before, rec.Val  after, rec.Val
+//	Delete            before, ⊥        after, ⊥         —
+//	Upsert            —                before, void     before, void
+//
+// An eliminated Insert can always linearize adjacent to the publisher:
+// after an insert or replace (key present with rec.Val), or just before
+// a delete (returning the value the delete removed — the paper's §4
+// rule). An eliminated Delete linearizes just before an insert or just
+// after a delete (key absent either way, return ⊥); it cannot eliminate
+// against a replace record, whose before/after states both have the key
+// present. An eliminated Upsert linearizes just before a delete or
+// replace publisher (its value is immediately overwritten and never
+// observed); it cannot eliminate against an insert record, because the
+// key must be absent immediately before a successful insert.
+
+// RecKind identifies the operation that published an ElimRecord.
+type RecKind uint8
+
+const (
+	// RecInsert: a simple insert added the key.
+	RecInsert RecKind = iota
+	// RecDelete: a successful delete removed the key.
+	RecDelete
+	// RecReplace: an upsert overwrote the value of a present key.
+	RecReplace
+)
+
+// opKind identifies the operation attempting elimination.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opUpsert
+)
+
+// canEliminate applies the compatibility matrix above.
+func canEliminate(op opKind, rec RecKind) bool {
+	switch op {
+	case opInsert:
+		return true
+	case opDelete:
+		return rec == RecInsert || rec == RecDelete
+	default: // opUpsert
+		return rec == RecDelete || rec == RecReplace
+	}
+}
+
+// Upsert sets key's value to val, inserting the key if absent. It
+// returns nothing: the §7 analysis shows that exactly this signature
+// composes with publishing elimination (an upsert that would have to
+// report the replaced value would need record chaining).
+func (th *Thread) Upsert(key, val uint64) {
+	checkKey(key)
+	t := th.t
+	for {
+		path := t.search(key, nil)
+		leaf := path.n
+
+		if t.elim {
+			acquired, _ := th.lockOrElimKind(leaf, key, opUpsert)
+			if !acquired {
+				// Eliminated: linearized immediately before the publisher;
+				// our value is overwritten without ever being observed.
+				t.elimUpserts.Add(1)
+				return
+			}
+		} else {
+			th.lockNode(leaf)
+		}
+
+		if leaf.marked.Load() {
+			th.unlockAll()
+			continue
+		}
+
+		emptyIdx := -1
+		dup := -1
+		for i := 0; i < t.b; i++ {
+			switch k := leaf.keys[i].Load(); {
+			case k == key:
+				dup = i
+			case k == emptyKey && emptyIdx < 0:
+				emptyIdx = i
+			}
+			if dup >= 0 {
+				break
+			}
+		}
+
+		switch {
+		case dup >= 0:
+			// Replace in place.
+			v := leaf.ver.Add(1)
+			if t.elim {
+				leaf.rec.Store(&ElimRecord{Key: key, Val: val, Ver: v, Kind: RecReplace})
+			}
+			leaf.vals[dup].Store(val)
+			leaf.ver.Add(1)
+			th.unlockAll()
+			return
+		case emptyIdx >= 0:
+			// Insert into an empty slot (publishes an insert record: the
+			// key was absent before this operation).
+			v := leaf.ver.Add(1)
+			if t.elim {
+				leaf.rec.Store(&ElimRecord{Key: key, Val: val, Ver: v, Kind: RecInsert})
+			}
+			leaf.vals[emptyIdx].Store(val)
+			leaf.keys[emptyIdx].Store(key)
+			leaf.size.Add(1)
+			leaf.ver.Add(1)
+			th.unlockAll()
+			return
+		default:
+			// Full leaf: splitting insert (never published/eliminated,
+			// like the paper's splitting inserts).
+			parent := path.p
+			th.lockNode(parent)
+			if parent.marked.Load() {
+				th.unlockAll()
+				continue
+			}
+			taggedNode := t.splitInsert(leaf, parent, path.nIdx, key, val)
+			th.unlockAll()
+			if taggedNode != nil {
+				th.fixTagged(taggedNode)
+			}
+			return
+		}
+	}
+}
+
+// lockOrElimKind generalizes lockOrElim with the op/record compatibility
+// matrix. The paper's original operations use the original pairs.
+func (th *Thread) lockOrElimKind(leaf *node, key uint64, op opKind) (acquired bool, val uint64) {
+	startVer := leaf.ver.Load()
+	spins := 0
+	for {
+		var rec *ElimRecord
+		for {
+			v1 := leaf.ver.Load()
+			rec = leaf.rec.Load()
+			v2 := leaf.ver.Load()
+			if v1&1 == 0 && v1 == v2 {
+				break
+			}
+			spinPause(&spins)
+		}
+		if rec != nil && startVer <= rec.Ver && rec.Key == key && canEliminate(op, rec.Kind) {
+			return false, rec.Val
+		}
+		if th.tryLockNode(leaf) {
+			return true, 0
+		}
+		spinPause(&spins)
+	}
+}

@@ -1,0 +1,148 @@
+// Package epoch implements epoch-based memory reclamation, the Go
+// analogue of the DEBRA scheme the paper uses for all evaluated data
+// structures (§6 "Memory reclamation").
+//
+// The volatile trees in this repository lean on the Go garbage collector,
+// which already provides DEBRA's guarantee (a node is not reused while any
+// thread may still hold a reference). The persistent trees cannot: their
+// nodes live at fixed offsets in a simulated PM arena that Go's GC does
+// not see, so freed node slots must not be recycled while a lock-free
+// traversal might still dereference them. This package provides that
+// grace period.
+//
+// Protocol: each worker owns a Handle. Operations are bracketed by
+// Enter/Exit. Resources retired in global epoch e are handed to the free
+// callback only after the global epoch reaches e+2, which requires every
+// handle inside a critical section to have observed e+1 — by which point
+// no live traversal can have started before the retire.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// idle is the announcement value meaning "not in a critical section".
+const idle = ^uint64(0)
+
+// limboBuckets is the number of retire generations kept per handle. Three
+// suffice: objects retired in epoch e are freed when the epoch reaches
+// e+2, so at most three generations are pending at once.
+const limboBuckets = 3
+
+// Manager coordinates epochs for one shared structure. Create one per
+// tree with NewManager; register one Handle per worker goroutine.
+type Manager[T any] struct {
+	epoch   atomic.Uint64
+	free    func(T)
+	mu      sync.Mutex // guards registration
+	handles atomic.Pointer[[]*Handle[T]]
+}
+
+// Handle is a worker's registration with a Manager. A Handle must not be
+// used concurrently.
+type Handle[T any] struct {
+	m        *Manager[T]
+	announce atomic.Uint64
+	limbo    [limboBuckets][]T
+	ops      uint64
+	_        [64 - 8]byte // avoid false sharing between handles' announcements
+}
+
+// NewManager returns a manager that disposes retired resources by calling
+// free (e.g. returning a PM node slot to a free list).
+func NewManager[T any](free func(T)) *Manager[T] {
+	m := &Manager[T]{free: free}
+	hs := make([]*Handle[T], 0)
+	m.handles.Store(&hs)
+	return m
+}
+
+// Register adds a worker. Handles cannot be unregistered; a handle that
+// will no longer be used must not be inside a critical section (its idle
+// announcement never blocks epoch advancement).
+func (m *Manager[T]) Register() *Handle[T] {
+	h := &Handle[T]{m: m}
+	h.announce.Store(idle)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.handles.Load()
+	hs := make([]*Handle[T], len(old)+1)
+	copy(hs, old)
+	hs[len(old)] = h
+	m.handles.Store(&hs)
+	return h
+}
+
+// Epoch returns the current global epoch (for stats and tests).
+func (m *Manager[T]) Epoch() uint64 { return m.epoch.Load() }
+
+// Enter begins a critical section: resources observed reachable after
+// Enter will not be freed until after the matching Exit.
+func (h *Handle[T]) Enter() {
+	h.announce.Store(h.m.epoch.Load())
+}
+
+// Exit ends the critical section. Periodically it tries to advance the
+// global epoch and frees any limbo generation that has expired.
+func (h *Handle[T]) Exit() {
+	h.announce.Store(idle)
+	h.ops++
+	if h.ops%64 == 0 {
+		h.m.tryAdvance()
+	}
+	h.drain()
+}
+
+// Retire schedules x to be freed two epochs from now.
+func (h *Handle[T]) Retire(x T) {
+	e := h.m.epoch.Load()
+	h.limbo[e%limboBuckets] = append(h.limbo[e%limboBuckets], x)
+}
+
+// drain frees this handle's limbo bucket for the generation that expired
+// at the current epoch (retired at e-2, where e is current).
+func (h *Handle[T]) drain() {
+	e := h.m.epoch.Load()
+	if e < 2 {
+		return
+	}
+	b := (e - 2) % limboBuckets
+	// Safe to free bucket (e-2) only if nothing retired at e-2 could still
+	// be in use: true because the epoch advanced twice since. But the same
+	// bucket index is reused for epoch e+1's retirees, so drain only items
+	// retired before the bucket was recycled — we track that by draining
+	// eagerly on every Exit, before the epoch can advance again.
+	if len(h.limbo[b]) == 0 {
+		return
+	}
+	for _, x := range h.limbo[b] {
+		h.m.free(x)
+	}
+	h.limbo[b] = h.limbo[b][:0]
+}
+
+// tryAdvance bumps the global epoch if every handle inside a critical
+// section has observed the current epoch.
+func (m *Manager[T]) tryAdvance() {
+	e := m.epoch.Load()
+	for _, h := range *m.handles.Load() {
+		a := h.announce.Load()
+		if a != idle && a != e {
+			return // h is still in an older epoch's critical section
+		}
+	}
+	m.epoch.CompareAndSwap(e, e+1)
+}
+
+// Flush force-frees every pending retiree of this handle. It is safe only
+// at quiescence (no concurrent critical sections), e.g. when tearing down
+// a benchmark run or after a simulated crash.
+func (h *Handle[T]) Flush() {
+	for b := range h.limbo {
+		for _, x := range h.limbo[b] {
+			h.m.free(x)
+		}
+		h.limbo[b] = h.limbo[b][:0]
+	}
+}

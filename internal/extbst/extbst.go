@@ -1,0 +1,219 @@
+// Package extbst implements the DGT15 baseline: the lock-based external
+// binary search tree of David, Guerraoui & Trigonakis ("Asynchronized
+// Concurrency: The Secret to Scaling Concurrent Search Data Structures",
+// ASPLOS 2015), built following their ASCY rules — wait-free searches
+// that never block or restart behind locks, and updates that lock only
+// the one or two nodes they modify, validating after acquisition.
+//
+// Structure: an external BST — internal nodes carry routing keys only;
+// every key lives in a leaf. An insert replaces a leaf with a three-node
+// subtree (lock the parent, validate, swing one pointer); a delete
+// splices a leaf and its parent out (lock grandparent and parent,
+// validate, swing one pointer). Two levels of sentinel internals with
+// key = 2^64-1 guarantee every real leaf has a parent and grandparent.
+package extbst
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const inf = ^uint64(0)
+
+type node struct {
+	key         uint64
+	val         uint64
+	leaf        bool
+	left, right atomic.Pointer[node]
+	lock        atomic.Uint32 // test-and-test-and-set spinlock
+	removed     atomic.Bool
+}
+
+func (n *node) acquire() {
+	spins := 0
+	for {
+		if n.lock.Load() == 0 && n.lock.CompareAndSwap(0, 1) {
+			return
+		}
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (n *node) release() { n.lock.Store(0) }
+
+// child returns the child of n on key's side.
+func (n *node) child(key uint64) *node {
+	if key < n.key {
+		return n.left.Load()
+	}
+	return n.right.Load()
+}
+
+func (n *node) setChild(key uint64, c *node) {
+	if key < n.key {
+		n.left.Store(c)
+	} else {
+		n.right.Store(c)
+	}
+}
+
+// Tree is a lock-based external BST.
+type Tree struct {
+	root *node // sentinel internal, key = inf; never removed
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	// root(inf) -> left: mid(inf) -> left: empty leaf(inf)
+	//           -> right: leaf(inf)        -> right: leaf(inf)
+	emptyLeaf := &node{key: inf, leaf: true}
+	mid := &node{key: inf}
+	mid.left.Store(emptyLeaf)
+	mid.right.Store(&node{key: inf, leaf: true})
+	root := &node{key: inf}
+	root.left.Store(mid)
+	root.right.Store(&node{key: inf, leaf: true})
+	return &Tree{root: root}
+}
+
+// search descends to the leaf for key, remembering parent & grandparent.
+func (t *Tree) search(key uint64) (gp, p, l *node) {
+	gp = t.root
+	p = t.root.left.Load()
+	l = p.child(key)
+	for !l.leaf {
+		gp, p = p, l
+		l = l.child(key)
+	}
+	return
+}
+
+// Find returns the value for key, if present. Wait-free.
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	_, _, l := t.search(key)
+	if l.key == key {
+		return l.val, true
+	}
+	return 0, false
+}
+
+// Insert inserts <key, val> if absent, returning (0, true); if present it
+// returns the existing value and false.
+func (t *Tree) Insert(key, val uint64) (uint64, bool) {
+	if key == 0 || key == inf {
+		panic("extbst: reserved key")
+	}
+	for {
+		_, p, l := t.search(key)
+		if l.key == key {
+			return l.val, false
+		}
+		p.acquire()
+		if p.removed.Load() || p.child(key) != l {
+			p.release()
+			continue
+		}
+		// Replace l with an internal routing between l and the new leaf.
+		nl := &node{key: key, val: val, leaf: true}
+		ni := &node{key: max(key, l.key)}
+		if key < l.key {
+			ni.left.Store(nl)
+			ni.right.Store(l)
+		} else {
+			ni.left.Store(l)
+			ni.right.Store(nl)
+		}
+		p.setChild(key, ni)
+		p.release()
+		return 0, true
+	}
+}
+
+// Delete removes key if present, returning its value and true.
+func (t *Tree) Delete(key uint64) (uint64, bool) {
+	if key == 0 || key == inf {
+		panic("extbst: reserved key")
+	}
+	for {
+		gp, p, l := t.search(key)
+		if l.key != key {
+			return 0, false
+		}
+		if p.key == inf {
+			// p is the sentinel above the whole real subtree, i.e. l is
+			// the only real leaf. Splicing p out would destroy the
+			// sentinel structure; swap in a fresh empty leaf instead.
+			p.acquire()
+			if p.removed.Load() || p.child(key) != l {
+				p.release()
+				continue
+			}
+			p.setChild(key, &node{key: inf, leaf: true})
+			l.removed.Store(true)
+			val := l.val
+			p.release()
+			return val, true
+		}
+		gp.acquire()
+		if gp.removed.Load() || gp.child(key) != p {
+			gp.release()
+			continue
+		}
+		p.acquire()
+		if p.removed.Load() || p.child(key) != l {
+			p.release()
+			gp.release()
+			continue
+		}
+		// Splice out p and l: gp adopts l's sibling.
+		var sibling *node
+		if key < p.key {
+			sibling = p.right.Load()
+		} else {
+			sibling = p.left.Load()
+		}
+		gp.setChild(key, sibling)
+		p.removed.Store(true)
+		l.removed.Store(true)
+		val := l.val
+		p.release()
+		gp.release()
+		return val, true
+	}
+}
+
+// Scan calls fn for every pair in ascending key order (quiescent only).
+func (t *Tree) Scan(fn func(k, v uint64)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if n.key != inf {
+				fn(n.key, n.val)
+			}
+			return
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(t.root)
+}
+
+// Len returns the number of keys (quiescent only).
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(_, _ uint64) { n++ })
+	return n
+}
+
+// KeySum returns the wrapping key sum (quiescent only; §6 validation).
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	t.Scan(func(k, _ uint64) { s += k })
+	return s
+}

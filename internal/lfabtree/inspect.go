@@ -1,0 +1,110 @@
+package lfabtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Quiescent inspection utilities (tests and post-benchmark accounting).
+
+// Scan calls fn for every key-value pair in ascending key order.
+func (t *Tree) Scan(fn func(k, v uint64)) {
+	t.scan(t.entry.child(0), fn)
+}
+
+func (t *Tree) scan(n *node, fn func(k, v uint64)) {
+	if n.leaf {
+		for i, k := range n.keys {
+			fn(k, n.vals[i])
+		}
+		return
+	}
+	for i := range n.ptrs {
+		t.scan(n.child(i), fn)
+	}
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(_, _ uint64) { n++ })
+	return n
+}
+
+// KeySum returns the wrapping sum of all keys (§6 validation).
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	t.Scan(func(k, _ uint64) { s += k })
+	return s
+}
+
+// Validate checks the relaxed (a,b)-tree invariants on a quiescent tree.
+func (t *Tree) Validate() error {
+	leafDepth := -1
+	seen := make(map[uint64]bool)
+	var walk func(n *node, lo, hi uint64, depth int, isRoot bool) error
+	walk = func(n *node, lo, hi uint64, depth int, isRoot bool) error {
+		if n == nil {
+			return errors.New("nil child")
+		}
+		if n.frozen {
+			return errors.New("frozen wrapper reachable at quiescence")
+		}
+		if n.tagged {
+			return fmt.Errorf("tagged node at quiescence (depth %d)", depth)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaf depth %d != %d", depth, leafDepth)
+			}
+			if !isRoot && (len(n.keys) < minSize || len(n.keys) > maxSize) {
+				return fmt.Errorf("leaf size %d outside [%d,%d]", len(n.keys), minSize, maxSize)
+			}
+			prev := uint64(0)
+			for i, k := range n.keys {
+				if k < lo || k >= hi {
+					return fmt.Errorf("leaf key %d outside [%d,%d)", k, lo, hi)
+				}
+				if i > 0 && k <= prev {
+					return fmt.Errorf("leaf keys not sorted at %d", i)
+				}
+				if seen[k] {
+					return fmt.Errorf("duplicate key %d", k)
+				}
+				seen[k] = true
+				prev = k
+			}
+			return nil
+		}
+		nc := len(n.ptrs)
+		if len(n.keys) != nc-1 {
+			return fmt.Errorf("internal arity mismatch: %d keys, %d children", len(n.keys), nc)
+		}
+		if !isRoot && nc < minSize {
+			return fmt.Errorf("internal with %d children", nc)
+		}
+		if nc > maxSize {
+			return fmt.Errorf("internal with %d children > b", nc)
+		}
+		childLo := lo
+		for i := 0; i < nc; i++ {
+			childHi := hi
+			if i < nc-1 {
+				k := n.keys[i]
+				if k < childLo || k >= hi {
+					return fmt.Errorf("routing key %d out of range", k)
+				}
+				childHi = k
+			}
+			if err := walk(n.child(i), childLo, childHi, depth+1, false); err != nil {
+				return err
+			}
+			childLo = childHi
+		}
+		return nil
+	}
+	return walk(t.entry.child(0), 1, math.MaxUint64, 0, true)
+}

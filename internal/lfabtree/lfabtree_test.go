@@ -1,0 +1,172 @@
+package lfabtree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrand"
+	"repro/internal/zipfian"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Find(1); ok {
+		t.Fatal("Find on empty")
+	}
+	if old, ins := tr.Insert(10, 100); !ins || old != 0 {
+		t.Fatalf("Insert = (%d,%v)", old, ins)
+	}
+	if old, ins := tr.Insert(10, 999); ins || old != 100 {
+		t.Fatalf("re-Insert = (%d,%v)", old, ins)
+	}
+	if v, ok := tr.Find(10); !ok || v != 100 {
+		t.Fatalf("Find = (%d,%v)", v, ok)
+	}
+	if v, ok := tr.Delete(10); !ok || v != 100 {
+		t.Fatalf("Delete = (%d,%v)", v, ok)
+	}
+	if _, ok := tr.Delete(10); ok {
+		t.Fatal("second Delete succeeded")
+	}
+}
+
+func TestSequentialBulk(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		tr.Insert(i, i*2)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i += 2 {
+		tr.Delete(i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(2); i <= n; i += 2 {
+		tr.Delete(i)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after full delete", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelRandomOps(t *testing.T) {
+	tr := New()
+	rng := xrand.New(17)
+	model := make(map[uint64]uint64)
+	for i := 0; i < 50000; i++ {
+		k := 1 + rng.Uint64n(700)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			old, ins := tr.Insert(k, v)
+			mv, present := model[k]
+			if ins == present || (present && old != mv) {
+				t.Fatalf("op %d Insert(%d) mismatch", i, k)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, del := tr.Delete(k)
+			mv, present := model[k]
+			if del != present || (present && old != mv) {
+				t.Fatalf("op %d Delete(%d) mismatch", i, k)
+			}
+			delete(model, k)
+		case 2:
+			v, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && v != mv) {
+				t.Fatalf("op %d Find(%d) mismatch", i, k)
+			}
+		}
+		if i%10000 == 9999 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New()
+		want := make(map[uint64]bool)
+		for _, r := range raw {
+			k := uint64(r) + 1
+			tr.Insert(k, k)
+			want[k] = true
+		}
+		if tr.Len() != len(want) {
+			return false
+		}
+		for k := range want {
+			if _, ok := tr.Find(k); !ok {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func stress(t *testing.T, workers int, d time.Duration, keyRange uint64, zipfS float64) {
+	tr := New()
+	sums := make([]int64, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			z := zipfian.New(xrand.New(uint64(w)*7+3), keyRange, zipfS)
+			rng := xrand.New(uint64(w) * 13)
+			var sum int64
+			for !stop.Load() {
+				k := z.Next()
+				if rng.Uint64n(2) == 0 {
+					if _, ins := tr.Insert(k, k); ins {
+						sum += int64(k)
+					}
+				} else {
+					if _, del := tr.Delete(k); del {
+						sum -= int64(k)
+					}
+				}
+			}
+			sums[w] = sum
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if got := int64(tr.KeySum()); got != total {
+		t.Fatalf("key-sum: tree=%d threads=%d", got, total)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUniform(t *testing.T) { stress(t, 8, 300*time.Millisecond, 5000, 0) }
+func TestConcurrentZipf(t *testing.T)    { stress(t, 8, 300*time.Millisecond, 5000, 1) }
+func TestConcurrentTiny(t *testing.T)    { stress(t, 8, 200*time.Millisecond, 8, 0) }

@@ -1,0 +1,319 @@
+package lfabtree
+
+import "sync/atomic"
+
+// freezeAll freezes every child slot of x on behalf of op: each slot is
+// CASed to an owned wrapper, after which no competing CAS on x can
+// succeed (every competitor compares against the unwrapped child). It
+// reports success; on failure (a slot is frozen by another op) it has
+// already unwrapped its own partial work. Freezing a leaf is trivially
+// successful (leaves have no mutable slots).
+func freezeAll(op *freezeOp, x *node) bool {
+	for i := range x.ptrs {
+		for {
+			raw := x.ptrs[i].Load()
+			if raw.frozen {
+				if raw.owner == op {
+					break // already ours (impossible in practice, but safe)
+				}
+				unfreeze(op, x, i)
+				return false
+			}
+			w := &node{frozen: true, inner: raw, owner: op}
+			if x.ptrs[i].CompareAndSwap(raw, w) {
+				break
+			}
+			// The slot was concurrently CASed to a new child; retry it.
+		}
+	}
+	return true
+}
+
+// unfreeze reverts op's wrappers on the first n slots of x.
+func unfreeze(op *freezeOp, x *node, n int) {
+	for i := 0; i < n; i++ {
+		w := x.ptrs[i].Load()
+		if w.frozen && w.owner == op {
+			x.ptrs[i].CompareAndSwap(w, w.inner)
+		}
+	}
+}
+
+// frozenChild reads child i of a node fully frozen by op.
+func frozenChild(x *node, i int) *node { return unwrap(x.ptrs[i].Load()) }
+
+// newInternal builds an internal node over children with routing keys.
+func newInternal(tagged bool, keys []uint64, children []*node, searchKey uint64) *node {
+	n := &node{tagged: tagged, keys: keys, ptrs: make([]atomic.Pointer[node], len(children)), searchKey: searchKey}
+	for i, c := range children {
+		n.ptrs[i].Store(c)
+	}
+	return n
+}
+
+// fixTagged removes the tagged node n by merging it into its parent (or
+// splitting the merged contents), the freeze-and-replace analogue of the
+// paper's Figure 7. Unlike the locked version it helps: a tagged parent
+// is fixed recursively instead of waited for.
+func (t *Tree) fixTagged(n *node) {
+	for {
+		pa := t.search(n.searchKey, n)
+		if pa.n != n {
+			return
+		}
+		p, gp := pa.p, pa.gp
+		if p == nil || p == t.entry || gp == nil {
+			return
+		}
+		if p.tagged {
+			t.fixTagged(p)
+			continue
+		}
+		op := &freezeOp{}
+		if !freezeAll(op, n) {
+			yield()
+			continue
+		}
+		if !freezeAll(op, p) {
+			unfreeze(op, n, len(n.ptrs))
+			yield()
+			continue
+		}
+
+		// Merged contents: p's children with n replaced by its two
+		// children; p's routing keys with n's key inserted at nIdx.
+		pc := len(p.ptrs)
+		children := make([]*node, 0, pc+1)
+		keys := make([]uint64, 0, pc)
+		for i := 0; i < pc; i++ {
+			if i == pa.nIdx {
+				children = append(children, frozenChild(n, 0), frozenChild(n, 1))
+			} else {
+				children = append(children, frozenChild(p, i))
+			}
+		}
+		keys = append(keys, p.keys[:pa.nIdx]...)
+		keys = append(keys, n.keys[0])
+		keys = append(keys, p.keys[pa.nIdx:]...)
+
+		var repl *node
+		var next *node
+		if len(children) <= maxSize {
+			repl = newInternal(false, keys, children, p.searchKey)
+		} else {
+			lc := (len(children) + 1) / 2
+			promoted := keys[lc-1]
+			left := newInternal(false, keys[:lc-1], children[:lc], p.searchKey)
+			right := newInternal(false, keys[lc:], children[lc:], promoted)
+			repl = newInternal(gp != t.entry, []uint64{promoted}, []*node{left, right}, p.searchKey)
+			if repl.tagged {
+				next = repl
+			}
+		}
+		if replaceChild(gp, pa.pIdx, p, repl) {
+			if next == nil {
+				return
+			}
+			n = next
+			continue
+		}
+		unfreeze(op, p, len(p.ptrs))
+		unfreeze(op, n, len(n.ptrs))
+		yield()
+	}
+}
+
+func size(n *node) int {
+	if n.leaf {
+		return len(n.keys)
+	}
+	return len(n.ptrs)
+}
+
+// fixUnderfull restores the minimum-size invariant for n by distributing
+// with or merging into a sibling (freeze-and-replace analogue of the
+// paper's Figure 9).
+func (t *Tree) fixUnderfull(n *node) {
+	for {
+		if n == t.entry || n == t.entry.child(0) {
+			return
+		}
+		pa := t.search(n.searchKey, n)
+		if pa.n != n {
+			return
+		}
+		p, gp := pa.p, pa.gp
+		if p == nil || p == t.entry || gp == nil {
+			continue
+		}
+		if p.tagged {
+			t.fixTagged(p)
+			continue
+		}
+		if len(p.ptrs) < 2 {
+			yield()
+			continue
+		}
+		sIdx := pa.nIdx - 1
+		if pa.nIdx == 0 {
+			sIdx = 1
+		}
+		s := p.child(sIdx)
+		if s.tagged {
+			t.fixTagged(s)
+			continue
+		}
+
+		op := &freezeOp{}
+		left, right, lIdx := n, s, pa.nIdx
+		if sIdx < pa.nIdx {
+			left, right, lIdx = s, n, sIdx
+		}
+		if !freezeAll(op, left) {
+			yield()
+			continue
+		}
+		if !freezeAll(op, right) {
+			unfreeze(op, left, len(left.ptrs))
+			yield()
+			continue
+		}
+		if !freezeAll(op, p) {
+			unfreeze(op, right, len(right.ptrs))
+			unfreeze(op, left, len(left.ptrs))
+			yield()
+			continue
+		}
+
+		// Re-validate under the freeze: p's slots are stable now, so n and
+		// s must still be its children at the expected indices.
+		if frozenChild(p, pa.nIdx) != n || frozenChild(p, sIdx) != s {
+			unfreeze(op, p, len(p.ptrs))
+			unfreeze(op, right, len(right.ptrs))
+			unfreeze(op, left, len(left.ptrs))
+			yield()
+			continue
+		}
+
+		sep := p.keys[lIdx]
+		total := size(n) + size(s)
+		var done bool
+		if total >= 2*minSize {
+			done = t.distributeFrozen(left, right, p, gp, lIdx, pa.pIdx, sep)
+		} else {
+			done = t.mergeFrozen(left, right, p, gp, lIdx, pa.pIdx, sep)
+		}
+		if done {
+			return
+		}
+		unfreeze(op, p, len(p.ptrs))
+		unfreeze(op, right, len(right.ptrs))
+		unfreeze(op, left, len(left.ptrs))
+		yield()
+	}
+}
+
+// gatherFrozen collects the contents of two frozen siblings.
+func gatherFrozen(left, right *node, sep uint64) (children []*node, keys []uint64, kvsK, kvsV []uint64) {
+	if left.leaf {
+		kvsK = append(append([]uint64{}, left.keys...), right.keys...)
+		kvsV = append(append([]uint64{}, left.vals...), right.vals...)
+		return
+	}
+	for i := range left.ptrs {
+		children = append(children, frozenChild(left, i))
+	}
+	keys = append(keys, left.keys...)
+	keys = append(keys, sep)
+	for i := range right.ptrs {
+		children = append(children, frozenChild(right, i))
+	}
+	keys = append(keys, right.keys...)
+	return
+}
+
+func (t *Tree) distributeFrozen(left, right, p, gp *node, lIdx, pIdx int, sep uint64) bool {
+	children, keys, kvsK, kvsV := gatherFrozen(left, right, sep)
+	var newLeft, newRight *node
+	var newSep uint64
+	if left.leaf {
+		lc := (len(kvsK) + 1) / 2
+		newSep = kvsK[lc]
+		newLeft = &node{leaf: true, keys: kvsK[:lc], vals: kvsV[:lc], searchKey: left.searchKey}
+		newRight = &node{leaf: true, keys: kvsK[lc:], vals: kvsV[lc:], searchKey: newSep}
+	} else {
+		lc := (len(children) + 1) / 2
+		newSep = keys[lc-1]
+		newLeft = newInternal(false, keys[:lc-1], children[:lc], left.searchKey)
+		newRight = newInternal(false, keys[lc:], children[lc:], newSep)
+	}
+
+	pc := len(p.ptrs)
+	pchildren := make([]*node, 0, pc)
+	pkeys := make([]uint64, 0, pc-1)
+	for i := 0; i < pc; i++ {
+		switch i {
+		case lIdx:
+			pchildren = append(pchildren, newLeft)
+		case lIdx + 1:
+			pchildren = append(pchildren, newRight)
+		default:
+			pchildren = append(pchildren, frozenChild(p, i))
+		}
+	}
+	for i := 0; i < pc-1; i++ {
+		if i == lIdx {
+			pkeys = append(pkeys, newSep)
+		} else {
+			pkeys = append(pkeys, p.keys[i])
+		}
+	}
+	newParent := newInternal(false, pkeys, pchildren, p.searchKey)
+	return replaceChild(gp, pIdx, p, newParent)
+}
+
+func (t *Tree) mergeFrozen(left, right, p, gp *node, lIdx, pIdx int, sep uint64) bool {
+	children, keys, kvsK, kvsV := gatherFrozen(left, right, sep)
+	var nn *node
+	if left.leaf {
+		nn = &node{leaf: true, keys: kvsK, vals: kvsV, searchKey: left.searchKey}
+	} else {
+		nn = newInternal(false, keys, children, left.searchKey)
+	}
+
+	if gp == t.entry && len(p.ptrs) == 2 {
+		if !replaceChild(t.entry, 0, p, nn) {
+			return false
+		}
+	} else {
+		pc := len(p.ptrs)
+		pchildren := make([]*node, 0, pc-1)
+		pkeys := make([]uint64, 0, pc-2)
+		for i := 0; i < pc; i++ {
+			switch i {
+			case lIdx:
+				pchildren = append(pchildren, nn)
+			case lIdx + 1:
+				// dropped
+			default:
+				pchildren = append(pchildren, frozenChild(p, i))
+			}
+		}
+		for i := 0; i < pc-1; i++ {
+			if i != lIdx {
+				pkeys = append(pkeys, p.keys[i])
+			}
+		}
+		newParent := newInternal(false, pkeys, pchildren, p.searchKey)
+		if !replaceChild(gp, pIdx, p, newParent) {
+			return false
+		}
+		if size(newParent) < minSize {
+			t.fixUnderfull(newParent)
+		}
+	}
+	if size(nn) < minSize {
+		t.fixUnderfull(nn)
+	}
+	return true
+}

@@ -1,0 +1,183 @@
+// Package linearizability checks recorded concurrent histories of
+// dictionary operations for linearizability, in the style of Wing & Gong
+// (and Lowe's optimizations): a depth-first search over linearization
+// orders with memoization on (set of linearized ops, abstract state).
+//
+// Linearizability is compositional (Herlihy & Wing's locality theorem):
+// a history over a dictionary is linearizable iff, for every key, the
+// subhistory of operations on that key is linearizable against a
+// single-key register-with-absence spec. The checker exploits this by
+// partitioning histories per key, which keeps each search tiny even for
+// long recordings.
+//
+// This is a test asset: the paper proves linearizability (§3.3) and
+// strict linearizability (§5.1) on paper; this package checks the
+// implementations' actual interleavings against the same specification.
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind enumerates dictionary operations.
+type OpKind uint8
+
+const (
+	OpFind OpKind = iota
+	OpInsert
+	OpDelete
+	OpUpsert
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpFind:
+		return "find"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "upsert"
+	}
+}
+
+// Op is one completed operation in a history. Call and Return are
+// timestamps from a shared monotonic counter: Call is drawn immediately
+// before invoking the operation and Return immediately after it returns,
+// so Op A happens-before Op B iff A.Return < B.Call.
+type Op struct {
+	Kind     OpKind
+	Key      uint64
+	Arg      uint64 // value argument (insert/upsert)
+	OutVal   uint64 // returned value (find/insert/delete)
+	OutOK    bool   // returned ok/inserted/deleted flag
+	Call     int64
+	Return   int64
+	ThreadID int
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("[%d,%d] t%d %s(%d,%d) -> (%d,%v)",
+		o.Call, o.Return, o.ThreadID, o.Kind, o.Key, o.Arg, o.OutVal, o.OutOK)
+}
+
+// keyState is the abstract per-key state: present/absent plus the value.
+type keyState struct {
+	present bool
+	val     uint64
+}
+
+// apply runs op against s, returning the post-state and whether the
+// op's recorded output matches the spec in state s.
+func apply(s keyState, op Op) (keyState, bool) {
+	switch op.Kind {
+	case OpFind:
+		if op.OutOK != s.present {
+			return s, false
+		}
+		if s.present && op.OutVal != s.val {
+			return s, false
+		}
+		return s, true
+	case OpInsert:
+		if s.present {
+			// Insert-if-absent on a present key: no change, reports the
+			// existing value.
+			return s, !op.OutOK && op.OutVal == s.val
+		}
+		return keyState{present: true, val: op.Arg}, op.OutOK && op.OutVal == 0
+	case OpDelete:
+		if s.present {
+			return keyState{}, op.OutOK && op.OutVal == s.val
+		}
+		return s, !op.OutOK
+	default: // OpUpsert: void return, always applicable
+		return keyState{present: true, val: op.Arg}, true
+	}
+}
+
+// CheckKey reports whether the single-key history ops is linearizable
+// starting from initial. It runs the memoized DFS; histories are expected
+// to be modest per key (≤ ~30 ops) — cap recordings accordingly.
+func CheckKey(ops []Op, initial keyState) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic("linearizability: per-key history too long (cap recordings)")
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+
+	type memoKey struct {
+		mask  uint64
+		state keyState
+	}
+	seen := make(map[memoKey]bool)
+
+	var dfs func(mask uint64, state keyState) bool
+	dfs = func(mask uint64, state keyState) bool {
+		if mask == uint64(1)<<n-1 {
+			return true
+		}
+		mk := memoKey{mask, state}
+		if seen[mk] {
+			return false // this configuration already failed
+		}
+		// The next linearized op must be one whose call precedes the
+		// return of every other not-yet-linearized op (otherwise some
+		// pending op strictly precedes it in real time).
+		minReturn := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if ops[i].Call > minReturn {
+				continue // real-time order forbids linearizing i now
+			}
+			next, ok := apply(state, ops[i])
+			if !ok {
+				continue
+			}
+			if dfs(mask|1<<i, next) {
+				return true
+			}
+		}
+		seen[mk] = true
+		return false
+	}
+	return dfs(0, initial)
+}
+
+// Check partitions the history by key and verifies each subhistory
+// (locality). initial maps keys present at the start to their values.
+// It returns nil, or an error naming the first non-linearizable key.
+func Check(history []Op, initial map[uint64]uint64) error {
+	byKey := make(map[uint64][]Op)
+	for _, op := range history {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	for key, ops := range byKey {
+		var init keyState
+		if v, ok := initial[key]; ok {
+			init = keyState{present: true, val: v}
+		}
+		if !CheckKey(ops, init) {
+			// Reconstruct a small report.
+			sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+			msg := fmt.Sprintf("history for key %d is not linearizable (%d ops):", key, len(ops))
+			for _, op := range ops {
+				msg += "\n  " + op.String()
+			}
+			return fmt.Errorf("%s", msg)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package linearizability
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// DictHandle is the per-goroutine dictionary interface recorded histories
+// are collected from (matched by both tree families' Thread types).
+type DictHandle interface {
+	Find(key uint64) (uint64, bool)
+	Insert(key, val uint64) (uint64, bool)
+	Delete(key uint64) (uint64, bool)
+}
+
+// Upserter is optionally implemented by handles that support the §7
+// replace-style insert.
+type Upserter interface {
+	Upsert(key, val uint64)
+}
+
+// RecordConfig controls a recording run.
+type RecordConfig struct {
+	Workers   int
+	OpsPerKey int // recording stops contributing to a key at this cap
+	Keys      []uint64
+	Seed      uint64
+	Upserts   bool // include upserts in the mix (handles must be Upserters)
+}
+
+// Record drives workers against the dictionary and returns the completed
+// history. Each worker owns a handle from newHandle. Keys are drawn from
+// cfg.Keys; per-key op counts are capped so CheckKey's search stays
+// tractable — once a key is saturated workers stop touching it.
+func Record(newHandle func() DictHandle, cfg RecordConfig) []Op {
+	var clock atomic.Int64
+	var mu sync.Mutex
+	var history []Op
+	perKey := make(map[uint64]int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := newHandle()
+			rng := xrand.New(cfg.Seed*1000003 + uint64(w))
+			for {
+				// Pick a non-saturated key.
+				mu.Lock()
+				var key uint64
+				found := false
+				for tries := 0; tries < len(cfg.Keys); tries++ {
+					k := cfg.Keys[rng.Intn(len(cfg.Keys))]
+					if perKey[k] < cfg.OpsPerKey {
+						perKey[k]++
+						key, found = k, true
+						break
+					}
+				}
+				if !found {
+					// Check for full saturation.
+					done := true
+					for _, k := range cfg.Keys {
+						if perKey[k] < cfg.OpsPerKey {
+							done = false
+							break
+						}
+					}
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				mu.Unlock()
+
+				kinds := 3
+				if cfg.Upserts {
+					kinds = 4
+				}
+				op := Op{Key: key, ThreadID: w, Kind: OpKind(rng.Intn(kinds))}
+				op.Call = clock.Add(1)
+				switch op.Kind {
+				case OpFind:
+					op.OutVal, op.OutOK = h.Find(key)
+				case OpInsert:
+					op.Arg = rng.Uint64()%1000 + 1
+					op.OutVal, op.OutOK = h.Insert(key, op.Arg)
+				case OpDelete:
+					op.OutVal, op.OutOK = h.Delete(key)
+				case OpUpsert:
+					op.Arg = rng.Uint64()%1000 + 1
+					h.(Upserter).Upsert(key, op.Arg)
+				}
+				op.Return = clock.Add(1)
+
+				mu.Lock()
+				history = append(history, op)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return history
+}

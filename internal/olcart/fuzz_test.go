@@ -1,0 +1,64 @@
+package olcart
+
+import "testing"
+
+// FuzzOps drives the ART from a fuzzer-controlled byte stream against a
+// model map, with full invariant validation at the end. Key bytes are
+// shaped to hit the interesting radix cases: dense low keys (fan-out
+// growth), shifted keys (deep compressed paths), and clustered high
+// bits (prefix splits and merges). The seed corpus runs as a regular
+// test; explore with `go test -fuzz FuzzOps ./internal/olcart`.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 1, 1, 0, 0, 2, 1, 0, 0})
+	f.Add([]byte{0, 200, 7, 9, 0, 201, 7, 9, 1, 200, 0, 0, 0, 202, 7, 9})
+	f.Add([]byte{0, 10, 255, 1, 0, 20, 255, 1, 0, 30, 255, 1, 1, 20, 0, 0, 1, 10, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New()
+		model := make(map[uint64]uint64)
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 3
+			// Three key shapes, chosen by the key byte itself: dense,
+			// bit-shifted (exercises path compression), and clustered.
+			var k uint64
+			switch data[i+1] % 3 {
+			case 0:
+				k = uint64(data[i+1])%64 + 1
+			case 1:
+				k = (uint64(data[i+1]) + 1) << (8 * (uint64(data[i+2]) % 7))
+			default:
+				k = 0xABCD_0000_0000_0000 | uint64(data[i+1])
+			}
+			v := uint64(data[i+2])<<8 | uint64(data[i+3]) | 1
+			switch op {
+			case 0:
+				old, ins := tr.Insert(k, v)
+				mv, present := model[k]
+				if ins == present || (present && old != mv) {
+					t.Fatalf("op %d: Insert(%#x) mismatch", i, k)
+				}
+				if !present {
+					model[k] = v
+				}
+			case 1:
+				old, del := tr.Delete(k)
+				mv, present := model[k]
+				if del != present || (present && old != mv) {
+					t.Fatalf("op %d: Delete(%#x) mismatch", i, k)
+				}
+				delete(model, k)
+			default:
+				got, ok := tr.Find(k)
+				mv, present := model[k]
+				if ok != present || (present && got != mv) {
+					t.Fatalf("op %d: Find(%#x) mismatch", i, k)
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

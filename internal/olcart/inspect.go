@@ -1,0 +1,85 @@
+// White-box inspection helpers used by tests.
+package olcart
+
+import "fmt"
+
+// Validate walks the tree (quiescently) checking radix-tree invariants:
+// counts match the live children, every non-root inner node has ≥2
+// children (path compression leaves no pass-through nodes), prefixes
+// plus search bytes reconstruct each leaf's key, and no reachable node
+// is locked or obsolete.
+func (t *Tree) Validate() error {
+	return validate(t.root, t.root, 0, 0)
+}
+
+// validate checks the subtree at n, entered at byte position level with
+// the path's accumulated key bytes in acc (big-endian, bytes [0,level)).
+func validate(n, root *node, level int, acc uint64) error {
+	if v := n.version.Load(); v&(lockBit|obsoleteBit) != 0 {
+		return fmt.Errorf("reachable node at level %d has version bits %#x", level, v&3)
+	}
+	if n.kind == kindLeaf {
+		shift := 64 - 8*level
+		if level > 0 && n.key>>shift != acc>>shift {
+			return fmt.Errorf("leaf key %#x disagrees with path %#x at level %d", n.key, acc, level)
+		}
+		return nil
+	}
+	bits, pl := n.prefix()
+	if level+pl > 7 {
+		return fmt.Errorf("inner node at level %d has prefix length %d (past key end)", level, pl)
+	}
+	for i := 0; i < pl; i++ {
+		acc |= uint64(prefixByte(bits, i)) << (56 - 8*(level+i))
+	}
+	level += pl
+	var bytes []byte
+	var kids []*node
+	n.decode(&bytes, &kids)
+	if got, want := len(bytes), int(n.count.Load()); got != want {
+		return fmt.Errorf("node at level %d: count %d but %d live children", level, want, got)
+	}
+	if n != root && len(bytes) < 2 {
+		return fmt.Errorf("non-root inner node at level %d has %d children", level, len(bytes))
+	}
+	capacity := map[uint8]int{kind4: cap4, kind16: cap16, kind48: cap48, kind256: cap256}[n.kind]
+	if len(bytes) > capacity {
+		return fmt.Errorf("node kind %d holds %d children (cap %d)", n.kind, len(bytes), capacity)
+	}
+	for i := 1; i < len(bytes); i++ {
+		if bytes[i-1] >= bytes[i] {
+			return fmt.Errorf("node at level %d: search bytes out of order", level)
+		}
+	}
+	for i, c := range kids {
+		if c == nil {
+			return fmt.Errorf("node at level %d: nil child at slot %d", level, i)
+		}
+		childAcc := acc | uint64(bytes[i])<<(56-8*level)
+		if err := validate(c, root, level+1, childAcc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KindCounts tallies reachable nodes by kind, for tests that force
+// grow/shrink transitions. Order: leaf, n4, n16, n48, n256.
+func (t *Tree) KindCounts() [5]int {
+	var counts [5]int
+	var walk func(n *node)
+	walk = func(n *node) {
+		counts[n.kind]++
+		if n.kind == kindLeaf {
+			return
+		}
+		var bytes []byte
+		var kids []*node
+		n.decode(&bytes, &kids)
+		for _, c := range kids {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return counts
+}

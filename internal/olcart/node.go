@@ -1,0 +1,380 @@
+// Package olcart implements the OLC-ART baseline: the Adaptive Radix
+// Tree of Leis, Kemper & Neumann (ICDE 2013) synchronized with
+// Optimistic Lock Coupling (Leis, Scheibner, Kemper & Neumann, "The ART
+// of Practical Synchronization", DaMoN 2016) — the trie comparator in
+// the paper's §6 evaluation.
+//
+// Keys are uint64, serialized as 8 big-endian bytes so byte-wise radix
+// order equals numeric order (the "binary-comparable key" marshalling
+// the paper notes ART requires). Inner nodes come in the four adaptive
+// sizes Node4/16/48/256 and use path compression; since all keys are
+// exactly 8 bytes, no key is a prefix of another and leaves are plain
+// immutable (key, value) nodes.
+//
+// Synchronization: every node carries an optimistic version word (lock
+// bit, obsolete bit, 62-bit change count). Readers never lock — they
+// validate the version after every optimistic read and restart from the
+// root on a mismatch. Writers upgrade the version to a write lock with a
+// single CAS, lock coupling parent→child, and bump the version on
+// unlock; nodes replaced by grow/shrink/merge are marked obsolete.
+//
+// To stay data-race-free under the Go memory model (the C++ original
+// reads plain fields and relies on validation), every field a reader can
+// observe concurrently is held in an atomic: the sorted search bytes of
+// Node4/16 are packed into one or two uint64 words, the Node48
+// indirection table is an array of atomic slots, and the compressed
+// prefix is a packed word plus a length. Torn multi-word reads are
+// caught by the version validation, exactly as in the original.
+package olcart
+
+import "sync/atomic"
+
+// Version word bits.
+const (
+	lockBit     = uint64(1) << 0
+	obsoleteBit = uint64(1) << 1
+	versionStep = uint64(1) << 2
+)
+
+// Node kinds.
+const (
+	kindLeaf = iota
+	kind4
+	kind16
+	kind48
+	kind256
+)
+
+// Adaptive capacity and shrink thresholds (the ART paper's constants:
+// shrink when underfull enough that the next size down fits with slack).
+const (
+	cap4, cap16, cap48, cap256    = 4, 16, 48, 256
+	shrink16, shrink48, shrink256 = 3, 12, 40
+)
+
+type node struct {
+	version atomic.Uint64
+
+	kind uint8
+
+	// Leaf payload (immutable after creation).
+	key uint64
+	val uint64
+
+	// Inner-node fields. The compressed prefix is ≤7 bytes (8-byte
+	// keys), packed big-endian into prefixBits[56:0].
+	prefixBits atomic.Uint64
+	prefixLen  atomic.Uint32
+	count      atomic.Uint32
+
+	// kind4/kind16: search bytes, sorted ascending, packed 8 per word
+	// (byte i of the logical array lives at bits [8i, 8i+8) of word
+	// i/8). children[i] pairs with logical byte i.
+	keysLo atomic.Uint64
+	keysHi atomic.Uint64
+
+	// kind48: byte b maps to children[index[b]-1]; 0 means absent.
+	index *[256]atomic.Uint32
+
+	// kind4: len 4, kind16: len 16, kind48: len 48, kind256: len 256.
+	children []atomic.Pointer[node]
+}
+
+func newLeaf(key, val uint64) *node {
+	return &node{kind: kindLeaf, key: key, val: val}
+}
+
+func newInner(kind uint8) *node {
+	n := &node{kind: kind}
+	switch kind {
+	case kind4:
+		n.children = make([]atomic.Pointer[node], cap4)
+	case kind16:
+		n.children = make([]atomic.Pointer[node], cap16)
+	case kind48:
+		n.children = make([]atomic.Pointer[node], cap48)
+		n.index = new([256]atomic.Uint32)
+	case kind256:
+		n.children = make([]atomic.Pointer[node], cap256)
+	}
+	return n
+}
+
+// keyByte extracts big-endian byte i (0 = most significant) of key.
+func keyByte(key uint64, i int) byte {
+	return byte(key >> (56 - 8*i))
+}
+
+// --- version protocol -------------------------------------------------
+
+// readLock returns a stable version to validate against, or ok=false if
+// the node is write-locked or obsolete (caller restarts).
+func (n *node) readLock() (uint64, bool) {
+	v := n.version.Load()
+	return v, v&(lockBit|obsoleteBit) == 0
+}
+
+// checkRead revalidates a version obtained from readLock.
+func (n *node) checkRead(v uint64) bool {
+	return n.version.Load() == v
+}
+
+// upgrade turns a validated read into a write lock with one CAS.
+func (n *node) upgrade(v uint64) bool {
+	return n.version.CompareAndSwap(v, v|lockBit)
+}
+
+// writeUnlock releases the write lock and publishes a new version.
+func (n *node) writeUnlock() {
+	n.version.Add(versionStep - lockBit)
+}
+
+// writeUnlockObsolete releases the lock and retires the node: every
+// later reader/writer that reaches it restarts.
+func (n *node) writeUnlockObsolete() {
+	n.version.Add(versionStep - lockBit + obsoleteBit)
+}
+
+// --- prefix -----------------------------------------------------------
+
+func (n *node) prefix() (uint64, int) {
+	return n.prefixBits.Load(), int(n.prefixLen.Load())
+}
+
+func (n *node) setPrefix(bits uint64, length int) {
+	n.prefixBits.Store(bits)
+	n.prefixLen.Store(uint32(length))
+}
+
+// prefixByte extracts byte i of a packed prefix word.
+func prefixByte(bits uint64, i int) byte {
+	return byte(bits >> (56 - 8*i))
+}
+
+// packPrefix packs up to 8 bytes big-endian.
+func packPrefix(b []byte) uint64 {
+	var bits uint64
+	for i, c := range b {
+		bits |= uint64(c) << (56 - 8*i)
+	}
+	return bits
+}
+
+// prefixFromKey packs key bytes [from, to) as a prefix word.
+func prefixFromKey(key uint64, from, to int) (uint64, int) {
+	var buf [8]byte
+	for i := from; i < to; i++ {
+		buf[i-from] = keyByte(key, i)
+	}
+	return packPrefix(buf[:to-from]), to - from
+}
+
+// --- sorted-byte helpers for kind4/kind16 ------------------------------
+
+// searchByte returns logical byte i from the packed key words.
+func (n *node) searchByte(lo, hi uint64, i int) byte {
+	if i < 8 {
+		return byte(lo >> (8 * i))
+	}
+	return byte(hi >> (8 * (i - 8)))
+}
+
+// decode unpacks an inner node's (byte, child) pairs into caller-owned
+// slices, in search-byte sorted order for kind4/16, table order for
+// kind48/256. Caller must hold the write lock (or accept torn data and
+// validate).
+func (n *node) decode(bytes *[]byte, kids *[]*node) {
+	*bytes = (*bytes)[:0]
+	*kids = (*kids)[:0]
+	switch n.kind {
+	case kind4, kind16:
+		lo, hi := n.keysLo.Load(), n.keysHi.Load()
+		cnt := int(n.count.Load())
+		for i := 0; i < cnt; i++ {
+			*bytes = append(*bytes, n.searchByte(lo, hi, i))
+			*kids = append(*kids, n.children[i].Load())
+		}
+	case kind48:
+		for b := 0; b < 256; b++ {
+			if slot := n.index[b].Load(); slot != 0 {
+				*bytes = append(*bytes, byte(b))
+				*kids = append(*kids, n.children[slot-1].Load())
+			}
+		}
+	case kind256:
+		for b := 0; b < 256; b++ {
+			if c := n.children[b].Load(); c != nil {
+				*bytes = append(*bytes, byte(b))
+				*kids = append(*kids, c)
+			}
+		}
+	}
+}
+
+// encode4or16 rewrites a kind4/16 node's sorted arrays from scratch.
+// Caller holds the write lock.
+func (n *node) encode4or16(bytes []byte, kids []*node) {
+	var lo, hi uint64
+	for i, b := range bytes {
+		if i < 8 {
+			lo |= uint64(b) << (8 * i)
+		} else {
+			hi |= uint64(b) << (8 * (i - 8))
+		}
+	}
+	for i := range n.children {
+		if i < len(kids) {
+			n.children[i].Store(kids[i])
+		} else {
+			n.children[i].Store(nil)
+		}
+	}
+	n.keysLo.Store(lo)
+	n.keysHi.Store(hi)
+	n.count.Store(uint32(len(bytes)))
+}
+
+// findChild returns the child for search byte b (optimistic readers
+// must validate the node version afterwards).
+func (n *node) findChild(b byte) *node {
+	switch n.kind {
+	case kind4, kind16:
+		lo, hi := n.keysLo.Load(), n.keysHi.Load()
+		cnt := int(n.count.Load())
+		if max := len(n.children); cnt > max {
+			cnt = max // torn read; validation will force a restart
+		}
+		for i := 0; i < cnt; i++ {
+			if n.searchByte(lo, hi, i) == b {
+				return n.children[i].Load()
+			}
+		}
+		return nil
+	case kind48:
+		slot := n.index[b].Load()
+		if slot == 0 || slot > cap48 {
+			return nil
+		}
+		return n.children[slot-1].Load()
+	case kind256:
+		return n.children[b].Load()
+	}
+	return nil
+}
+
+// full reports whether an insert needs a larger node. Caller holds the
+// write lock (count is stable).
+func (n *node) full() bool {
+	switch n.kind {
+	case kind4:
+		return n.count.Load() >= cap4
+	case kind16:
+		return n.count.Load() >= cap16
+	case kind48:
+		return n.count.Load() >= cap48
+	}
+	return false
+}
+
+// addChild inserts (b → c); the slot must be absent. Caller holds the
+// write lock and has checked !full().
+func (n *node) addChild(b byte, c *node) {
+	switch n.kind {
+	case kind4, kind16:
+		var bytes []byte
+		var kids []*node
+		n.decode(&bytes, &kids)
+		pos := len(bytes)
+		for i, eb := range bytes {
+			if eb > b {
+				pos = i
+				break
+			}
+		}
+		bytes = append(bytes, 0)
+		kids = append(kids, nil)
+		copy(bytes[pos+1:], bytes[pos:])
+		copy(kids[pos+1:], kids[pos:])
+		bytes[pos] = b
+		kids[pos] = c
+		n.encode4or16(bytes, kids)
+	case kind48:
+		for j := range n.children {
+			if n.children[j].Load() == nil {
+				n.children[j].Store(c)
+				n.index[b].Store(uint32(j + 1))
+				n.count.Add(1)
+				return
+			}
+		}
+		panic("olcart: addChild on full Node48")
+	case kind256:
+		n.children[b].Store(c)
+		n.count.Add(1)
+	}
+}
+
+// removeChild deletes slot b. Caller holds the write lock.
+func (n *node) removeChild(b byte) {
+	switch n.kind {
+	case kind4, kind16:
+		var bytes []byte
+		var kids []*node
+		n.decode(&bytes, &kids)
+		for i, eb := range bytes {
+			if eb == b {
+				bytes = append(bytes[:i], bytes[i+1:]...)
+				kids = append(kids[:i], kids[i+1:]...)
+				break
+			}
+		}
+		n.encode4or16(bytes, kids)
+	case kind48:
+		if slot := n.index[b].Load(); slot != 0 {
+			n.index[b].Store(0)
+			n.children[slot-1].Store(nil)
+			n.count.Add(^uint32(0))
+		}
+	case kind256:
+		if n.children[b].Load() != nil {
+			n.children[b].Store(nil)
+			n.count.Add(^uint32(0))
+		}
+	}
+}
+
+// replaceChild swaps the child at b. Caller holds the write lock.
+func (n *node) replaceChild(b byte, c *node) {
+	switch n.kind {
+	case kind4, kind16:
+		lo, hi := n.keysLo.Load(), n.keysHi.Load()
+		cnt := int(n.count.Load())
+		for i := 0; i < cnt; i++ {
+			if n.searchByte(lo, hi, i) == b {
+				n.children[i].Store(c)
+				return
+			}
+		}
+	case kind48:
+		if slot := n.index[b].Load(); slot != 0 {
+			n.children[slot-1].Store(c)
+		}
+	case kind256:
+		n.children[b].Store(c)
+	}
+}
+
+// copyResized builds a node of the given kind with the same prefix and
+// children. Caller holds the source's write lock.
+func (n *node) copyResized(kind uint8) *node {
+	out := newInner(kind)
+	bits, pl := n.prefix()
+	out.setPrefix(bits, pl)
+	var bytes []byte
+	var kids []*node
+	n.decode(&bytes, &kids)
+	for i, b := range bytes {
+		out.addChild(b, kids[i])
+	}
+	return out
+}

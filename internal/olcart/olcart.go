@@ -1,0 +1,379 @@
+// Dictionary operations: optimistic-lock-coupled find, insert, delete.
+package olcart
+
+// Tree is a concurrent adaptive radix tree over uint64 keys. The root
+// is a Node256 that is never replaced, grown, shrunk, or retired, so no
+// operation needs a parent for it.
+type Tree struct {
+	root *node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: newInner(kind256)}
+}
+
+// matchPrefix returns how many of the node's prefix bytes match key
+// starting at byte position level.
+func matchPrefix(bits uint64, pl int, key uint64, level int) int {
+	for i := 0; i < pl; i++ {
+		if prefixByte(bits, i) != keyByte(key, level+i) {
+			return i
+		}
+	}
+	return pl
+}
+
+// Find returns the value associated with key, if present.
+func (t *Tree) Find(key uint64) (uint64, bool) {
+restart:
+	n := t.root
+	v, ok := n.readLock()
+	if !ok {
+		goto restart
+	}
+	level := 0
+	for {
+		bits, pl := n.prefix()
+		if !n.checkRead(v) {
+			goto restart
+		}
+		if matchPrefix(bits, pl, key, level) < pl {
+			return 0, false
+		}
+		level += pl
+		child := n.findChild(keyByte(key, level))
+		if !n.checkRead(v) {
+			goto restart
+		}
+		if child == nil {
+			return 0, false
+		}
+		if child.kind == kindLeaf {
+			// Leaf payloads are immutable; the validated read above
+			// proves the leaf was n's child at the validation point.
+			if child.key == key {
+				return child.val, true
+			}
+			return 0, false
+		}
+		cv, ok := child.readLock()
+		if !ok || !n.checkRead(v) {
+			goto restart
+		}
+		n, v = child, cv
+		level++
+	}
+}
+
+// Insert adds key→val if key is absent and reports whether it inserted;
+// if key is present it returns the existing value and false.
+func (t *Tree) Insert(key, val uint64) (uint64, bool) {
+restart:
+	var parent *node
+	var pv uint64
+	var pb byte
+	n := t.root
+	v, ok := n.readLock()
+	if !ok {
+		goto restart
+	}
+	level := 0
+	for {
+		bits, pl := n.prefix()
+		if !n.checkRead(v) {
+			goto restart
+		}
+		if match := matchPrefix(bits, pl, key, level); match < pl {
+			// Prefix mismatch: split the compressed path. The node is
+			// replaced in its parent by a Node4 holding the shared
+			// prefix, with the (re-prefixed) node and the new leaf as
+			// children. Root has an empty prefix, so parent != nil.
+			if !parent.upgrade(pv) {
+				goto restart
+			}
+			if !n.upgrade(v) {
+				parent.writeUnlock()
+				goto restart
+			}
+			split := newInner(kind4)
+			var shared [8]byte
+			for i := 0; i < match; i++ {
+				shared[i] = prefixByte(bits, i)
+			}
+			split.setPrefix(packPrefix(shared[:match]), match)
+			var rest [8]byte
+			for i := match + 1; i < pl; i++ {
+				rest[i-match-1] = prefixByte(bits, i)
+			}
+			n.setPrefix(packPrefix(rest[:pl-match-1]), pl-match-1)
+			split.addChild(prefixByte(bits, match), n)
+			split.addChild(keyByte(key, level+match), newLeaf(key, val))
+			parent.replaceChild(pb, split)
+			n.writeUnlock()
+			parent.writeUnlock()
+			return 0, true
+		}
+		level += pl
+		b := keyByte(key, level)
+		child := n.findChild(b)
+		if !n.checkRead(v) {
+			goto restart
+		}
+		if child == nil {
+			if n.kind != kind256 && int(n.count.Load()) >= len(n.children) {
+				// Full: replace n with the next size up. Locks go
+				// parent → n; the old node is retired.
+				if !parent.upgrade(pv) {
+					goto restart
+				}
+				if !n.upgrade(v) {
+					parent.writeUnlock()
+					goto restart
+				}
+				var grown *node
+				switch n.kind {
+				case kind4:
+					grown = n.copyResized(kind16)
+				case kind16:
+					grown = n.copyResized(kind48)
+				case kind48:
+					grown = n.copyResized(kind256)
+				}
+				grown.addChild(b, newLeaf(key, val))
+				parent.replaceChild(pb, grown)
+				n.writeUnlockObsolete()
+				parent.writeUnlock()
+				return 0, true
+			}
+			if !n.upgrade(v) {
+				goto restart
+			}
+			n.addChild(b, newLeaf(key, val))
+			n.writeUnlock()
+			return 0, true
+		}
+		if child.kind == kindLeaf {
+			if child.key == key {
+				return child.val, false
+			}
+			// Two distinct 8-byte keys sharing bytes [0, level]: expand
+			// the leaf into a Node4 compressed down to the first
+			// diverging byte.
+			if !n.upgrade(v) {
+				goto restart
+			}
+			d := level + 1
+			for keyByte(child.key, d) == keyByte(key, d) {
+				d++
+			}
+			split := newInner(kind4)
+			pbits, plen := prefixFromKey(key, level+1, d)
+			split.setPrefix(pbits, plen)
+			split.addChild(keyByte(child.key, d), child)
+			split.addChild(keyByte(key, d), newLeaf(key, val))
+			n.replaceChild(b, split)
+			n.writeUnlock()
+			return 0, true
+		}
+		cv, ok := child.readLock()
+		if !ok || !n.checkRead(v) {
+			goto restart
+		}
+		parent, pv, pb = n, v, b
+		n, v = child, cv
+		level++
+	}
+}
+
+// Delete removes key and returns its value, if present. Underfull nodes
+// shrink to the next size down; a Node4 left with one child collapses
+// into it (the child inherits the path bytes, restoring path
+// compression).
+func (t *Tree) Delete(key uint64) (uint64, bool) {
+restart:
+	var parent *node
+	var pv uint64
+	var pb byte
+	n := t.root
+	v, ok := n.readLock()
+	if !ok {
+		goto restart
+	}
+	level := 0
+	for {
+		bits, pl := n.prefix()
+		if !n.checkRead(v) {
+			goto restart
+		}
+		if matchPrefix(bits, pl, key, level) < pl {
+			return 0, false
+		}
+		level += pl
+		b := keyByte(key, level)
+		child := n.findChild(b)
+		if !n.checkRead(v) {
+			goto restart
+		}
+		if child == nil {
+			return 0, false
+		}
+		if child.kind == kindLeaf {
+			if child.key != key {
+				return 0, false
+			}
+			cnt := int(n.count.Load())
+			if !n.checkRead(v) {
+				goto restart
+			}
+			switch {
+			case n == t.root:
+				if !n.upgrade(v) {
+					goto restart
+				}
+				n.removeChild(b)
+				n.writeUnlock()
+			case cnt == 2:
+				// Removing leaves one entry: collapse n into it.
+				if !t.mergeIntoSibling(parent, pv, pb, n, v, b) {
+					goto restart
+				}
+			case needShrink(n.kind, cnt-1):
+				if !parent.upgrade(pv) {
+					goto restart
+				}
+				if !n.upgrade(v) {
+					parent.writeUnlock()
+					goto restart
+				}
+				n.removeChild(b)
+				shrunk := n.copyResized(shrunkKind(n.kind))
+				parent.replaceChild(pb, shrunk)
+				n.writeUnlockObsolete()
+				parent.writeUnlock()
+			default:
+				if !n.upgrade(v) {
+					goto restart
+				}
+				n.removeChild(b)
+				n.writeUnlock()
+			}
+			return child.val, true
+		}
+		cv, ok := child.readLock()
+		if !ok || !n.checkRead(v) {
+			goto restart
+		}
+		parent, pv, pb = n, v, b
+		n, v = child, cv
+		level++
+	}
+}
+
+func needShrink(kind uint8, count int) bool {
+	switch kind {
+	case kind16:
+		return count <= shrink16
+	case kind48:
+		return count <= shrink48
+	case kind256:
+		return count <= shrink256
+	}
+	return false
+}
+
+func shrunkKind(kind uint8) uint8 {
+	switch kind {
+	case kind16:
+		return kind4
+	case kind48:
+		return kind16
+	default:
+		return kind48
+	}
+}
+
+// mergeIntoSibling handles deletion from a two-entry node: the entry at
+// rm is dropped and the surviving entry replaces n in parent. A
+// surviving inner node absorbs n's prefix plus its own search byte
+// (path compression is restored); a surviving leaf needs no fixup.
+// Returns false if any lock upgrade failed (caller restarts).
+func (t *Tree) mergeIntoSibling(parent *node, pv uint64, pb byte, n *node, v uint64, rm byte) bool {
+	if !parent.upgrade(pv) {
+		return false
+	}
+	if !n.upgrade(v) {
+		parent.writeUnlock()
+		return false
+	}
+	var bytes []byte
+	var kids []*node
+	n.decode(&bytes, &kids)
+	var sibByte byte
+	var sib *node
+	for i, eb := range bytes {
+		if eb != rm {
+			sibByte, sib = eb, kids[i]
+		}
+	}
+	if sib.kind != kindLeaf {
+		sv, ok := sib.readLock()
+		if !ok || !sib.upgrade(sv) {
+			n.writeUnlock()
+			parent.writeUnlock()
+			return false
+		}
+		nBits, nPL := n.prefix()
+		sBits, sPL := sib.prefix()
+		var joined [8]byte
+		for i := 0; i < nPL; i++ {
+			joined[i] = prefixByte(nBits, i)
+		}
+		joined[nPL] = sibByte
+		for i := 0; i < sPL; i++ {
+			joined[nPL+1+i] = prefixByte(sBits, i)
+		}
+		sib.setPrefix(packPrefix(joined[:nPL+1+sPL]), nPL+1+sPL)
+		sib.writeUnlock()
+	}
+	parent.replaceChild(pb, sib)
+	n.writeUnlockObsolete()
+	parent.writeUnlock()
+	return true
+}
+
+// Scan calls fn for every key/value pair in ascending key order
+// (quiescent use).
+func (t *Tree) Scan(fn func(key, val uint64)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.kind == kindLeaf {
+			fn(n.key, n.val)
+			return
+		}
+		var bytes []byte
+		var kids []*node
+		n.decode(&bytes, &kids)
+		for _, c := range kids {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// KeySum returns the sum (mod 2^64) of present keys.
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	t.Scan(func(k, _ uint64) { s += k })
+	return s
+}
+
+// Len counts present keys (quiescent use).
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(_, _ uint64) { n++ })
+	return n
+}

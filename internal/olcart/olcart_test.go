@@ -1,0 +1,300 @@
+package olcart
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Find(7); ok {
+		t.Fatal("Find on empty tree succeeded")
+	}
+	if old, ok := tr.Insert(7, 70); !ok || old != 0 {
+		t.Fatalf("Insert = (%d,%v), want (0,true)", old, ok)
+	}
+	if old, ok := tr.Insert(7, 99); ok || old != 70 {
+		t.Fatalf("re-Insert = (%d,%v), want (70,false)", old, ok)
+	}
+	if v, ok := tr.Find(7); !ok || v != 70 {
+		t.Fatalf("Find = (%d,%v), want (70,true)", v, ok)
+	}
+	if v, ok := tr.Delete(7); !ok || v != 70 {
+		t.Fatalf("Delete = (%d,%v), want (70,true)", v, ok)
+	}
+	if _, ok := tr.Delete(7); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedPrefixKeys exercises path compression: keys that agree on
+// their first 7 bytes force maximal prefixes, splits, and merges.
+func TestSharedPrefixKeys(t *testing.T) {
+	tr := New()
+	base := uint64(0xDEADBEEF_CAFE0000)
+	for i := uint64(0); i < 256; i++ {
+		if _, ok := tr.Insert(base|i, i); !ok {
+			t.Fatalf("Insert(%#x) failed", base|i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A second cluster diverging at byte 3 forces a prefix split.
+	base2 := uint64(0xDEADBE00_00000000)
+	for i := uint64(0); i < 16; i++ {
+		tr.Insert(base2|i, i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i++ {
+		if v, ok := tr.Find(base | i); !ok || v != i {
+			t.Fatalf("Find(%#x) = (%d,%v), want (%d,true)", base|i, v, ok, i)
+		}
+	}
+	// Delete the first cluster entirely: merges must restore compression.
+	for i := uint64(0); i < 256; i++ {
+		if _, ok := tr.Delete(base | i); !ok {
+			t.Fatalf("Delete(%#x) failed", base|i)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Len(); got != 16 {
+		t.Fatalf("Len = %d, want 16", got)
+	}
+}
+
+// TestNodeGrowShrink drives one node through 4→16→48→256 and back.
+func TestNodeGrowShrink(t *testing.T) {
+	tr := New()
+	base := uint64(0xAA00000000000000)
+	for i := uint64(0); i < 256; i++ {
+		tr.Insert(base|(i<<48), i) // byte 1 varies: one fan-out node
+	}
+	counts := tr.KindCounts()
+	if counts[kind256] < 2 { // root + the full fan-out node
+		t.Fatalf("expected a grown Node256, kinds = %v", counts)
+	}
+	for i := uint64(3); i < 256; i++ {
+		tr.Delete(base | (i << 48))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts = tr.KindCounts()
+	if counts[kind4] < 1 {
+		t.Fatalf("expected shrink back to Node4, kinds = %v", counts)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if v, ok := tr.Find(base | (i << 48)); !ok || v != i {
+			t.Fatalf("survivor %d lost: (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	tr := New()
+	model := make(map[uint64]uint64)
+	rng := xrand.New(11)
+	for i := 0; i < 80000; i++ {
+		// Mix dense low keys and sparse high ones to cover both
+		// shallow fan-out and deep compressed paths.
+		var k uint64
+		if rng.Intn(2) == 0 {
+			k = 1 + rng.Uint64n(512)
+		} else {
+			k = rng.Uint64()
+		}
+		v := 1 + rng.Uint64n(1<<40)
+		switch rng.Intn(3) {
+		case 0:
+			old, ok := tr.Insert(k, v)
+			mv, present := model[k]
+			if ok == present || (present && old != mv) {
+				t.Fatalf("op %d: Insert(%#x) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, ok := tr.Delete(k)
+			mv, present := model[k]
+			if ok != present || (present && old != mv) {
+				t.Fatalf("op %d: Delete(%#x) = (%d,%v), model (%d,%v)", i, k, old, ok, mv, present)
+			}
+			delete(model, k)
+		default:
+			got, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && got != mv) {
+				t.Fatalf("op %d: Find(%#x) = (%d,%v), model (%d,%v)", i, k, got, ok, mv, present)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Len(), len(model); got != want {
+		t.Fatalf("Len = %d, model %d", got, want)
+	}
+}
+
+func TestScanSortedAscending(t *testing.T) {
+	tr := New()
+	rng := xrand.New(5)
+	for i := 0; i < 4000; i++ {
+		tr.Insert(rng.Uint64(), 1)
+	}
+	var prev uint64
+	first := true
+	tr.Scan(func(k, _ uint64) {
+		if !first && k <= prev {
+			t.Fatalf("Scan out of order: %#x after %#x", k, prev)
+		}
+		prev, first = k, false
+	})
+}
+
+func TestConcurrentKeySum(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 30000
+		keyRange = 1024
+	)
+	tr := New()
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*6271 + 1)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := 1 + rng.Uint64n(keyRange)
+				switch rng.Intn(3) {
+				case 0:
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				case 1:
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				default:
+					tr.Find(k)
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentGrowShrinkContention concentrates updates on one
+// fan-out node so grow/shrink/merge replacements race with traversals.
+func TestConcurrentGrowShrinkContention(t *testing.T) {
+	const (
+		workers = 10
+		opsEach = 20000
+	)
+	tr := New()
+	base := uint64(0x5500000000000000)
+	deltas := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w)*92821 + 7)
+			var sum int64
+			for i := 0; i < opsEach; i++ {
+				k := base | (rng.Uint64n(48) << 48) // one node flapping 4↔16↔48
+				if rng.Intn(2) == 0 {
+					if _, ok := tr.Insert(k, k); ok {
+						sum += int64(k)
+					}
+				} else {
+					if _, ok := tr.Delete(k); ok {
+						sum -= int64(k)
+					}
+				}
+			}
+			deltas[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, d := range deltas {
+		want += uint64(d)
+	}
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelEquivalence: property — random op sequences over random
+// key universes match a reference map and keep all invariants.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16, spread uint8) bool {
+		ops := 300 + int(opsRaw)%3000
+		rng := xrand.New(seed | 1)
+		shift := uint(spread) % 57 // key density: 0 = dense, 56 = sparse
+		tr := New()
+		model := make(map[uint64]uint64)
+		for i := 0; i < ops; i++ {
+			k := (1 + rng.Uint64n(64)) << shift
+			v := 1 + rng.Uint64n(1<<32)
+			switch rng.Intn(3) {
+			case 0:
+				if _, ok := tr.Insert(k, v); ok {
+					model[k] = v
+				}
+			case 1:
+				if _, ok := tr.Delete(k); ok {
+					delete(model, k)
+				}
+			default:
+				got, ok := tr.Find(k)
+				mv, present := model[k]
+				if ok != present || (present && got != mv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := tr.Find(k); !ok || got != v {
+				return false
+			}
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

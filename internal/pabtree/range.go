@@ -1,0 +1,86 @@
+package pabtree
+
+// Range scanning for the persistent trees — same per-leaf-consistent
+// semantics as internal/core/range.go: each leaf contributes an atomic
+// snapshot; the scan hops leaves using the key-range upper bounds found
+// on the search path.
+
+// searchWithBound descends to the leaf for key and reports the leaf's
+// key-range upper bound (the smallest routing key greater than the path
+// taken); hasBound is false for the rightmost leaf.
+func (t *Tree) searchWithBound(key uint64) (leaf uint64, bound uint64, hasBound bool) {
+	n := t.entryOff
+	for {
+		meta := t.meta(n)
+		if kindOf(meta) == leafKind {
+			return n, bound, hasBound
+		}
+		nIdx := 0
+		rk := nchildrenOf(meta) - 1
+		for nIdx < rk && key >= t.loadKeyWord(n, nIdx) {
+			nIdx++
+		}
+		if nIdx < rk {
+			bound = t.loadKeyWord(n, nIdx)
+			hasBound = true
+		}
+		n = t.loadChild(n, nIdx)
+	}
+}
+
+// snapshotLeaf returns a consistent sorted copy of the leaf's pairs in
+// [lo, hi].
+func (t *Tree) snapshotLeaf(off uint64, lo, hi uint64) []kvPair {
+	v := t.vn(off)
+	spins := 0
+	for {
+		v1 := v.ver.Load()
+		if v1&1 == 1 {
+			t.crashCheck()
+			spinPause(&spins)
+			continue
+		}
+		items := make([]kvPair, 0, t.b)
+		for i := 0; i < t.b; i++ {
+			k := t.loadKeyWord(off, i)
+			if k != emptyKey && k >= lo && k <= hi {
+				items = append(items, kvPair{k, t.loadVal(off, i)})
+			}
+		}
+		if v.ver.Load() == v1 {
+			sortKVs(items)
+			return items
+		}
+		t.crashCheck()
+		spinPause(&spins)
+	}
+}
+
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, stopping early if fn returns false. Safe under concurrency;
+// per-leaf atomic.
+func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	if lo == emptyKey {
+		lo = 1
+	}
+	checkKey(lo)
+	if hi < lo {
+		return
+	}
+	th.enter()
+	defer th.exit()
+	t := th.t
+	cursor := lo
+	for {
+		leaf, bound, hasBound := t.searchWithBound(cursor)
+		for _, it := range t.snapshotLeaf(leaf, cursor, hi) {
+			if !fn(it.k, it.v) {
+				return
+			}
+		}
+		if !hasBound || bound > hi {
+			return
+		}
+		cursor = bound
+	}
+}

@@ -1,0 +1,92 @@
+package pabtree
+
+import (
+	"repro/internal/epoch"
+	"repro/internal/mcslock"
+	"repro/internal/pmem"
+)
+
+const maxHeld = 4
+
+// Thread is a per-goroutine operation handle. It owns the MCS queue nodes
+// for held locks and this worker's epoch-reclamation handle. A Thread must
+// not be used concurrently.
+type Thread struct {
+	t     *Tree
+	eh    *epoch.Handle[uint32]
+	qn    [maxHeld]mcslock.QNode
+	held  [maxHeld]*vnode
+	nheld int
+}
+
+// NewThread registers a new operation handle.
+func (t *Tree) NewThread() *Thread {
+	return &Thread{t: t, eh: t.em.Register()}
+}
+
+// Tree returns the tree this handle operates on.
+func (th *Thread) Tree() *Tree { return th.t }
+
+// lockNode acquires the lock of the node at off (bottom-to-top,
+// left-to-right global order). When a crash failpoint is armed the wait is
+// abortable: a lock whose holder "crashed" will never be released, so
+// waiters must observe the crash rather than queue behind it.
+func (th *Thread) lockNode(off uint64) {
+	if th.nheld == maxHeld {
+		panic("pabtree: too many locks held")
+	}
+	v := th.t.vn(off)
+	qn := &th.qn[th.nheld]
+	if th.t.arena.FailpointArmed() {
+		spins := 0
+		for !v.mcs.TryAcquire(qn) {
+			th.t.crashCheck()
+			spinPause(&spins)
+		}
+	} else {
+		v.mcs.Acquire(qn)
+	}
+	th.held[th.nheld] = v
+	th.nheld++
+}
+
+// tryLockNode attempts to acquire the node's lock without waiting.
+func (th *Thread) tryLockNode(off uint64) bool {
+	if th.nheld == maxHeld {
+		panic("pabtree: too many locks held")
+	}
+	v := th.t.vn(off)
+	qn := &th.qn[th.nheld]
+	if !v.mcs.TryAcquire(qn) {
+		return false
+	}
+	th.held[th.nheld] = v
+	th.nheld++
+	return true
+}
+
+// unlockAll releases all held locks, most recent first.
+func (th *Thread) unlockAll() {
+	for i := th.nheld - 1; i >= 0; i-- {
+		th.held[i].mcs.Release(&th.qn[i])
+		th.held[i] = nil
+	}
+	th.nheld = 0
+}
+
+// enter/exit bracket every public operation with an epoch critical
+// section, so retired node slots cannot be recycled under a traversal.
+func (th *Thread) enter() { th.eh.Enter() }
+func (th *Thread) exit()  { th.eh.Exit() }
+
+// recoverCrash converts a failpoint panic into a clean abort of the
+// current operation. Used only by crash-injection tests via RunOp.
+func (th *Thread) recoverCrash(err *error) {
+	if r := recover(); r != nil {
+		if r == pmem.ErrCrash {
+			*err = pmem.ErrCrash
+			return
+		}
+		panic(r)
+	}
+}

@@ -1,0 +1,151 @@
+package pabtree
+
+// Upsert for the persistent trees — the §7 replace-style insert. The
+// elimination compatibility matrix is the same as the volatile tree's
+// (see internal/core/upsert.go); persistence adds that a value replace
+// commits with a single flush of the value word, which is atomic against
+// any crash (one word, one line).
+//
+// recKind mirrors core.RecKind for the persistent elimination records.
+const (
+	recInsert uint8 = iota
+	recDelete
+	recReplace
+)
+
+type pOpKind uint8
+
+const (
+	pOpInsert pOpKind = iota
+	pOpDelete
+	pOpUpsert
+)
+
+func pCanEliminate(op pOpKind, rec uint8) bool {
+	switch op {
+	case pOpInsert:
+		return true
+	case pOpDelete:
+		return rec == recInsert || rec == recDelete
+	default:
+		return rec == recDelete || rec == recReplace
+	}
+}
+
+// Upsert sets key's value to val, inserting if absent. Durable on return
+// (replace: one value flush; insert: value + key flushes; split:
+// link-and-persist).
+func (th *Thread) Upsert(key, val uint64) {
+	checkKey(key)
+	th.enter()
+	defer th.exit()
+	t := th.t
+	for {
+		path := t.search(key, 0)
+		leaf := path.n
+		lv := t.vn(leaf)
+
+		if t.elim {
+			acquired, _ := th.lockOrElimKind(leaf, key, pOpUpsert)
+			if !acquired {
+				t.elimUpserts.Add(1)
+				return
+			}
+		} else {
+			th.lockNode(leaf)
+		}
+
+		if lv.marked.Load() {
+			th.unlockAll()
+			continue
+		}
+
+		emptyIdx := -1
+		dup := -1
+		for i := 0; i < t.b; i++ {
+			switch k := t.loadKeyWord(leaf, i); {
+			case k == key:
+				dup = i
+			case k == emptyKey && emptyIdx < 0:
+				emptyIdx = i
+			}
+			if dup >= 0 {
+				break
+			}
+		}
+
+		switch {
+		case dup >= 0:
+			// Replace: the value word is the commit point. If a crash
+			// intervenes, the replace linearizes at the crash iff the new
+			// value reached PM — single-word atomicity.
+			ver := lv.ver.Add(1)
+			if t.elim {
+				lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recReplace})
+			}
+			valOff := leaf + valsBase + uint64(dup)
+			t.arena.Store(valOff, val)
+			t.arena.Flush(valOff)
+			lv.ver.Add(1)
+			th.unlockAll()
+			return
+		case emptyIdx >= 0:
+			ver := lv.ver.Add(1)
+			if t.elim {
+				lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recInsert})
+			}
+			valOff := leaf + valsBase + uint64(emptyIdx)
+			keyOff := leaf + keysBase + uint64(emptyIdx)
+			t.arena.Store(valOff, val)
+			t.arena.Flush(valOff)
+			t.arena.Store(keyOff, key)
+			t.arena.Flush(keyOff)
+			lv.size.Add(1)
+			lv.ver.Add(1)
+			th.unlockAll()
+			return
+		default:
+			parent := path.p
+			th.lockNode(parent)
+			if t.vn(parent).marked.Load() {
+				th.unlockAll()
+				continue
+			}
+			taggedOff := t.splitInsert(th, leaf, parent, path.nIdx, key, val)
+			th.unlockAll()
+			if taggedOff != 0 {
+				th.fixTagged(taggedOff)
+			}
+			return
+		}
+	}
+}
+
+// lockOrElimKind is lockOrElim with the op/record compatibility matrix.
+func (th *Thread) lockOrElimKind(leaf uint64, key uint64, op pOpKind) (acquired bool, val uint64) {
+	t := th.t
+	lv := t.vn(leaf)
+	startVer := lv.ver.Load()
+	spins := 0
+	for {
+		var rec *elimRecord
+		for {
+			v1 := lv.ver.Load()
+			rec = lv.rec.Load()
+			v2 := lv.ver.Load()
+			if v1&1 == 0 && v1 == v2 {
+				break
+			}
+			t.crashCheck()
+			spinPause(&spins)
+		}
+		if rec != nil && startVer <= rec.ver && rec.key == key && pCanEliminate(op, rec.kind) {
+			return false, rec.val
+		}
+		if th.tryLockNode(leaf) {
+			return true, 0
+		}
+		t.crashCheck()
+		spinPause(&spins)
+	}
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `# Figure 12: SetBench microbenchmark, 10000 keys (ops/us)
+figure	updates%	zipf	structure	threads	ops_per_us
+12	100	0	OCC-ABtree	4	5.601
+12	100	0	Elim-ABtree	4	5.202
+12	100	0	LF-ABtree	4	3.772
+12	100	0	CATree	4	3.379
+12	100	1	OCC-ABtree	4	5.038
+12	100	1	Elim-ABtree	4	5.500
+12	100	1	LF-ABtree	4	3.754
+12	100	1	CATree	4	3.670
+`
+
+func TestParse(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("parsed %d rows, want 8", len(rows))
+	}
+	r := rows[0]
+	if r.Figure != 12 || r.UpdatePct != 100 || r.Zipf != 0 || r.Structure != "OCC-ABtree" || r.Threads != 4 || r.OpsPerUs != 5.601 {
+		t.Fatalf("row 0 = %+v", r)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rows, _ := Parse(strings.NewReader(sample))
+	sums := Summarize(rows)
+	if len(sums) != 2 {
+		t.Fatalf("got %d workloads, want 2", len(sums))
+	}
+	uni := sums[0]
+	if uni.Workload.Zipf != 0 {
+		t.Fatalf("first workload %v, want uniform", uni.Workload)
+	}
+	if uni.Best != "OCC-ABtree" || uni.BestCompetitor != "LF-ABtree" {
+		t.Fatalf("uniform: best=%s competitor=%s", uni.Best, uni.BestCompetitor)
+	}
+	if got, want := uni.OursVsBestCompetitor, 5.601/3.772; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("ratio = %v, want %v", got, want)
+	}
+	skew := sums[1]
+	if skew.Best != "Elim-ABtree" {
+		t.Fatalf("skewed best = %s", skew.Best)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	rows, _ := Parse(strings.NewReader(sample))
+	md := Markdown(Summarize(rows))
+	if !strings.Contains(md, "fig12 u100% zipf0.0 t4") || !strings.Contains(md, "1.48x") {
+		t.Fatalf("unexpected markdown:\n%s", md)
+	}
+}
+
+func TestParseRejectsRaggedRows(t *testing.T) {
+	_, err := Parse(strings.NewReader("figure\tzipf\n12\t0\textra\n"))
+	if err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestParseFig16Format(t *testing.T) {
+	in := "figure\tstructure\tthreads\ttx_per_us\n16\tOCC-ABtree\t4\t2.5\n"
+	rows, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].UpdatePct != -1 || rows[0].OpsPerUs != 2.5 {
+		t.Fatalf("fig16 row = %+v", rows[0])
+	}
+}
+
+func TestComparisonBasedColumn(t *testing.T) {
+	rows := []Row{
+		{Figure: 12, UpdatePct: 100, Zipf: 0, Structure: "OCC-ABtree", Threads: 4, OpsPerUs: 5},
+		{Figure: 12, UpdatePct: 100, Zipf: 0, Structure: "OLC-ART", Threads: 4, OpsPerUs: 7},
+		{Figure: 12, UpdatePct: 100, Zipf: 0, Structure: "DGT15", Threads: 4, OpsPerUs: 4},
+	}
+	sums := Summarize(rows)
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.BestCompetitor != "OLC-ART" || s.CompetitorOps != 7 {
+		t.Fatalf("best competitor = %s %v, want OLC-ART 7", s.BestCompetitor, s.CompetitorOps)
+	}
+	if s.BestComparison != "DGT15" || s.ComparisonOps != 4 {
+		t.Fatalf("best comparison-based = %s %v, want DGT15 4", s.BestComparison, s.ComparisonOps)
+	}
+	if s.OursVsBestComparison != 1.25 {
+		t.Fatalf("comparison ratio = %v, want 1.25", s.OursVsBestComparison)
+	}
+}

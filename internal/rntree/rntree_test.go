@@ -1,0 +1,178 @@
+package rntree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/internal/xrand"
+)
+
+func arena() *pmem.Arena { return pmem.New(64 * 1024 * strideWords) }
+
+func TestBasicOps(t *testing.T) {
+	tr := New(arena())
+	if _, ok := tr.Find(1); ok {
+		t.Fatal("find on empty")
+	}
+	if old, ins := tr.Insert(8, 80); !ins || old != 0 {
+		t.Fatalf("Insert = (%d,%v)", old, ins)
+	}
+	if old, ins := tr.Insert(8, 1); ins || old != 80 {
+		t.Fatalf("re-Insert = (%d,%v)", old, ins)
+	}
+	if v, ok := tr.Delete(8); !ok || v != 80 {
+		t.Fatalf("Delete = (%d,%v)", v, ok)
+	}
+	if _, ok := tr.Find(8); ok {
+		t.Fatal("find after delete")
+	}
+}
+
+func TestModelRandomOps(t *testing.T) {
+	tr := New(arena())
+	rng := xrand.New(37)
+	model := make(map[uint64]uint64)
+	for i := 0; i < 50000; i++ {
+		k := 1 + rng.Uint64n(600)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			old, ins := tr.Insert(k, v)
+			mv, present := model[k]
+			if ins == present || (present && old != mv) {
+				t.Fatalf("op %d Insert(%d)", i, k)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, del := tr.Delete(k)
+			mv, present := model[k]
+			if del != present || (present && old != mv) {
+				t.Fatalf("op %d Delete(%d)", i, k)
+			}
+			delete(model, k)
+		case 2:
+			v, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && v != mv) {
+				t.Fatalf("op %d Find(%d)", i, k)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len %d vs model %d", tr.Len(), len(model))
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	a := arena()
+	tr := New(a)
+	const n = 3000
+	for i := uint64(1); i <= n; i++ {
+		tr.Insert(i, i*5)
+	}
+	for i := uint64(2); i <= n; i += 2 {
+		tr.Delete(i)
+	}
+	a.Crash(0, 3)
+	rt := Recover(a)
+	for i := uint64(1); i <= n; i++ {
+		v, ok := rt.Find(i)
+		want := i%2 == 1
+		if ok != want || (ok && v != i*5) {
+			t.Fatalf("key %d after recovery: (%d,%v) want present=%v", i, v, ok, want)
+		}
+	}
+	// The recovered tree must accept new operations.
+	rt.Insert(n+10, 1)
+	if _, ok := rt.Find(n + 10); !ok {
+		t.Fatal("recovered tree cannot insert")
+	}
+}
+
+func TestCrashMidRunDurability(t *testing.T) {
+	// Completed operations must survive any crash. Run updates under a
+	// failpoint; everything the workload completed before the panic must
+	// be found after recovery.
+	for trial := uint64(0); trial < 6; trial++ {
+		a := arena()
+		tr := New(a)
+		completed := make(map[uint64]uint64)
+		a.SetFailpoint(int64(500 + trial*700))
+		var inflightKey uint64 // key of the op interrupted by the crash
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != pmem.ErrCrash {
+					panic(r)
+				}
+			}()
+			rng := xrand.New(trial)
+			for i := 0; i < 100000; i++ {
+				k := 1 + rng.Uint64n(400)
+				inflightKey = k
+				if rng.Uint64n(3) == 0 {
+					tr.Delete(k)
+					delete(completed, k)
+				} else {
+					if _, ins := tr.Insert(k, k*3); ins {
+						completed[k] = k * 3
+					}
+				}
+				inflightKey = 0
+			}
+		}()
+		a.Crash(float64(trial%3)/2, trial+1)
+		rt := Recover(a)
+		for k, v := range completed {
+			if k == inflightKey {
+				continue // the interrupted op may or may not have applied
+			}
+			got, ok := rt.Find(k)
+			if !ok || got != v {
+				t.Fatalf("trial %d: completed insert of %d lost: (%d,%v)", trial, k, got, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	tr := New(arena())
+	sums := make([]int64, 8)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 51)
+			var sum int64
+			for !stop.Load() {
+				k := 1 + rng.Uint64n(3000)
+				if rng.Uint64n(2) == 0 {
+					if _, ins := tr.Insert(k, k); ins {
+						sum += int64(k)
+					}
+				} else {
+					if _, del := tr.Delete(k); del {
+						sum -= int64(k)
+					}
+				}
+			}
+			sums[w] = sum
+		}(w)
+	}
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if got := int64(tr.KeySum()); got != total {
+		t.Fatalf("key-sum: tree=%d threads=%d", got, total)
+	}
+}

@@ -1,0 +1,282 @@
+// Package splaylist implements a simplified Splay-List baseline (Aksenov,
+// Alistarh, Drozdova & Mohtashami, DISC 2020): a concurrent skip-list
+// that adapts to the access distribution by raising the index height of
+// frequently accessed keys, amortized through per-node access counters.
+//
+// Faithful properties this implementation keeps, which the Elim-ABtree
+// paper's evaluation leans on (§6.1):
+//
+//   - counter-based splaying: every successful access bumps the node's
+//     hit counter; every promoteEvery hits the node gains an index level,
+//     so hot keys in skewed workloads sit near the top of the index;
+//   - deleted nodes are marked, never unlinked or freed ("the SplayList
+//     never frees memory (simply marking keys as deleted instead), so
+//     reinserting a key that was once in the SplayList requires no memory
+//     allocation" — §6.1); reinsertions resurrect the marked node.
+//
+// Simplification: the original also demotes cold keys and derives target
+// heights from global access counts; here new nodes get a geometric
+// random height (a standard skip-list baseline) and only promotion is
+// adaptive. Demotion matters for drifting distributions, which the
+// paper's fixed-distribution microbenchmarks never exercise.
+package splaylist
+
+import (
+	"sync/atomic"
+)
+
+const (
+	maxLevel     = 24
+	promoteEvery = 64
+)
+
+type node struct {
+	key uint64
+	val atomic.Uint64
+
+	// state is a seqlock-style word: bit 0 is the deleted mark, the upper
+	// bits count state transitions. It makes (value, liveness) reads
+	// atomic: a reader that observes the same even-ish state around a
+	// value read has a consistent snapshot, and delete/resurrect each
+	// advance the counter exactly once.
+	state atomic.Uint64
+
+	level   atomic.Int32 // highest linked level + 1
+	hits    atomic.Uint32
+	next    [maxLevel]atomic.Pointer[node]
+	pending atomic.Bool // promotion in progress (single promoter)
+	resMu   atomic.Bool // resurrection in progress (single resurrector)
+}
+
+const deletedBit = 1
+
+func (n *node) deleted() bool { return n.state.Load()&deletedBit != 0 }
+
+// read returns a consistent (value, live) snapshot of the node.
+func (n *node) read() (uint64, bool) {
+	for {
+		st1 := n.state.Load()
+		if st1&deletedBit != 0 {
+			return 0, false
+		}
+		v := n.val.Load()
+		if n.state.Load() == st1 {
+			return v, true
+		}
+	}
+}
+
+// Tree is a concurrent splay-list. The name keeps the dictionary
+// interface uniform with the tree baselines.
+type Tree struct {
+	head *node
+	rnd  atomic.Uint64 // shared height seed (cheap xorshift step per insert)
+}
+
+// New returns an empty splay-list.
+func New() *Tree {
+	h := &node{key: 0}
+	h.level.Store(maxLevel)
+	t := &Tree{head: h}
+	t.rnd.Store(0x9e3779b97f4a7c15)
+	return t
+}
+
+// randomLevel draws a geometric height in [1, maxLevel].
+func (t *Tree) randomLevel() int32 {
+	// xorshift64 on the shared seed; contention here is harmless (any
+	// value works) but we still use atomic ops to keep the race detector
+	// clean.
+	for {
+		s := t.rnd.Load()
+		x := s
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if t.rnd.CompareAndSwap(s, x) {
+			lvl := int32(1)
+			for x&1 == 1 && lvl < maxLevel {
+				lvl++
+				x >>= 1
+			}
+			return lvl
+		}
+	}
+}
+
+// findPreds fills preds/succs with the nodes around key at every level.
+func (t *Tree) findPreds(key uint64, preds, succs *[maxLevel]*node) *node {
+	pred := t.head
+	var found *node
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		cur := pred.next[lvl].Load()
+		for cur != nil && cur.key < key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		preds[lvl] = pred
+		succs[lvl] = cur
+		if cur != nil && cur.key == key && found == nil {
+			found = cur
+		}
+	}
+	return found
+}
+
+// splay bumps the node's access counter and occasionally promotes it one
+// index level, moving hot keys toward the top of the index.
+func (t *Tree) splay(n *node) {
+	if n.hits.Add(1)%promoteEvery != 0 {
+		return
+	}
+	lvl := n.level.Load()
+	if lvl >= maxLevel || !n.pending.CompareAndSwap(false, true) {
+		return
+	}
+	defer n.pending.Store(false)
+	lvl = n.level.Load()
+	if lvl >= maxLevel {
+		return
+	}
+	// Link n at level lvl: find the predecessor at that level and splice.
+	for {
+		pred := t.head
+		cur := pred.next[lvl].Load()
+		for cur != nil && cur.key < n.key {
+			pred = cur
+			cur = pred.next[lvl].Load()
+		}
+		if cur == n {
+			break // someone already linked it here
+		}
+		n.next[lvl].Store(cur)
+		if pred.next[lvl].CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	n.level.Store(lvl + 1)
+}
+
+// Find returns the value for key, if present.
+func (t *Tree) Find(key uint64) (uint64, bool) {
+	var preds, succs [maxLevel]*node
+	n := t.findPreds(key, &preds, &succs)
+	if n == nil {
+		return 0, false
+	}
+	v, live := n.read()
+	if !live {
+		return 0, false
+	}
+	t.splay(n)
+	return v, true
+}
+
+// Insert inserts <key, val> if absent, returning (0, true); if present it
+// returns the existing value and false. A marked (deleted) node is
+// resurrected in place, without allocation.
+func (t *Tree) Insert(key, val uint64) (uint64, bool) {
+	if key == 0 || key == ^uint64(0) {
+		panic("splaylist: reserved key")
+	}
+	var preds, succs [maxLevel]*node
+	for {
+		if n := t.findPreds(key, &preds, &succs); n != nil {
+			if v, live := n.read(); live {
+				t.splay(n)
+				return v, false
+			}
+			// Resurrect: claim the node, publish the value while it is
+			// still marked (invisible), then advance the state to live.
+			// Claiming excludes other resurrectors, so no stale value can
+			// be exposed; the state bump invalidates in-flight reads.
+			if !n.resMu.CompareAndSwap(false, true) {
+				continue // another resurrector is mid-flight; re-examine
+			}
+			st := n.state.Load()
+			if st&deletedBit == 0 {
+				n.resMu.Store(false)
+				continue // already resurrected; key is present again
+			}
+			n.val.Store(val)
+			n.state.Store(st + 1) // odd -> even: live, new generation
+			n.resMu.Store(false)
+			t.splay(n)
+			return 0, true
+		}
+		// Fresh insert at level 0 (plus random extra index levels).
+		lvl := t.randomLevel()
+		n := &node{key: key}
+		n.val.Store(val)
+		n.level.Store(lvl)
+		n.next[0].Store(succs[0])
+		if !preds[0].next[0].CompareAndSwap(succs[0], n) {
+			continue // predecessor changed; retry
+		}
+		// Link the index levels (searches only need level 0 for
+		// correctness; upper levels are acceleration). Nodes are never
+		// unlinked, so the retry loop terminates.
+		for l := int32(1); l < lvl; l++ {
+			for {
+				pred, succ := preds[l], succs[l]
+				if succ == n {
+					break // already linked at this level
+				}
+				n.next[l].Store(succ)
+				if pred.next[l].CompareAndSwap(succ, n) {
+					break
+				}
+				t.findPreds(key, &preds, &succs)
+			}
+		}
+		return 0, true
+	}
+}
+
+// Delete marks key deleted if present, returning its value and true. The
+// node stays linked (the Splay-List never frees memory).
+func (t *Tree) Delete(key uint64) (uint64, bool) {
+	if key == 0 || key == ^uint64(0) {
+		panic("splaylist: reserved key")
+	}
+	var preds, succs [maxLevel]*node
+	n := t.findPreds(key, &preds, &succs)
+	if n == nil {
+		return 0, false
+	}
+	for {
+		st := n.state.Load()
+		if st&deletedBit != 0 {
+			return 0, false
+		}
+		v := n.val.Load()
+		// The CAS succeeds only if nothing changed since the value read,
+		// so v is exactly the value this delete removes.
+		if n.state.CompareAndSwap(st, st+1) {
+			return v, true
+		}
+	}
+}
+
+// Scan calls fn for each live pair in ascending key order (quiescent).
+func (t *Tree) Scan(fn func(k, v uint64)) {
+	for n := t.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if !n.deleted() {
+			fn(n.key, n.val.Load())
+		}
+	}
+}
+
+// Len returns the number of live keys (quiescent only).
+func (t *Tree) Len() int {
+	c := 0
+	t.Scan(func(_, _ uint64) { c++ })
+	return c
+}
+
+// KeySum returns the wrapping sum of live keys (quiescent only).
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	t.Scan(func(k, _ uint64) { s += k })
+	return s
+}

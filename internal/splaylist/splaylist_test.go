@@ -1,0 +1,170 @@
+package splaylist
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrand"
+	"repro/internal/zipfian"
+)
+
+func TestBasicOps(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Find(1); ok {
+		t.Fatal("find on empty")
+	}
+	if old, ins := tr.Insert(9, 90); !ins || old != 0 {
+		t.Fatalf("Insert = (%d,%v)", old, ins)
+	}
+	if old, ins := tr.Insert(9, 1); ins || old != 90 {
+		t.Fatalf("re-Insert = (%d,%v)", old, ins)
+	}
+	if v, ok := tr.Delete(9); !ok || v != 90 {
+		t.Fatalf("Delete = (%d,%v)", v, ok)
+	}
+	if _, ok := tr.Find(9); ok {
+		t.Fatal("find after delete")
+	}
+	// Resurrection path: reinsert a deleted key.
+	if old, ins := tr.Insert(9, 91); !ins || old != 0 {
+		t.Fatalf("resurrect = (%d,%v)", old, ins)
+	}
+	if v, ok := tr.Find(9); !ok || v != 91 {
+		t.Fatalf("Find after resurrect = (%d,%v)", v, ok)
+	}
+}
+
+func TestModelRandomOps(t *testing.T) {
+	tr := New()
+	rng := xrand.New(31)
+	model := make(map[uint64]uint64)
+	for i := 0; i < 60000; i++ {
+		k := 1 + rng.Uint64n(400)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			old, ins := tr.Insert(k, v)
+			mv, present := model[k]
+			if ins == present || (present && old != mv) {
+				t.Fatalf("op %d Insert(%d): got (%d,%v), model (%d,%v)", i, k, old, ins, mv, present)
+			}
+			if !present {
+				model[k] = v
+			}
+		case 1:
+			old, del := tr.Delete(k)
+			mv, present := model[k]
+			if del != present || (present && old != mv) {
+				t.Fatalf("op %d Delete(%d)", i, k)
+			}
+			delete(model, k)
+		case 2:
+			v, ok := tr.Find(k)
+			mv, present := model[k]
+			if ok != present || (present && v != mv) {
+				t.Fatalf("op %d Find(%d)", i, k)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len %d vs model %d", tr.Len(), len(model))
+	}
+}
+
+// TestPromotionRaisesHotKeys verifies the splaying behaviour: a heavily
+// accessed key should gain index levels.
+func TestPromotionRaisesHotKeys(t *testing.T) {
+	tr := New()
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Insert(i, i)
+	}
+	var preds, succs [maxLevel]*node
+	hot := tr.findPreds(500, &preds, &succs)
+	if hot == nil {
+		t.Fatal("key 500 missing")
+	}
+	before := hot.level.Load()
+	for i := 0; i < 100*promoteEvery; i++ {
+		tr.Find(500)
+	}
+	after := hot.level.Load()
+	if after <= before {
+		t.Fatalf("hot key not promoted: level %d -> %d", before, after)
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New()
+		want := map[uint64]bool{}
+		for _, r := range raw {
+			k := uint64(r) + 1
+			tr.Insert(k, k)
+			want[k] = true
+		}
+		if tr.Len() != len(want) {
+			return false
+		}
+		prev := uint64(0)
+		ok := true
+		tr.Scan(func(k, _ uint64) {
+			if k <= prev {
+				ok = false
+			}
+			prev = k
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func stress(t *testing.T, workers int, d time.Duration, keyRange uint64, zipfS float64) {
+	tr := New()
+	sums := make([]int64, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			z := zipfian.New(xrand.New(uint64(w)+71), keyRange, zipfS)
+			rng := xrand.New(uint64(w) * 41)
+			var sum int64
+			for !stop.Load() {
+				k := z.Next()
+				switch rng.Uint64n(4) {
+				case 0, 1:
+					if _, ins := tr.Insert(k, k); ins {
+						sum += int64(k)
+					}
+				case 2:
+					if _, del := tr.Delete(k); del {
+						sum -= int64(k)
+					}
+				default:
+					tr.Find(k)
+				}
+			}
+			sums[w] = sum
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if got := int64(tr.KeySum()); got != total {
+		t.Fatalf("key-sum: tree=%d threads=%d", got, total)
+	}
+}
+
+func TestConcurrentUniform(t *testing.T) { stress(t, 8, 300*time.Millisecond, 3000, 0) }
+func TestConcurrentZipf(t *testing.T)    { stress(t, 8, 300*time.Millisecond, 3000, 1) }
+func TestConcurrentTiny(t *testing.T)    { stress(t, 8, 200*time.Millisecond, 4, 0) }

@@ -1,0 +1,110 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for workload generation. Benchmark worker threads each own an
+// independent generator, so op streams are reproducible for a given seed and
+// generation never contends on shared state (math/rand's global source would
+// serialize 100+ worker goroutines on one mutex and distort scaling curves).
+package xrand
+
+import "math/bits"
+
+// SplitMix64 is the splittable PRNG from Steele, Lea & Flood (OOPSLA '14).
+// It is used directly for seeding and for cheap single-stream randomness.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator: tiny state, passes BigCrush, and much
+// faster than math/rand's source. Not cryptographically secure.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator whose state is derived from seed via SplitMix64,
+// as recommended by the xoshiro authors (an all-zero state is invalid).
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	var r Rand
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It uses Lemire's
+// multiply-shift reduction with rejection to remove modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Lemire reduction: values of lo below (2^64 mod n) would be biased
+	// toward small results, so reject and redraw them.
+	thresh := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniformly distributed int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Mix64 is a stateless bijective scrambler (the splitmix64 finalizer). It is
+// used to decorrelate Zipf rank from key adjacency when a workload asks for
+// scattered hot keys.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

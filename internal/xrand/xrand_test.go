@@ -1,0 +1,142 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the published splitmix64.c.
+	sm := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+		0xf88bb8a8724c81ec, 0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("splitmix64[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(1)
+	if err := quick.Check(func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.002 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(4)
+	const buckets = 10
+	counts := [buckets]int{}
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-n/buckets) > 0.02*n/buckets {
+			t.Errorf("bucket %d: %d draws, want ~%d", b, c, n/buckets)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// A bijection has no collisions; test a sample for collisions.
+	seen := make(map[uint64]uint64, 100000)
+	for i := uint64(0); i < 100000; i++ {
+		m := Mix64(i)
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[m] = i
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := New(43)
+	diverged := false
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64n(1_000_000)
+	}
+}

@@ -1,0 +1,152 @@
+// Package ycsb drives the Yahoo! Cloud Serving Benchmark's Workload A
+// (50% reads / 50% read-modify-writes, Zipf-distributed request keys)
+// against a dictionary used as the database index, exactly as the paper's
+// Figure 16 does: "a YCSB write simply reads the row pointer from the
+// index, then locks the row, updates it, and unlocks it (without
+// modifying the index)" — so the index sees a read-only workload and the
+// row array absorbs the writes.
+package ycsb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/xrand"
+	"repro/internal/zipfian"
+)
+
+// row is a database row: a spin-locked payload. Padded to a cache line so
+// row locks don't false-share.
+type row struct {
+	lock    atomic.Uint32
+	payload uint64
+	_       [64 - 12]byte
+}
+
+func (r *row) doUpdate(v uint64) {
+	for !r.lock.CompareAndSwap(0, 1) {
+	}
+	r.payload += v
+	r.lock.Store(0)
+}
+
+// Config describes a Workload A run.
+type Config struct {
+	Threads  int
+	Records  uint64  // initial table size (the paper used 100M; scale down)
+	ZipfS    float64 // request-key skew (Workload A uses 0.5)
+	Duration time.Duration
+	Seed     uint64
+}
+
+// Result is a Workload A outcome.
+type Result struct {
+	Config
+	Ops        uint64
+	Elapsed    time.Duration
+	TxPerUsec  float64
+	IndexMiss  uint64 // sanity: must be zero (all requests hit loaded keys)
+	RowsUpdate uint64
+}
+
+// Run loads Records rows into the index, then drives Workload A.
+func Run(d bench.Dict, cfg Config) (Result, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	rows := make([]row, cfg.Records+1)
+
+	// Load phase: key i -> row i, inserted in shuffled order. YCSB's
+	// loader hashes keys, so arrival order is effectively random; loading
+	// 1..N ascending would degenerate the non-rebalancing BST baselines
+	// into linked lists. At most GOMAXPROCS loaders run: oversubscribing
+	// a pure insert phase only creates lock convoys.
+	order := make([]uint64, cfg.Records)
+	for i := range order {
+		order[i] = uint64(i) + 1
+	}
+	shuffleRng := xrand.New(cfg.Seed*31337 + 5)
+	for i := len(order) - 1; i > 0; i-- {
+		j := shuffleRng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if cfg.Threads > 0 && workers > cfg.Threads {
+		workers = cfg.Threads
+	}
+	per := len(order) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			lo := w * per
+			hi := lo + per
+			if w == workers-1 {
+				hi = len(order)
+			}
+			for _, k := range order[lo:hi] {
+				h.Insert(k, k) // value = row id
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Measured phase.
+	var stop atomic.Bool
+	counts := make([]uint64, cfg.Threads)
+	misses := make([]uint64, cfg.Threads)
+	updates := make([]uint64, cfg.Threads)
+	start := make(chan struct{})
+	var ready sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			rng := xrand.New(cfg.Seed + uint64(w)*97)
+			z := zipfian.New(xrand.New(cfg.Seed*13+uint64(w)), cfg.Records, cfg.ZipfS)
+			ready.Done()
+			<-start
+			for !stop.Load() {
+				k := z.Next()
+				rowID, ok := h.Find(k)
+				if !ok {
+					misses[w]++
+					counts[w]++
+					continue
+				}
+				if rng.Uint64n(2) == 0 {
+					// Read-modify-write: lock the row, not the index.
+					rows[rowID].doUpdate(k)
+					updates[w]++
+				}
+				counts[w]++
+			}
+		}(w)
+	}
+	ready.Wait()
+	began := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	res := Result{Config: cfg, Elapsed: time.Since(began)}
+	for w := 0; w < cfg.Threads; w++ {
+		res.Ops += counts[w]
+		res.IndexMiss += misses[w]
+		res.RowsUpdate += updates[w]
+	}
+	res.TxPerUsec = float64(res.Ops) / float64(res.Elapsed.Microseconds())
+	if res.IndexMiss > 0 {
+		return res, fmt.Errorf("ycsb: %d index misses for loaded keys", res.IndexMiss)
+	}
+	return res, nil
+}

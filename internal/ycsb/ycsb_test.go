@@ -1,0 +1,51 @@
+package ycsb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func TestWorkloadARuns(t *testing.T) {
+	for _, name := range []string{"OCC-ABtree", "Elim-ABtree", "CATree"} {
+		t.Run(name, func(t *testing.T) {
+			d := bench.NewDict(name, 20000)
+			res, err := Run(d, Config{
+				Threads:  4,
+				Records:  10000,
+				ZipfS:    0.5,
+				Duration: 150 * time.Millisecond,
+				Seed:     3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no transactions completed")
+			}
+			if res.IndexMiss != 0 {
+				t.Fatalf("%d index misses", res.IndexMiss)
+			}
+			// Workload A is 50/50: updates should be a substantial
+			// fraction of ops (binomial around one half).
+			frac := float64(res.RowsUpdate) / float64(res.Ops)
+			if frac < 0.4 || frac > 0.6 {
+				t.Fatalf("update fraction %.2f, want ~0.5", frac)
+			}
+		})
+	}
+}
+
+func TestWorkloadAIndexUnchanged(t *testing.T) {
+	// YCSB writes must not modify the index: after the run the index
+	// contains exactly the loaded records.
+	d := bench.NewDict("OCC-ABtree", 10000)
+	if _, err := Run(d, Config{Threads: 2, Records: 5000, ZipfS: 0.5, Duration: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(5000 * 5001 / 2)
+	if got := d.KeySum(); got != want {
+		t.Fatalf("index key-sum changed: %d, want %d", got, want)
+	}
+}

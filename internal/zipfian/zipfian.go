@@ -1,0 +1,149 @@
+// Package zipfian generates bounded Zipf-distributed ranks: rank k in
+// [1, n] is drawn with probability proportional to 1/k^s.
+//
+// The paper's skewed workloads use Zipf parameter s = 1 and YCSB uses
+// s = 0.5. The standard library's rand.Zipf requires s > 1, so this package
+// implements rejection-inversion sampling (Hörmann & Derflinger, "Rejection-
+// inversion to generate variates from monotone discrete distributions",
+// TOMACS 1996), which handles any s >= 0 in O(1) expected time per sample
+// with O(1) state — no precomputed CDF, which matters for the 10M-key
+// workloads of Figure 15.
+package zipfian
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Zipf samples ranks in [1, n] with P(k) ∝ 1/k^s. It is not safe for
+// concurrent use; each worker thread owns one (they are tiny).
+type Zipf struct {
+	rng *xrand.Rand
+	n   uint64
+	s   float64
+
+	// Precomputed constants of the rejection-inversion envelope.
+	hIntegralX1 float64 // H(1.5) - 1
+	hIntegralN  float64 // H(n + 0.5)
+	inv         float64 // 2 - H⁻¹(H(2.5) - h(2)); acceptance shortcut bound
+
+	uniform bool // s == 0 degenerates to a uniform draw
+}
+
+// New returns a Zipf sampler over ranks [1, n] with exponent s >= 0, drawing
+// randomness from rng. It panics if n == 0, s < 0, or rng == nil.
+func New(rng *xrand.Rand, n uint64, s float64) *Zipf {
+	switch {
+	case rng == nil:
+		panic("zipfian: nil rng")
+	case n == 0:
+		panic("zipfian: n must be >= 1")
+	case s < 0 || math.IsNaN(s):
+		panic("zipfian: exponent must be >= 0")
+	}
+	z := &Zipf{rng: rng, n: n, s: s}
+	if s == 0 {
+		z.uniform = true
+		return z
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.inv = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// N returns the size of the sampled rank space.
+func (z *Zipf) N() uint64 { return z.n }
+
+// S returns the Zipf exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Next returns the next rank in [1, n].
+func (z *Zipf) Next() uint64 {
+	if z.uniform {
+		return 1 + z.rng.Uint64n(z.n)
+	}
+	for {
+		u := z.hIntegralN + z.rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInverse(u)
+		k := x + 0.5
+		switch {
+		case k < 1:
+			k = 1
+		case k > float64(z.n):
+			k = float64(z.n)
+		}
+		k = math.Floor(k)
+		// Accept if k is close enough to x (the envelope is tight there),
+		// or by the exact rejection test.
+		if k-x <= z.inv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k)
+		}
+	}
+}
+
+// h is the density h(x) = x^{-s}.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegral is H(x) = ∫ h = (x^{1-s} - 1)/(1-s), continuous at s = 1 where
+// it equals log(x). Computed via the stable helper to avoid catastrophic
+// cancellation near s = 1.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.s)*logX) * logX
+}
+
+// hIntegralInverse is H⁻¹.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.s)
+	if t < -1 {
+		// Numerical round-off can push t slightly below the domain limit.
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x, continuous at x = 0 (value 1).
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x, continuous at x = 0 (value 1).
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// KeyMapper maps sampled ranks onto workload keys.
+//
+// By default (Scatter == false) rank r maps to key r, matching SetBench's
+// microbenchmark where hot Zipf keys are adjacent and so share (a,b)-tree
+// leaves — the high-contention regime publishing elimination targets. With
+// Scatter == true, ranks are passed through a fixed bijective mix so hot
+// keys land on unrelated leaves, isolating per-key contention from per-leaf
+// contention (used by ablation experiments).
+type KeyMapper struct {
+	n       uint64
+	Scatter bool
+}
+
+// NewKeyMapper returns a mapper over a key range of size n.
+func NewKeyMapper(n uint64, scatter bool) *KeyMapper {
+	return &KeyMapper{n: n, Scatter: scatter}
+}
+
+// Key maps rank (1-based) to a key in [1, n].
+func (m *KeyMapper) Key(rank uint64) uint64 {
+	if !m.Scatter {
+		return rank
+	}
+	return 1 + xrand.Mix64(rank)%m.n
+}

@@ -1,0 +1,174 @@
+package zipfian
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBounds(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 0.99, 1, 1.5, 3} {
+		for _, n := range []uint64{1, 2, 10, 1000} {
+			z := New(xrand.New(42), n, s)
+			for i := 0; i < 5000; i++ {
+				k := z.Next()
+				if k < 1 || k > n {
+					t.Fatalf("s=%v n=%d: rank %d out of [1,%d]", s, n, k, n)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	z := New(xrand.New(1), 1, 1)
+	for i := 0; i < 100; i++ {
+		if k := z.Next(); k != 1 {
+			t.Fatalf("n=1 sampler returned %d", k)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil rng":    func() { New(nil, 10, 1) },
+		"zero n":     func() { New(xrand.New(1), 0, 1) },
+		"negative s": func() { New(xrand.New(1), 10, -1) },
+		"NaN s":      func() { New(xrand.New(1), 10, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDistributionLaw draws many samples and compares empirical frequencies
+// of the top ranks against the exact Zipf pmf. This is the core correctness
+// property: P(k) = k^{-s} / H_{n,s}.
+func TestDistributionLaw(t *testing.T) {
+	const (
+		n       = 1000
+		samples = 2_000_000
+	)
+	for _, s := range []float64{0.5, 1.0, 2.0} {
+		z := New(xrand.New(7), n, s)
+		counts := make([]int, n+1)
+		for i := 0; i < samples; i++ {
+			counts[z.Next()]++
+		}
+		var harmonic float64
+		for k := 1; k <= n; k++ {
+			harmonic += math.Pow(float64(k), -s)
+		}
+		for k := 1; k <= 20; k++ {
+			want := math.Pow(float64(k), -s) / harmonic
+			got := float64(counts[k]) / samples
+			if math.Abs(got-want) > 0.15*want+1e-4 {
+				t.Errorf("s=%v rank %d: empirical %.5f, want %.5f", s, k, got, want)
+			}
+		}
+	}
+}
+
+func TestUniformWhenSZero(t *testing.T) {
+	const (
+		n       = 64
+		samples = 640_000
+	)
+	z := New(xrand.New(3), n, 0)
+	counts := make([]int, n+1)
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(samples) / n
+	for k := 1; k <= n; k++ {
+		if math.Abs(float64(counts[k])-want) > 0.08*want {
+			t.Errorf("rank %d count %d deviates from uniform mean %.0f", k, counts[k], want)
+		}
+	}
+}
+
+func TestMonotoneFrequencies(t *testing.T) {
+	// With s=1 the counts should be (statistically) non-increasing in rank;
+	// check a coarse version: count(1) > count(10) > count(100).
+	z := New(xrand.New(11), 1000, 1)
+	counts := make([]int, 1001)
+	for i := 0; i < 1_000_000; i++ {
+		counts[z.Next()]++
+	}
+	if !(counts[1] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("counts not monotone: c1=%d c10=%d c100=%d", counts[1], counts[10], counts[100])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(xrand.New(99), 500, 1)
+	b := New(xrand.New(99), 500, 1)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("sample %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestKeyMapperIdentity(t *testing.T) {
+	m := NewKeyMapper(1000, false)
+	if err := quick.Check(func(r uint64) bool {
+		rank := 1 + r%1000
+		return m.Key(rank) == rank
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyMapperScatterInRange(t *testing.T) {
+	m := NewKeyMapper(1000, true)
+	if err := quick.Check(func(r uint64) bool {
+		k := m.Key(1 + r%1000)
+		return k >= 1 && k <= 1000
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHelperContinuity verifies the numerically-stable helpers agree with
+// their direct formulas away from zero and are finite at zero.
+func TestHelperContinuity(t *testing.T) {
+	for _, x := range []float64{-0.5, -1e-3, 1e-3, 0.5, 2} {
+		if got, want := helper1(x), math.Log1p(x)/x; math.Abs(got-want) > 1e-12 {
+			t.Errorf("helper1(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := helper2(x), math.Expm1(x)/x; math.Abs(got-want) > 1e-12 {
+			t.Errorf("helper2(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if h := helper1(0); h != 1 {
+		t.Errorf("helper1(0) = %v, want 1", h)
+	}
+	if h := helper2(0); h != 1 {
+		t.Errorf("helper2(0) = %v, want 1", h)
+	}
+}
+
+func BenchmarkZipfS1(b *testing.B) {
+	z := New(xrand.New(1), 10_000_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}
+
+func BenchmarkUniform(b *testing.B) {
+	z := New(xrand.New(1), 10_000_000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}
