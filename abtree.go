@@ -169,7 +169,25 @@ func (h *Handle) Upsert(key, val uint64) { h.th.Upsert(key, val) }
 
 // Range calls fn for each pair with lo <= key <= hi, in ascending order,
 // stopping early if fn returns false. Each leaf's contribution is an
-// atomic snapshot; the scan as a whole is not a single atomic snapshot
-// (linearizable range queries are future work — paper §3 points to
-// epoch-based techniques). Safe to call concurrently with updates.
+// atomic snapshot; the scan as a whole is not a single atomic snapshot.
+// It is the cheaper of the two scans: it never creates leaf versions.
+// For a fully linearizable scan use RangeSnapshot. Safe to call
+// concurrently with updates.
 func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) { h.th.Range(lo, hi, fn) }
+
+// RangeSnapshot calls fn for each pair with lo <= key <= hi, in
+// ascending order, stopping early if fn returns false. The reported
+// pairs are one atomic snapshot of the whole interval: the query
+// linearizes at the moment it draws its timestamp (the epoch-based
+// technique the paper's §3 points to; see internal/rq). Point
+// operations never wait for scans; while scans are in flight,
+// conflicting updates preserve superseded leaf states on short version
+// chains for them. Safe to call concurrently with updates.
+func (h *Handle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.th.RangeSnapshot(lo, hi, fn)
+}
+
+// RQStats reports how many RangeSnapshot queries have run against the
+// tree and how many superseded leaf versions updates preserved for them
+// (both zero on scan-free workloads, whose updates skip the machinery).
+func (t *Tree) RQStats() (scans, versions uint64) { return t.t.RQStats() }

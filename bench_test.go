@@ -206,3 +206,78 @@ func BenchmarkAblationElimination(b *testing.B) {
 		b.Run(name, func(b *testing.B) { microCell(b, name, 16, 100, 1) })
 	}
 }
+
+// BenchmarkFig18 — the Workload E extension (not in the paper): YCSB's
+// scan workload, 95% short scans / 5% inserts, over the scan-capable
+// structures, comparing the linearizable RangeSnapshot against the
+// per-leaf-atomic Range.
+func BenchmarkFig18(b *testing.B) {
+	const records = 200_000
+	for _, mode := range []struct {
+		name     string
+		snapshot bool
+	}{{"snapshot", true}, {"weak", false}} {
+		for _, name := range bench.ScanStructures {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, name), func(b *testing.B) {
+				d := bench.NewDict(name, records*2)
+				res, err := ycsb.RunE(d, ycsb.EConfig{
+					Threads:  runtime.GOMAXPROCS(0),
+					Records:  records,
+					ZipfS:    0.5,
+					ScanLen:  100,
+					Snapshot: mode.snapshot,
+					Duration: 300 * time.Millisecond,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.TxPerUsec, "tx/us")
+				b.ReportMetric(float64(res.Pairs)/float64(res.Scans), "pairs/scan")
+				b.ReportMetric(0, "ns/op") // duration-driven; ns/op is not meaningful
+			})
+		}
+	}
+}
+
+// BenchmarkRQPointOps measures the point-operation hot path with the
+// range-query subsystem compiled in but idle — the configuration whose
+// throughput must stay within noise of the pre-RQ tree (updates pay one
+// shared-timestamp load per leaf write; finds pay nothing).
+func BenchmarkRQPointOps(b *testing.B) {
+	for _, name := range []string{"OCC-ABtree", "Elim-ABtree"} {
+		b.Run(name, func(b *testing.B) { microCell(b, name, 100_000, 50, 0) })
+	}
+}
+
+// BenchmarkRQScanMix measures the mixed scan/update regime where the
+// version-chain machinery is actually exercised: 10% scans of 100 keys,
+// 45% updates, uniform keys.
+func BenchmarkRQScanMix(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		snap bool
+	}{{"snapshot", true}, {"weak", false}} {
+		for _, name := range []string{"OCC-ABtree", "Elim-ABtree"} {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, name), func(b *testing.B) {
+				cfg := bench.Config{
+					Threads:   runtime.GOMAXPROCS(0),
+					KeyRange:  100_000,
+					UpdatePct: 45,
+					ScanPct:   10,
+					ScanLen:   100,
+					SnapScans: mode.snap,
+					Seed:      12345,
+				}
+				d := bench.NewDict(name, cfg.KeyRange)
+				bench.Prefill(d, cfg)
+				b.ResetTimer()
+				start := time.Now()
+				bench.RunOps(d, cfg, b.N/cfg.Threads+1)
+				elapsed := time.Since(start)
+				ops := float64((b.N/cfg.Threads + 1) * cfg.Threads)
+				b.ReportMetric(ops/float64(elapsed.Microseconds()+1), "ops/us")
+			})
+		}
+	}
+}

@@ -10,6 +10,14 @@
 //	abtree-bench -table 1                    # persistence overhead
 //	abtree-bench -figure 12 -threads 1,4,8 -duration 2s -updates 100,5
 //
+// Figure 18 is this repository's extension beyond the paper: YCSB
+// Workload E (95% short scans / 5% inserts) over the scan-capable
+// structures, using the linearizable RangeSnapshot by default:
+//
+//	abtree-bench -figure 18                  # Workload E, snapshot scans
+//	abtree-bench -figure 18 -scanlen 500     # longer scans
+//	abtree-bench -figure 18 -scanmode weak   # per-leaf-atomic Range instead
+//
 // The defaults are laptop-scale (short durations, thread counts up to
 // GOMAXPROCS); the paper's absolute numbers came from a 144-thread Xeon,
 // so shapes — who wins, by what factor, where lines cross — are the
@@ -31,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure     = flag.Int("figure", 0, "figure to regenerate: 12, 13, 14, 15, 16 or 17")
+		figure     = flag.Int("figure", 0, "figure to regenerate: 12-17, or 18 (Workload E extension)")
 		table      = flag.Int("table", 0, "table to regenerate: 1")
 		threadsCSV = flag.String("threads", "", "comma-separated thread counts (default 1,2,...,GOMAXPROCS)")
 		updatesCSV = flag.String("updates", "100,50,20,5", "comma-separated update percentages (figures 12-15)")
@@ -39,6 +47,8 @@ func main() {
 		structures = flag.String("structures", "", "comma-separated structure subset (default: figure's full set)")
 		keys       = flag.Uint64("keys", 0, "override the figure's key-range")
 		seed       = flag.Uint64("seed", 1, "workload seed")
+		scanLen    = flag.Uint64("scanlen", 100, "figure 18: maximum scan length")
+		scanMode   = flag.String("scanmode", "snapshot", "figure 18: \"snapshot\" (linearizable RangeSnapshot) or \"weak\" (Range)")
 	)
 	flag.Parse()
 
@@ -81,6 +91,25 @@ func main() {
 			structs = strings.Split(*structures, ",")
 		}
 		runFig17(keyRange, structs, threads, *duration, *seed)
+	case *figure == 18:
+		records := uint64(1_000_000)
+		if *keys != 0 {
+			records = *keys
+		}
+		structs := bench.ScanStructures
+		if *structures != "" {
+			structs = strings.Split(*structures, ",")
+		}
+		snapshot := false
+		switch *scanMode {
+		case "snapshot":
+			snapshot = true
+		case "weak":
+		default:
+			fmt.Fprintf(os.Stderr, "bad -scanmode %q (want snapshot or weak)\n", *scanMode)
+			os.Exit(2)
+		}
+		runYCSBE(records, structs, threads, *duration, *seed, *scanLen, snapshot)
 	case *table == 1:
 		keyRange := uint64(1_000_000)
 		if *keys != 0 {
@@ -160,6 +189,33 @@ func runYCSB(records uint64, structs []string, threads []int, d time.Duration, s
 				os.Exit(1)
 			}
 			fmt.Printf("16\t%s\t%d\t%.3f\n", name, th, res.TxPerUsec)
+		}
+	}
+}
+
+// runYCSBE runs the Workload E extension ("figure 18"): 95% short scans
+// / 5% inserts over the scan-capable structures.
+func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, seed, scanLen uint64, snapshot bool) {
+	mode := "weak (per-leaf-atomic Range)"
+	if snapshot {
+		mode = "snapshot (linearizable RangeSnapshot)"
+	}
+	fmt.Printf("# Figure 18 (extension): YCSB Workload E, %d records, Zipf 0.5, scans %s (tx/us)\n", records, mode)
+	fmt.Println("figure\tstructure\tthreads\tscanlen\ttx_per_us")
+	for _, name := range structs {
+		for _, th := range threads {
+			dict := bench.NewDict(name, records*2)
+			res, err := ycsb.RunE(dict, ycsb.EConfig{
+				Threads: th, Records: records, ZipfS: 0.5, ScanLen: scanLen,
+				Snapshot: snapshot, Duration: d, Seed: seed,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("18\t%s\t%d\t%d\t%.3f\n", name, th, scanLen, res.TxPerUsec)
+			fmt.Printf("# scan-detail %s t%d: %d scans, %.1f pairs/scan, %d inserts\n",
+				name, th, res.Scans, float64(res.Pairs)/float64(max(res.Scans, 1)), res.Inserts)
 		}
 	}
 }

@@ -23,6 +23,35 @@ type Handle interface {
 	Delete(key uint64) (uint64, bool)
 }
 
+// Ranger is implemented by handles that support range scans. The scan
+// need not be one atomic snapshot (the ABtrees' Range is per-leaf
+// atomic); structures implementing it participate in scan workloads.
+type Ranger interface {
+	Range(lo, hi uint64, fn func(k, v uint64) bool)
+}
+
+// SnapshotRanger is implemented by handles whose range scans are single
+// atomic snapshots (linearizable range queries, internal/rq).
+type SnapshotRanger interface {
+	RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool)
+}
+
+// ScanFunc resolves a handle's range-scan entry point: RangeSnapshot
+// when snapshot is requested, Range otherwise; nil if the handle does
+// not support the requested kind.
+func ScanFunc(h Handle, snapshot bool) func(lo, hi uint64, fn func(k, v uint64) bool) {
+	if snapshot {
+		if sr, ok := h.(SnapshotRanger); ok {
+			return sr.RangeSnapshot
+		}
+		return nil
+	}
+	if r, ok := h.(Ranger); ok {
+		return r.Range
+	}
+	return nil
+}
+
 // ElimStatser is implemented by dictionaries with publishing elimination;
 // the CLI reports elimination rates for them.
 type ElimStatser interface {
@@ -43,6 +72,9 @@ type Config struct {
 	Threads   int
 	KeyRange  uint64
 	UpdatePct int     // percentage of ops that are updates (half ins, half del)
+	ScanPct   int     // percentage of ops that are range scans (taken from the read share)
+	ScanLen   uint64  // keys per scan interval (default 100 when ScanPct > 0)
+	SnapScans bool    // scans use the linearizable RangeSnapshot instead of Range
 	ZipfS     float64 // 0 = uniform, 1 = paper's skewed setting
 	Duration  time.Duration
 	Seed      uint64
@@ -53,6 +85,7 @@ type Config struct {
 type Result struct {
 	Config
 	Ops        uint64
+	ScanPairs  uint64 // pairs reported by range scans
 	Elapsed    time.Duration
 	OpsPerUsec float64
 }
@@ -97,12 +130,24 @@ func Run(d Dict, cfg Config) (Result, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
+	if cfg.ScanPct > 0 {
+		if cfg.UpdatePct+cfg.ScanPct > 100 {
+			return Result{Config: cfg}, fmt.Errorf("bench: update%%+scan%% = %d exceeds 100", cfg.UpdatePct+cfg.ScanPct)
+		}
+		if cfg.ScanLen == 0 {
+			cfg.ScanLen = 100
+		}
+		if ScanFunc(d.NewHandle(), cfg.SnapScans) == nil {
+			return Result{Config: cfg}, fmt.Errorf("bench: structure does not support %s scans", scanKind(cfg.SnapScans))
+		}
+	}
 	var baseline uint64
 	if !cfg.NoValid {
 		baseline = d.KeySum() // quiescent pre-run sum (the prefill keys)
 	}
 	sums := make([]int64, cfg.Threads)
 	counts := make([]uint64, cfg.Threads)
+	pairs := make([]uint64, cfg.Threads)
 	var stop atomic.Bool
 	var ready, wg sync.WaitGroup
 	start := make(chan struct{})
@@ -112,12 +157,13 @@ func Run(d Dict, cfg Config) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			h := d.NewHandle()
+			scan := ScanFunc(h, cfg.SnapScans)
 			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
 			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
 			ready.Done()
 			<-start
 			var sum int64
-			var ops uint64
+			var ops, scanned uint64
 			for !stop.Load() {
 				k := z.Next()
 				switch r := int(rng.Uint64n(200)); {
@@ -129,6 +175,11 @@ func Run(d Dict, cfg Config) (Result, error) {
 					if _, ok := h.Delete(k); ok {
 						sum -= int64(k)
 					}
+				case r < 2*(cfg.UpdatePct+cfg.ScanPct):
+					scan(k, k+cfg.ScanLen-1, func(_, _ uint64) bool {
+						scanned++
+						return true
+					})
 				default:
 					h.Find(k)
 				}
@@ -136,6 +187,7 @@ func Run(d Dict, cfg Config) (Result, error) {
 			}
 			sums[w] = sum
 			counts[w] = ops
+			pairs[w] = scanned
 		}(w)
 	}
 	ready.Wait()
@@ -150,6 +202,7 @@ func Run(d Dict, cfg Config) (Result, error) {
 	var total int64
 	for w := 0; w < cfg.Threads; w++ {
 		res.Ops += counts[w]
+		res.ScanPairs += pairs[w]
 		total += sums[w]
 	}
 	res.OpsPerUsec = float64(res.Ops) / float64(elapsed.Microseconds())
@@ -167,12 +220,16 @@ func Run(d Dict, cfg Config) (Result, error) {
 // of cfg.Threads workers performs opsPerThread operations; the caller
 // times it.
 func RunOps(d Dict, cfg Config, opsPerThread int) {
+	if cfg.ScanPct > 0 && cfg.ScanLen == 0 {
+		cfg.ScanLen = 100
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			h := d.NewHandle()
+			scan := ScanFunc(h, cfg.SnapScans)
 			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
 			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
 			for i := 0; i < opsPerThread; i++ {
@@ -182,6 +239,8 @@ func RunOps(d Dict, cfg Config, opsPerThread int) {
 					h.Insert(k, k)
 				case r < 2*cfg.UpdatePct:
 					h.Delete(k)
+				case r < 2*(cfg.UpdatePct+cfg.ScanPct) && scan != nil:
+					scan(k, k+cfg.ScanLen-1, func(_, _ uint64) bool { return true })
 				default:
 					h.Find(k)
 				}
@@ -189,4 +248,11 @@ func RunOps(d Dict, cfg Config, opsPerThread int) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func scanKind(snapshot bool) string {
+	if snapshot {
+		return "snapshot (RangeSnapshot)"
+	}
+	return "weak (Range)"
 }

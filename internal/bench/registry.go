@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bcco10"
@@ -63,15 +64,64 @@ func (d catreeDict) KeySum() uint64 {
 	return s
 }
 
+// maxArenaWords caps simulated PM arenas at 1<<34 words (128 GiB): big
+// enough for any benchmarkable key range, small enough that the
+// uint64 -> int conversion below can never overflow or go negative.
+const maxArenaWords = uint64(1) << 34
+
 // arenaWords sizes a simulated PM arena for a workload: generous slack
 // over the steady-state node count so churn plus epoch lag never exhausts
-// the pool.
+// the pool. The result is clamped to maxArenaWords so absurd key ranges
+// degrade into an arena-exhaustion panic at run time instead of a
+// silently truncated allocation here.
 func arenaWords(keyRange uint64) int {
 	slots := keyRange // ~5.5 keys/leaf steady state => ~keyRange/5 leaves
 	if slots < 1<<16 {
 		slots = 1 << 16
 	}
-	return int(slots * 32)
+	limit := maxArenaWords
+	if limit > uint64(math.MaxInt) {
+		limit = uint64(math.MaxInt) // 32-bit int: the clamp itself must fit
+	}
+	words := slots * 32
+	if slots > maxArenaWords/32 || words > limit {
+		words = limit
+	}
+	return int(words)
+}
+
+// registry is the single source of truth for the structures the harness
+// can build: Names, NewDict and the registry test all derive from it.
+var registry = map[string]func(keyRange uint64) Dict{
+	"OCC-ABtree":            func(uint64) Dict { return coreDict{core.New()} },
+	"Elim-ABtree":           func(uint64) Dict { return coreDict{core.New(core.WithElimination())} },
+	"OCC-ABtree-TAS":        func(uint64) Dict { return coreDict{core.New(core.WithTASLocks())} },
+	"OCC-ABtree-FC":         func(uint64) Dict { return coreDict{core.New(core.WithLeafCombining())} },
+	"OCC-ABtree-Cohort":     func(uint64) Dict { return coreDict{core.New(core.WithCohortLocks())} },
+	"Elim-ABtree-Cohort":    func(uint64) Dict { return coreDict{core.New(core.WithElimination(), core.WithCohortLocks())} },
+	"Elim-ABtree-TAS":       func(uint64) Dict { return coreDict{core.New(core.WithElimination(), core.WithTASLocks())} },
+	"OCC-ABtree-Sorted":     func(uint64) Dict { return coreDict{core.New(core.WithSortedLeaves())} },
+	"OCC-ABtree-LockedFind": func(uint64) Dict { return coreDict{core.New(core.WithLockedSearch())} },
+	"OCC-ABtree-b4":         func(uint64) Dict { return coreDict{core.New(core.WithDegree(2, 4))} },
+	"OCC-ABtree-b16":        func(uint64) Dict { return coreDict{core.New(core.WithDegree(2, 16))} },
+	"LF-ABtree":             func(uint64) Dict { return selfDict{lfabtree.New()} },
+	"CATree":                func(uint64) Dict { return catreeDict{catree.New()} },
+	"DGT15":                 func(uint64) Dict { return selfDict{extbst.New()} },
+	"EFRB10":                func(uint64) Dict { return selfDict{efrbbst.New()} },
+	"SplayList":             func(uint64) Dict { return selfDict{splaylist.New()} },
+	"BCCO10":                func(uint64) Dict { return selfDict{bcco10.New()} },
+	"CBTree":                func(uint64) Dict { return selfDict{cbtree.New()} },
+	"OLC-ART":               func(uint64) Dict { return selfDict{olcart.New()} },
+	"C-IST":                 func(uint64) Dict { return selfDict{cist.New()} },
+	"OpenBw-Tree":           func(uint64) Dict { return selfDict{bwtree.New()} },
+	"p-OCC-ABtree": func(kr uint64) Dict {
+		return pabDict{pabtree.New(pmem.New(arenaWords(kr)))}
+	},
+	"p-Elim-ABtree": func(kr uint64) Dict {
+		return pabDict{pabtree.New(pmem.New(arenaWords(kr)), pabtree.WithElimination())}
+	},
+	"FPTree": func(kr uint64) Dict { return selfDict{fptree.New(pmem.New(arenaWords(kr)))} },
+	"RNTree": func(kr uint64) Dict { return selfDict{rntree.New(pmem.New(arenaWords(kr)))} },
 }
 
 // Volatile structure names in the order the paper's legends use.
@@ -85,73 +135,29 @@ var PersistentStructures = []string{
 	"p-OCC-ABtree", "p-Elim-ABtree", "FPTree", "RNTree",
 }
 
+// ScanStructures lists the registered structures whose handles support
+// range scans (Ranger); all of them also support linearizable snapshot
+// scans (SnapshotRanger). The scan workloads (Workload E, scan-mix
+// microbenchmarks) default to this set.
+var ScanStructures = []string{
+	"OCC-ABtree", "Elim-ABtree", "p-OCC-ABtree", "p-Elim-ABtree",
+}
+
 // NewDict constructs a registered structure sized for keyRange. It panics
 // on an unknown name (Names lists the registry).
 func NewDict(name string, keyRange uint64) Dict {
-	switch name {
-	case "OCC-ABtree":
-		return coreDict{core.New()}
-	case "Elim-ABtree":
-		return coreDict{core.New(core.WithElimination())}
-	case "OCC-ABtree-TAS":
-		return coreDict{core.New(core.WithTASLocks())}
-	case "OCC-ABtree-FC":
-		return coreDict{core.New(core.WithLeafCombining())}
-	case "OCC-ABtree-Cohort":
-		return coreDict{core.New(core.WithCohortLocks())}
-	case "Elim-ABtree-Cohort":
-		return coreDict{core.New(core.WithElimination(), core.WithCohortLocks())}
-	case "Elim-ABtree-TAS":
-		return coreDict{core.New(core.WithElimination(), core.WithTASLocks())}
-	case "OCC-ABtree-Sorted":
-		return coreDict{core.New(core.WithSortedLeaves())}
-	case "OCC-ABtree-LockedFind":
-		return coreDict{core.New(core.WithLockedSearch())}
-	case "OCC-ABtree-b4":
-		return coreDict{core.New(core.WithDegree(2, 4))}
-	case "OCC-ABtree-b16":
-		return coreDict{core.New(core.WithDegree(2, 16))}
-	case "LF-ABtree":
-		return selfDict{lfabtree.New()}
-	case "CATree":
-		return catreeDict{catree.New()}
-	case "DGT15":
-		return selfDict{extbst.New()}
-	case "EFRB10":
-		return selfDict{efrbbst.New()}
-	case "SplayList":
-		return selfDict{splaylist.New()}
-	case "BCCO10":
-		return selfDict{bcco10.New()}
-	case "CBTree":
-		return selfDict{cbtree.New()}
-	case "OLC-ART":
-		return selfDict{olcart.New()}
-	case "C-IST":
-		return selfDict{cist.New()}
-	case "OpenBw-Tree":
-		return selfDict{bwtree.New()}
-	case "p-OCC-ABtree":
-		return pabDict{pabtree.New(pmem.New(arenaWords(keyRange)))}
-	case "p-Elim-ABtree":
-		return pabDict{pabtree.New(pmem.New(arenaWords(keyRange)), pabtree.WithElimination())}
-	case "FPTree":
-		return selfDict{fptree.New(pmem.New(arenaWords(keyRange)))}
-	case "RNTree":
-		return selfDict{rntree.New(pmem.New(arenaWords(keyRange)))}
+	build, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("bench: unknown structure %q (known: %v)", name, Names()))
 	}
-	panic(fmt.Sprintf("bench: unknown structure %q (known: %v)", name, Names()))
+	return build(keyRange)
 }
 
-// Names lists every registered structure.
+// Names lists every registered structure, sorted.
 func Names() []string {
-	names := []string{
-		"OCC-ABtree", "Elim-ABtree", "OCC-ABtree-TAS", "Elim-ABtree-TAS",
-		"OCC-ABtree-Cohort", "Elim-ABtree-Cohort", "OCC-ABtree-FC",
-		"OCC-ABtree-Sorted", "OCC-ABtree-LockedFind", "OCC-ABtree-b4", "OCC-ABtree-b16",
-		"LF-ABtree", "CATree", "DGT15", "EFRB10", "SplayList",
-		"BCCO10", "CBTree", "OLC-ART", "C-IST", "OpenBw-Tree",
-		"p-OCC-ABtree", "p-Elim-ABtree", "FPTree", "RNTree",
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRegistrySmoke asserts that every registered name constructs a
+// working dictionary: one insert/find/delete round trip plus KeySum.
+// Because Names and NewDict derive from the same table, a name cannot
+// drift into one without the other.
+func TestRegistrySmoke(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d := NewDict(name, 1024)
+			h := d.NewHandle()
+			if _, ins := h.Insert(7, 70); !ins {
+				t.Fatal("fresh insert reported duplicate")
+			}
+			if v, ok := h.Find(7); !ok || v != 70 {
+				t.Fatalf("Find = (%d, %v), want (70, true)", v, ok)
+			}
+			if s := d.KeySum(); s != 7 {
+				t.Fatalf("KeySum = %d, want 7", s)
+			}
+			if v, ok := h.Delete(7); !ok || v != 70 {
+				t.Fatalf("Delete = (%d, %v), want (70, true)", v, ok)
+			}
+			if _, ok := h.Find(7); ok {
+				t.Fatal("Find after Delete")
+			}
+		})
+	}
+}
+
+// TestCuratedSetsRegistered asserts the figure sets only name registered
+// structures.
+func TestCuratedSetsRegistered(t *testing.T) {
+	known := make(map[string]bool)
+	for _, n := range Names() {
+		known[n] = true
+	}
+	for _, set := range [][]string{VolatileStructures, PersistentStructures, ScanStructures} {
+		for _, n := range set {
+			if !known[n] {
+				t.Errorf("curated set names unregistered structure %q", n)
+			}
+		}
+	}
+}
+
+// TestScanStructuresScan asserts every ScanStructures member actually
+// implements both scan interfaces and serves a snapshot scan.
+func TestScanStructuresScan(t *testing.T) {
+	for _, name := range ScanStructures {
+		d := NewDict(name, 1024)
+		h := d.NewHandle()
+		for k := uint64(1); k <= 50; k++ {
+			h.Insert(k, k)
+		}
+		for _, snapshot := range []bool{false, true} {
+			scan := ScanFunc(h, snapshot)
+			if scan == nil {
+				t.Fatalf("%s: no scan support (snapshot=%v)", name, snapshot)
+			}
+			n := 0
+			scan(10, 19, func(k, v uint64) bool { n++; return true })
+			if n != 10 {
+				t.Fatalf("%s: scan saw %d keys, want 10", name, n)
+			}
+		}
+	}
+}
+
+// TestArenaWordsNoOverflow guards the uint64 -> int conversion: huge key
+// ranges must clamp, not overflow into a negative or truncated size.
+func TestArenaWordsNoOverflow(t *testing.T) {
+	for _, kr := range []uint64{0, 1, 1 << 16, 1 << 30, 1 << 40, 1 << 62, math.MaxUint64} {
+		w := arenaWords(kr)
+		if w <= 0 {
+			t.Fatalf("arenaWords(%d) = %d, want positive", kr, w)
+		}
+		if uint64(w) > maxArenaWords {
+			t.Fatalf("arenaWords(%d) = %d exceeds the clamp", kr, w)
+		}
+	}
+	if w := arenaWords(1 << 10); uint64(w) != uint64(1<<16*32) {
+		t.Fatalf("small key range sized %d words, want %d", w, 1<<16*32)
+	}
+}

@@ -99,6 +99,7 @@ func (t *Tree) insertSorted(leaf *node, key, val uint64) (old uint64, inserted, 
 		return 0, false, false // full: split
 	}
 	leaf.ver.Add(1)
+	t.rqStamp(leaf)
 	for i := size; i > pos; i-- {
 		leaf.keys[i].Store(leaf.keys[i-1].Load())
 		leaf.vals[i].Store(leaf.vals[i-1].Load())
@@ -130,6 +131,7 @@ func (t *Tree) deleteSorted(leaf *node, key uint64) (val uint64, handled bool) {
 	}
 	val = leaf.vals[pos].Load()
 	leaf.ver.Add(1)
+	t.rqStamp(leaf)
 	for i := pos; i < size-1; i++ {
 		leaf.keys[i].Store(leaf.keys[i+1].Load())
 		leaf.vals[i].Store(leaf.vals[i+1].Load())

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cohortlock"
 	"repro/internal/mcslock"
+	"repro/internal/rq"
 )
 
 const (
@@ -120,6 +121,13 @@ type node struct {
 	// rec is the leaf's elimination record (Elim-ABtree only; nil until
 	// the first publishing update).
 	rec atomic.Pointer[ElimRecord]
+
+	// rqTS is the global range-query timestamp observed by the leaf's
+	// most recent write; rqVers chains preserved pre-write states for
+	// in-flight snapshot scans. Both are written only inside the leaf's
+	// version window (or before publication) — see rqsnap.go.
+	rqTS   atomic.Uint64
+	rqVers atomic.Pointer[rq.Version]
 
 	keys [maxCap]atomic.Uint64
 	vals [maxCap]atomic.Uint64

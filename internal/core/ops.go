@@ -133,6 +133,7 @@ func (t *Tree) insertUnsorted(leaf *node, key, val uint64) (done bool, old uint6
 	}
 	// Simple insert: linearizes at the second version increment.
 	v := leaf.ver.Add(1) // now odd: modification in progress
+	t.rqStamp(leaf)
 	if t.elim {
 		leaf.rec.Store(&ElimRecord{Key: key, Val: val, Ver: v, Kind: RecInsert})
 	}
@@ -158,8 +159,16 @@ func (t *Tree) splitInsert(leaf, parent *node, nIdx int, key, val uint64) *node 
 
 	mid := len(items) / 2
 	sep := items[mid].k
+
+	// Open the leaf's version window around the replacement: the scan
+	// timestamp must be read where a snapshot scan's double collect can
+	// arbitrate against it (rqsnap.go). The leaf's contents stay intact;
+	// only its reachability changes.
+	leaf.ver.Add(1)
+	c := t.rqp.ReadStamp()
 	left := newLeaf(items[:mid], items[0].k)
 	right := newLeaf(items[mid:], sep)
+	t.rqInheritSplit(leaf, left, right, sep, c)
 
 	// The new two-child node is tagged — a temporary height imbalance to
 	// be merged upward by fixTagged — unless the split leaf was the root,
@@ -172,6 +181,7 @@ func (t *Tree) splitInsert(leaf, parent *node, nIdx int, key, val uint64) *node 
 
 	parent.ptrs[nIdx].Store(nn)
 	leaf.marked.Store(true)
+	leaf.ver.Add(1)
 	if k == taggedKind {
 		return nn
 	}
@@ -271,6 +281,7 @@ func (t *Tree) deleteUnsorted(leaf *node, key uint64) (val uint64, found bool, n
 	}
 	val = leaf.vals[idx].Load()
 	v := leaf.ver.Add(1) // odd: modification in progress
+	t.rqStamp(leaf)
 	if t.elim {
 		leaf.rec.Store(&ElimRecord{Key: key, Val: val, Ver: v, Kind: RecDelete})
 	}

@@ -176,14 +176,21 @@ func (th *Thread) fixUnderfull(n *node) {
 func (t *Tree) distribute(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pIdx int, sep uint64) {
 	var newLeft, newRight *node
 	var newSep uint64
-	if left.isLeaf() {
+	leaves := left.isLeaf()
+	if leaves {
 		items := gatherLeaf(t, left)
 		items = append(items, gatherLeaf(t, right)...)
 		sortKVs(items)
 		lc := (len(items) + 1) / 2
 		newSep = items[lc].k
+		// Version windows around the replacement (closed after the marks
+		// below): snapshot scans arbitrate against the stamp read here.
+		left.ver.Add(1)
+		right.ver.Add(1)
+		c := t.rqp.ReadStamp()
 		newLeft = newLeaf(items[:lc], items[0].k)
 		newRight = newLeaf(items[lc:], newSep)
+		t.rqInheritDistribute(left, right, newLeft, newRight, newSep, c)
 	} else {
 		children, keys := gatherInternal(left, right, sep)
 		lc := (len(children) + 1) / 2
@@ -218,6 +225,10 @@ func (t *Tree) distribute(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pI
 	left.marked.Store(true)
 	right.marked.Store(true)
 	p.marked.Store(true)
+	if leaves {
+		left.ver.Add(1)
+		right.ver.Add(1)
+	}
 	th.unlockAll()
 }
 
@@ -228,13 +239,26 @@ func (t *Tree) distribute(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pI
 // and recursively fixes any underfull node it created.
 func (t *Tree) merge(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pIdx int, sep uint64) {
 	var nn *node
-	if left.isLeaf() {
+	leaves := left.isLeaf()
+	if leaves {
 		items := gatherLeaf(t, left)
 		items = append(items, gatherLeaf(t, right)...)
+		// Version windows around the replacement (closed after the
+		// marks): snapshot scans arbitrate against the stamp read here.
+		left.ver.Add(1)
+		right.ver.Add(1)
+		c := t.rqp.ReadStamp()
 		nn = newLeaf(items, sep)
+		t.rqInheritMerge(left, right, nn, c)
 	} else {
 		children, keys := gatherInternal(left, right, sep)
 		nn = newInternal(internalKind, keys, children, sep)
+	}
+	closeWindows := func() {
+		if leaves {
+			left.ver.Add(1)
+			right.ver.Add(1)
+		}
 	}
 
 	if gp == t.entry && int(p.nchildren) == 2 {
@@ -243,6 +267,7 @@ func (t *Tree) merge(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pIdx in
 		left.marked.Store(true)
 		right.marked.Store(true)
 		p.marked.Store(true)
+		closeWindows()
 		th.unlockAll()
 		return
 	}
@@ -271,6 +296,7 @@ func (t *Tree) merge(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pIdx in
 	left.marked.Store(true)
 	right.marked.Store(true)
 	p.marked.Store(true)
+	closeWindows()
 	th.unlockAll()
 
 	// The merged node may still be underfull (total < 2a can be < a), and

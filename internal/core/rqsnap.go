@@ -1,0 +1,192 @@
+package core
+
+// Linearizable range queries (RangeSnapshot) over the OCC-ABtree and
+// Elim-ABtree, built on internal/rq: a global scan timestamp that only
+// scans advance, a write stamp per leaf, and per-leaf version chains
+// preserving pre-write states while scans that still need them are in
+// flight. See the internal/rq package comment for the protocol and its
+// linearizability argument. Writers call rqStamp (in-place updates) or
+// the rqInherit* helpers (structural replacements) inside the leaf's
+// version window; scans resolve each leaf with collectVersioned.
+
+import "repro/internal/rq"
+
+// rqStamp preserves and stamps a leaf about to be modified in place. It
+// must run inside the leaf's version window (version odd, lock held),
+// before the first content mutation. On the scan-free fast path — no
+// scan began since the leaf's last write — it is one shared-timestamp
+// load, one leaf-local load and a compare.
+func (t *Tree) rqStamp(leaf *node) {
+	c := t.rqp.ReadStamp()
+	s := leaf.rqTS.Load()
+	if c == s {
+		return
+	}
+	// A scan with timestamp in (s, c] may still need the pre-write
+	// contents: preserve them, stamped with the state's own stamp.
+	leaf.rqVers.Store(t.rqp.Push(leaf.rqVers.Load(), s, gatherPairs(t, leaf), t.rqp.MinActive()))
+	leaf.rqTS.Store(c)
+}
+
+// rqTimeline returns a leaf's full state history — the version chain,
+// headed by the current contents when a scan in (stamp, c] could still
+// need them — for inheritance by the leaf's replacements. The leaf must
+// be locked and not yet modified by the caller.
+func (t *Tree) rqTimeline(leaf *node, c uint64) *rq.Version {
+	tl := leaf.rqVers.Load()
+	if s := leaf.rqTS.Load(); s < c {
+		tl = t.rqp.Push(tl, s, gatherPairs(t, leaf), t.rqp.MinActive())
+	}
+	return tl
+}
+
+// rqInheritSplit hands a split leaf's history to its two replacements:
+// left covers keys < sep, right keys >= sep. Runs inside old's version
+// window, with c the stamp read there.
+func (t *Tree) rqInheritSplit(old, left, right *node, sep, c uint64) {
+	left.rqTS.Store(c)
+	right.rqTS.Store(c)
+	if tl := t.rqTimeline(old, c); tl != nil {
+		left.rqVers.Store(rq.Restrict(tl, 0, sep-1))
+		right.rqVers.Store(rq.Restrict(tl, sep, ^uint64(0)))
+	}
+}
+
+// rqMergedTimeline combines two sibling leaves' histories (for merge and
+// distribute, whose replacements span both old ranges). Runs inside both
+// leaves' version windows, with c the stamp read there.
+func (t *Tree) rqMergedTimeline(left, right *node, c uint64) *rq.Version {
+	return rq.MergeTimelines(t.rqTimeline(left, c), t.rqTimeline(right, c))
+}
+
+// rqInheritDistribute hands two redistributed leaves' combined history
+// to their replacements, split at newSep. Runs inside both old leaves'
+// version windows, with c the stamp read there.
+func (t *Tree) rqInheritDistribute(oldLeft, oldRight, newLeft, newRight *node, newSep, c uint64) {
+	newLeft.rqTS.Store(c)
+	newRight.rqTS.Store(c)
+	if tl := t.rqMergedTimeline(oldLeft, oldRight, c); tl != nil {
+		newLeft.rqVers.Store(rq.Restrict(tl, 0, newSep-1))
+		newRight.rqVers.Store(rq.Restrict(tl, newSep, ^uint64(0)))
+	}
+}
+
+// rqInheritMerge hands two merged leaves' combined history to their
+// single replacement. Same window requirements as rqInheritDistribute.
+func (t *Tree) rqInheritMerge(oldLeft, oldRight, nn *node, c uint64) {
+	nn.rqTS.Store(c)
+	nn.rqVers.Store(t.rqMergedTimeline(oldLeft, oldRight, c))
+}
+
+// gatherPairs collects a locked leaf's pairs, sorted by key.
+func gatherPairs(t *Tree, l *node) []rq.Pair {
+	items := make([]rq.Pair, 0, t.b)
+	for i := 0; i < t.b; i++ {
+		if k := l.keys[i].Load(); k != emptyKey {
+			items = append(items, rq.Pair{K: k, V: l.vals[i].Load()})
+		}
+	}
+	rq.SortPairs(items)
+	return items
+}
+
+// scanner returns this thread's scan registration, created on first use
+// so threads that never scan stay off the active-timestamp registry.
+func (th *Thread) scanner() *rq.Scanner {
+	if th.rqs == nil {
+		th.rqs = th.t.rqp.Register()
+	}
+	return th.rqs
+}
+
+// RangeSnapshot calls fn for each pair with lo <= key <= hi in ascending
+// key order, stopping early if fn returns false. Unlike Range, the
+// reported pairs are a single atomic snapshot of the whole interval: the
+// query linearizes at the moment it draws its timestamp, before reading
+// any leaf. Safe to call concurrently with updates.
+func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	if lo == emptyKey {
+		lo = 1
+	}
+	checkKey(lo)
+	if hi < lo {
+		return
+	}
+	t := th.t
+	sc := th.scanner()
+	ts := sc.Begin()
+	defer sc.End()
+	cursor := lo
+	for {
+		leaf, bound, hasBound := t.searchWithBound(cursor)
+		items, ok := t.collectVersioned(leaf, ts, cursor, hi)
+		if !ok {
+			continue // leaf was unlinked: re-descend to its replacement
+		}
+		for _, it := range items {
+			if !fn(it.K, it.V) {
+				return
+			}
+		}
+		if !hasBound || bound > hi {
+			return
+		}
+		cursor = bound
+	}
+}
+
+// collectVersioned reads the leaf's state as of scan timestamp ts,
+// filtered to [lo, hi] and sorted. ok is false if the leaf has been
+// unlinked, in which case the caller must re-descend: the replacement
+// nodes (which inherited this leaf's history) are the ones reachable
+// from the root.
+func (t *Tree) collectVersioned(l *node, ts, lo, hi uint64) ([]rq.Pair, bool) {
+	spins := 0
+	for {
+		v1 := l.ver.Load()
+		if v1&1 == 1 {
+			spinPause(&spins)
+			continue
+		}
+		if l.marked.Load() {
+			return nil, false
+		}
+		s := l.rqTS.Load()
+		chain := l.rqVers.Load()
+		items := make([]rq.Pair, 0, t.b)
+		for i := 0; i < t.b; i++ {
+			k := l.keys[i].Load()
+			if k != emptyKey && k >= lo && k <= hi {
+				items = append(items, rq.Pair{K: k, V: l.vals[i].Load()})
+			}
+		}
+		if l.ver.Load() != v1 {
+			spinPause(&spins)
+			continue
+		}
+		// The collect is consistent: the leaf's version window did not
+		// overlap it, so s orders the leaf's latest write against the
+		// scan (see internal/rq). Current state is the answer iff its
+		// stamp predates the scan; otherwise resolve the chain.
+		if s >= ts {
+			if v := rq.VisibleAt(chain, ts); v != nil {
+				items = items[:0]
+				for _, it := range v.Items {
+					if it.K >= lo && it.K <= hi {
+						items = append(items, it)
+					}
+				}
+				return items, true
+			}
+			// No chain entry below ts: unreachable while the scan holds
+			// its registry slot (pruning respects MinActive). Fall back
+			// to the current contents.
+		}
+		rq.SortPairs(items)
+		return items, true
+	}
+}
+
+// RQStats reports how many range-query snapshots have been taken and how
+// many leaf versions writers preserved for them.
+func (t *Tree) RQStats() (scans, versions uint64) { return t.rqp.Stats() }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cohortlock"
 	"repro/internal/mcslock"
+	"repro/internal/rq"
 )
 
 // maxHeld is the most node locks any operation holds at once:
@@ -27,6 +28,9 @@ type Thread struct {
 	qn     [maxHeld]mcslock.QNode
 	held   [maxHeld]*node
 	nheld  int
+	// rqs is this thread's scan registration, nil until the first
+	// RangeSnapshot (rqsnap.go).
+	rqs *rq.Scanner
 }
 
 // NewThread returns a new operation handle for t.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/rq"
 )
 
 // Tree is an OCC-ABtree or (with WithElimination) an Elim-ABtree.
@@ -36,6 +38,10 @@ type Tree struct {
 	// fcCombined counts operations applied by another thread's combiner
 	// (WithLeafCombining only).
 	fcCombined atomic.Uint64
+
+	// rqp coordinates linearizable range queries (rqsnap.go): the global
+	// scan timestamp, the active-scan registry, and version-chain stats.
+	rqp *rq.Provider
 }
 
 // FCCombined reports how many operations were applied on their owners'
@@ -108,6 +114,7 @@ func New(opts ...Option) *Tree {
 	if t.elimFinds && !t.elim {
 		panic("core: WithFindElimination requires WithElimination")
 	}
+	t.rqp = rq.NewProvider()
 	root := newLeaf(nil, 0)
 	t.entry = newInternal(internalKind, nil, []*node{root}, 0)
 	return t

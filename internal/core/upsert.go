@@ -105,6 +105,7 @@ func (th *Thread) Upsert(key, val uint64) {
 		case dup >= 0:
 			// Replace in place.
 			v := leaf.ver.Add(1)
+			t.rqStamp(leaf)
 			if t.elim {
 				leaf.rec.Store(&ElimRecord{Key: key, Val: val, Ver: v, Kind: RecReplace})
 			}
@@ -116,6 +117,7 @@ func (th *Thread) Upsert(key, val uint64) {
 			// Insert into an empty slot (publishes an insert record: the
 			// key was absent before this operation).
 			v := leaf.ver.Add(1)
+			t.rqStamp(leaf)
 			if t.elim {
 				leaf.rec.Store(&ElimRecord{Key: key, Val: val, Ver: v, Kind: RecInsert})
 			}

@@ -28,6 +28,10 @@ const (
 	OpInsert
 	OpDelete
 	OpUpsert
+	// OpRange is a range query over [Key, Hi] whose result set is Pairs.
+	// Check expands it into one per-key presence/absence observation for
+	// every key in the history's domain that the interval covers.
+	OpRange
 )
 
 func (k OpKind) String() string {
@@ -38,10 +42,15 @@ func (k OpKind) String() string {
 		return "insert"
 	case OpDelete:
 		return "delete"
+	case OpRange:
+		return "range"
 	default:
 		return "upsert"
 	}
 }
+
+// KV is one pair reported by a range query.
+type KV struct{ K, V uint64 }
 
 // Op is one completed operation in a history. Call and Return are
 // timestamps from a shared monotonic counter: Call is drawn immediately
@@ -51,14 +60,20 @@ type Op struct {
 	Kind     OpKind
 	Key      uint64
 	Arg      uint64 // value argument (insert/upsert)
+	Hi       uint64 // range upper bound (OpRange; Key is the lower bound)
 	OutVal   uint64 // returned value (find/insert/delete)
 	OutOK    bool   // returned ok/inserted/deleted flag
+	Pairs    []KV   // result set (OpRange)
 	Call     int64
 	Return   int64
 	ThreadID int
 }
 
 func (o Op) String() string {
+	if o.Kind == OpRange {
+		return fmt.Sprintf("[%d,%d] t%d range(%d,%d) -> %d pairs",
+			o.Call, o.Return, o.ThreadID, o.Key, o.Hi, len(o.Pairs))
+	}
 	return fmt.Sprintf("[%d,%d] t%d %s(%d,%d) -> (%d,%v)",
 		o.Call, o.Return, o.ThreadID, o.Kind, o.Key, o.Arg, o.OutVal, o.OutOK)
 }
@@ -159,10 +174,52 @@ func CheckKey(ops []Op, initial keyState) bool {
 // Check partitions the history by key and verifies each subhistory
 // (locality). initial maps keys present at the start to their values.
 // It returns nil, or an error naming the first non-linearizable key.
+//
+// Range queries are expanded into per-key observations: for every key of
+// the history's domain (keys named by point operations, the initial
+// state, or a range result) inside the query's interval, the query
+// asserts a find-like observation — present with the reported value, or
+// absent — over the query's [Call, Return] window. Checking those
+// observations per key is a necessary condition for linearizability (the
+// sound-and-complete whole-scan check would need a single linearization
+// point across keys, which the per-key partition cannot express; the
+// cross-key atomicity of RangeSnapshot is covered by the write-order
+// witness and differential tests in internal/core).
 func Check(history []Op, initial map[uint64]uint64) error {
+	domain := make(map[uint64]bool)
+	for k := range initial {
+		domain[k] = true
+	}
+	for _, op := range history {
+		if op.Kind == OpRange {
+			for _, p := range op.Pairs {
+				domain[p.K] = true
+			}
+		} else {
+			domain[op.Key] = true
+		}
+	}
+
 	byKey := make(map[uint64][]Op)
 	for _, op := range history {
-		byKey[op.Key] = append(byKey[op.Key], op)
+		if op.Kind != OpRange {
+			byKey[op.Key] = append(byKey[op.Key], op)
+			continue
+		}
+		seen := make(map[uint64]uint64, len(op.Pairs))
+		for _, p := range op.Pairs {
+			seen[p.K] = p.V
+		}
+		for k := range domain {
+			if k < op.Key || k > op.Hi {
+				continue
+			}
+			v, ok := seen[k]
+			byKey[k] = append(byKey[k], Op{
+				Kind: OpFind, Key: k, OutVal: v, OutOK: ok,
+				Call: op.Call, Return: op.Return, ThreadID: op.ThreadID,
+			})
+		}
 	}
 	for key, ops := range byKey {
 		var init keyState

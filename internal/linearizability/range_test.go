@@ -1,0 +1,141 @@
+package linearizability
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pabtree"
+	"repro/internal/pmem"
+)
+
+func TestRangeHistoriesSequentialAccepted(t *testing.T) {
+	// insert 1 and 3; a range over [1,4] sees exactly those; delete 1;
+	// a second range sees only 3.
+	h := []Op{
+		{Kind: OpInsert, Key: 1, Arg: 10, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpInsert, Key: 3, Arg: 30, OutOK: true, Call: 3, Return: 4},
+		{Kind: OpRange, Key: 1, Hi: 4, Pairs: []KV{{1, 10}, {3, 30}}, Call: 5, Return: 6},
+		{Kind: OpDelete, Key: 1, OutVal: 10, OutOK: true, Call: 7, Return: 8},
+		{Kind: OpRange, Key: 1, Hi: 4, Pairs: []KV{{3, 30}}, Call: 9, Return: 10},
+	}
+	if err := Check(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeMissingCompletedInsertRejected(t *testing.T) {
+	// A range that starts after an insert completed must include it.
+	h := []Op{
+		{Kind: OpInsert, Key: 2, Arg: 20, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpRange, Key: 1, Hi: 4, Pairs: nil, Call: 3, Return: 4},
+	}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("stale range accepted")
+	}
+}
+
+func TestRangeStaleValueRejected(t *testing.T) {
+	// A range observing a value no state ever held is rejected.
+	h := []Op{
+		{Kind: OpInsert, Key: 2, Arg: 20, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpRange, Key: 1, Hi: 4, Pairs: []KV{{2, 99}}, Call: 3, Return: 4},
+	}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("phantom range value accepted")
+	}
+}
+
+func TestRangePhantomKeyRejected(t *testing.T) {
+	// A range reporting a key that was deleted before it began.
+	h := []Op{
+		{Kind: OpInsert, Key: 2, Arg: 20, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpDelete, Key: 2, OutVal: 20, OutOK: true, Call: 3, Return: 4},
+		{Kind: OpRange, Key: 1, Hi: 4, Pairs: []KV{{2, 20}}, Call: 5, Return: 6},
+	}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("phantom key accepted")
+	}
+}
+
+func TestRangeOverlappingUpdatesAccepted(t *testing.T) {
+	// A range overlapping an insert may see either state.
+	for _, pairs := range [][]KV{nil, {{2, 20}}} {
+		h := []Op{
+			{Kind: OpInsert, Key: 2, Arg: 20, OutOK: true, Call: 1, Return: 4},
+			{Kind: OpRange, Key: 1, Hi: 4, Pairs: pairs, Call: 2, Return: 3},
+		}
+		if err := Check(h, nil); err != nil {
+			t.Fatalf("pairs=%v: %v", pairs, err)
+		}
+	}
+}
+
+// TestTreesProduceLinearizableRangeHistories records concurrent
+// histories mixing point operations with RangeSnapshot queries from
+// both tree families — at degree (2,4) so the recorded keys keep
+// splitting and merging — and checks them.
+func TestTreesProduceLinearizableRangeHistories(t *testing.T) {
+	keys := []uint64{1, 2, 3, 4, 5, 6}
+	for _, tc := range []struct {
+		name string
+		mk   func() func() DictHandle
+	}{
+		{"OCC-b4", func() func() DictHandle {
+			tr := core.New(core.WithDegree(2, 4))
+			return func() DictHandle { return tr.NewThread() }
+		}},
+		{"Elim-b4", func() func() DictHandle {
+			tr := core.New(core.WithDegree(2, 4), core.WithElimination())
+			return func() DictHandle { return tr.NewThread() }
+		}},
+		{"pOCC-b4", func() func() DictHandle {
+			tr := pabtree.New(pmem.New(1<<20), pabtree.WithDegree(2, 4))
+			return func() DictHandle { return tr.NewThread() }
+		}},
+		{"pElim-b4", func() func() DictHandle {
+			tr := pabtree.New(pmem.New(1<<20), pabtree.WithDegree(2, 4), pabtree.WithElimination())
+			return func() DictHandle { return tr.NewThread() }
+		}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rounds := 30
+			if testing.Short() {
+				rounds = 6
+			}
+			for seed := 0; seed < rounds; seed++ {
+				hist := Record(tc.mk(), RecordConfig{
+					Workers:   4,
+					OpsPerKey: 6,
+					Keys:      keys,
+					Seed:      uint64(seed)*7 + 1,
+					RangeOps:  20,
+				})
+				ranges := 0
+				for _, op := range hist {
+					if op.Kind == OpRange {
+						ranges++
+					}
+				}
+				if ranges == 0 {
+					t.Fatalf("seed %d: no range ops recorded", seed)
+				}
+				if err := Check(hist, nil); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// ExampleCheck_range shows a range query participating in a checked
+// history.
+func ExampleCheck_range() {
+	h := []Op{
+		{Kind: OpInsert, Key: 1, Arg: 10, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpRange, Key: 1, Hi: 9, Pairs: []KV{{1, 10}}, Call: 3, Return: 4},
+	}
+	fmt.Println(Check(h, nil))
+	// Output: <nil>
+}

@@ -21,6 +21,12 @@ type Upserter interface {
 	Upsert(key, val uint64)
 }
 
+// SnapshotRanger is optionally implemented by handles with linearizable
+// range queries (internal/rq's RangeSnapshot).
+type SnapshotRanger interface {
+	RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool)
+}
+
 // RecordConfig controls a recording run.
 type RecordConfig struct {
 	Workers   int
@@ -28,6 +34,12 @@ type RecordConfig struct {
 	Keys      []uint64
 	Seed      uint64
 	Upserts   bool // include upserts in the mix (handles must be Upserters)
+	// RangeOps is the total budget of range queries to record across all
+	// workers (handles must be SnapshotRangers). Each range spans the
+	// whole of Keys, so it adds one derived observation to every key's
+	// subhistory: keep len(Keys)*OpsPerKey + RangeOps under CheckKey's
+	// per-key cap.
+	RangeOps int
 }
 
 // Record drives workers against the dictionary and returns the completed
@@ -40,6 +52,21 @@ func Record(newHandle func() DictHandle, cfg RecordConfig) []Op {
 	var history []Op
 	perKey := make(map[uint64]int)
 
+	var lo, hi uint64
+	if len(cfg.Keys) > 0 {
+		lo, hi = cfg.Keys[0], cfg.Keys[0]
+		for _, k := range cfg.Keys {
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+	}
+	var rangeBudget atomic.Int64
+	rangeBudget.Store(int64(cfg.RangeOps))
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -48,6 +75,21 @@ func Record(newHandle func() DictHandle, cfg RecordConfig) []Op {
 			h := newHandle()
 			rng := xrand.New(cfg.Seed*1000003 + uint64(w))
 			for {
+				// Interleave range queries with the point operations
+				// while the range budget lasts.
+				if cfg.RangeOps > 0 && rng.Intn(4) == 0 && rangeBudget.Add(-1) >= 0 {
+					op := Op{Kind: OpRange, Key: lo, Hi: hi, ThreadID: w}
+					op.Call = clock.Add(1)
+					h.(SnapshotRanger).RangeSnapshot(lo, hi, func(k, v uint64) bool {
+						op.Pairs = append(op.Pairs, KV{K: k, V: v})
+						return true
+					})
+					op.Return = clock.Add(1)
+					mu.Lock()
+					history = append(history, op)
+					mu.Unlock()
+					continue
+				}
 				// Pick a non-saturated key.
 				mu.Lock()
 				var key uint64

@@ -143,6 +143,7 @@ func (th *Thread) Insert(key, val uint64) (uint64, bool) {
 			// reaches PM; a crash in between leaves the slot logically
 			// empty (key still ⊥).
 			ver := lv.ver.Add(1)
+			t.rqStamp(leaf)
 			if t.elim {
 				lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recInsert})
 			}
@@ -185,20 +186,28 @@ func (t *Tree) splitInsert(th *Thread, leaf, parent uint64, nIdx int, key, val u
 
 	mid := len(items) / 2
 	sep := items[mid].k
+
+	// Open the leaf's version window around the replacement so snapshot
+	// scans can arbitrate against the stamp read inside it (rqsnap.go).
+	lv := t.vn(leaf)
+	lv.ver.Add(1)
+	c := t.rqp.ReadStamp()
 	leftOff := t.allocSlot()
 	rightOff := t.allocSlot()
 	topOff := t.allocSlot()
-	t.initLeaf(leftOff, items[:mid], t.vn(leaf).searchKey)
+	t.initLeaf(leftOff, items[:mid], lv.searchKey)
 	t.initLeaf(rightOff, items[mid:], sep)
+	t.rqInheritSplit(leaf, leftOff, rightOff, sep, c)
 
 	k := taggedKind
 	if parent == t.entryOff {
 		k = internalKind
 	}
-	t.initInternalNode(topOff, k, []uint64{sep}, []uint64{leftOff, rightOff}, t.vn(leaf).searchKey)
+	t.initInternalNode(topOff, k, []uint64{sep}, []uint64{leftOff, rightOff}, lv.searchKey)
 
 	t.setChildPersist(parent, nIdx, topOff)
-	t.vn(leaf).marked.Store(true)
+	lv.marked.Store(true)
+	lv.ver.Add(1)
 	th.retire(leaf)
 	if k == taggedKind {
 		return topOff
@@ -254,6 +263,7 @@ func (th *Thread) Delete(key uint64) (uint64, bool) {
 
 		val := t.loadVal(leaf, idx)
 		ver := lv.ver.Add(1)
+		t.rqStamp(leaf)
 		if t.elim {
 			lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recDelete})
 		}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/mcslock"
 	"repro/internal/pmem"
+	"repro/internal/rq"
 )
 
 // Persistent node layout, in 64-bit words relative to the node offset.
@@ -84,6 +85,13 @@ type vnode struct {
 	size      atomic.Int64
 	rec       atomic.Pointer[elimRecord]
 	searchKey uint64
+
+	// rqTS is the global range-query timestamp observed by the leaf's
+	// most recent write; rqVers chains preserved pre-write states for
+	// in-flight snapshot scans (rqsnap.go). Volatile: reset by allocSlot
+	// and absent after Recover.
+	rqTS   atomic.Uint64
+	rqVers atomic.Pointer[rq.Version]
 }
 
 // Tree is a p-OCC-ABtree, or a p-Elim-ABtree when built with
@@ -105,6 +113,9 @@ type Tree struct {
 	elimInserts atomic.Uint64
 	elimDeletes atomic.Uint64
 	elimUpserts atomic.Uint64
+
+	// rqp coordinates linearizable range queries (rqsnap.go).
+	rqp *rq.Provider
 }
 
 // ElimStats reports how many inserts and deletes were eliminated against
@@ -174,6 +185,7 @@ func newTreeShell(arena *pmem.Arena, cfg config) *Tree {
 		elim:     cfg.elim,
 	}
 	t.em = epoch.NewManager[uint32](t.pushFree)
+	t.rqp = rq.NewProvider()
 	return t
 }
 
@@ -238,6 +250,8 @@ func (t *Tree) allocSlot() uint64 {
 	v.ver.Store(0)
 	v.size.Store(0)
 	v.rec.Store(nil)
+	v.rqTS.Store(0)
+	v.rqVers.Store(nil)
 	return off
 }
 

@@ -196,16 +196,23 @@ func (t *Tree) gatherInternal(left, right uint64, sep uint64) ([]uint64, []uint6
 func (t *Tree) distribute(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, pIdx int, sep uint64) {
 	var newLeft, newRight uint64
 	var newSep uint64
-	if t.isLeaf(left) {
+	leaves := t.isLeaf(left)
+	if leaves {
 		items := t.gatherLeaf(left)
 		items = append(items, t.gatherLeaf(right)...)
 		sortKVs(items)
 		lc := (len(items) + 1) / 2
 		newSep = items[lc].k
+		// Version windows around the replacement (closed after the marks
+		// below): snapshot scans arbitrate against the stamp read here.
+		t.vn(left).ver.Add(1)
+		t.vn(right).ver.Add(1)
+		c := t.rqp.ReadStamp()
 		newLeft = t.allocSlot()
 		newRight = t.allocSlot()
 		t.initLeaf(newLeft, items[:lc], t.vn(left).searchKey)
 		t.initLeaf(newRight, items[lc:], newSep)
+		t.rqInheritDistribute(left, right, newLeft, newRight, newSep, c)
 	} else {
 		children, keys := t.gatherInternal(left, right, sep)
 		lc := (len(children) + 1) / 2
@@ -243,6 +250,10 @@ func (t *Tree) distribute(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, p
 	t.vn(left).marked.Store(true)
 	t.vn(right).marked.Store(true)
 	t.vn(p).marked.Store(true)
+	if leaves {
+		t.vn(left).ver.Add(1)
+		t.vn(right).ver.Add(1)
+	}
 	th.retire(left)
 	th.retire(right)
 	th.retire(p)
@@ -251,13 +262,26 @@ func (t *Tree) distribute(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, p
 
 func (t *Tree) merge(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, pIdx int, sep uint64) {
 	nn := t.allocSlot()
-	if t.isLeaf(left) {
+	leaves := t.isLeaf(left)
+	if leaves {
 		items := t.gatherLeaf(left)
 		items = append(items, t.gatherLeaf(right)...)
+		// Version windows around the replacement (closed after the
+		// marks): snapshot scans arbitrate against the stamp read here.
+		t.vn(left).ver.Add(1)
+		t.vn(right).ver.Add(1)
+		c := t.rqp.ReadStamp()
 		t.initLeaf(nn, items, t.vn(left).searchKey)
+		t.rqInheritMerge(left, right, nn, c)
 	} else {
 		children, keys := t.gatherInternal(left, right, sep)
 		t.initInternalNode(nn, internalKind, keys, children, t.vn(left).searchKey)
+	}
+	closeWindows := func() {
+		if leaves {
+			t.vn(left).ver.Add(1)
+			t.vn(right).ver.Add(1)
+		}
 	}
 
 	if gp == t.entryOff && nchildrenOf(t.meta(p)) == 2 {
@@ -265,6 +289,7 @@ func (t *Tree) merge(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, pIdx i
 		t.vn(left).marked.Store(true)
 		t.vn(right).marked.Store(true)
 		t.vn(p).marked.Store(true)
+		closeWindows()
 		th.retire(left)
 		th.retire(right)
 		th.retire(p)
@@ -297,6 +322,7 @@ func (t *Tree) merge(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, pIdx i
 	t.vn(left).marked.Store(true)
 	t.vn(right).marked.Store(true)
 	t.vn(p).marked.Store(true)
+	closeWindows()
 	th.retire(left)
 	th.retire(right)
 	th.retire(p)

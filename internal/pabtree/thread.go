@@ -4,6 +4,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/mcslock"
 	"repro/internal/pmem"
+	"repro/internal/rq"
 )
 
 const maxHeld = 4
@@ -17,6 +18,9 @@ type Thread struct {
 	qn    [maxHeld]mcslock.QNode
 	held  [maxHeld]*vnode
 	nheld int
+	// rqs is this thread's scan registration, nil until the first
+	// RangeSnapshot (rqsnap.go).
+	rqs *rq.Scanner
 }
 
 // NewThread registers a new operation handle.

@@ -80,6 +80,7 @@ func (th *Thread) Upsert(key, val uint64) {
 			// intervenes, the replace linearizes at the crash iff the new
 			// value reached PM — single-word atomicity.
 			ver := lv.ver.Add(1)
+			t.rqStamp(leaf)
 			if t.elim {
 				lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recReplace})
 			}
@@ -91,6 +92,7 @@ func (th *Thread) Upsert(key, val uint64) {
 			return
 		case emptyIdx >= 0:
 			ver := lv.ver.Add(1)
+			t.rqStamp(leaf)
 			if t.elim {
 				lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recInsert})
 			}

@@ -17,10 +17,11 @@ import (
 // Row is one measurement from a figure TSV.
 type Row struct {
 	Figure    int
-	UpdatePct int // -1 if the figure has no update column (16, 17)
+	UpdatePct int // -1 if the figure has no update column (16, 17, 18)
 	Zipf      float64
 	Structure string
 	Threads   int
+	ScanLen   int // figure 18 (Workload E) only; 0 otherwise
 	OpsPerUs  float64
 }
 
@@ -57,6 +58,8 @@ func Parse(r io.Reader) ([]Row, error) {
 				row.Structure = v
 			case "threads":
 				row.Threads, err = strconv.Atoi(v)
+			case "scanlen":
+				row.ScanLen, err = strconv.Atoi(v)
 			case "ops_per_us", "tx_per_us":
 				row.OpsPerUs, err = strconv.ParseFloat(v, 64)
 			}
@@ -70,19 +73,25 @@ func Parse(r io.Reader) ([]Row, error) {
 }
 
 // Workload identifies one cell group (figure, update mix, distribution,
-// thread count).
+// thread count, and — for the Workload E extension — scan length).
 type Workload struct {
 	Figure    int
 	UpdatePct int
 	Zipf      float64
 	Threads   int
+	ScanLen   int
 }
 
 func (w Workload) String() string {
+	s := fmt.Sprintf("fig%d", w.Figure)
 	if w.UpdatePct >= 0 {
-		return fmt.Sprintf("fig%d u%d%% zipf%.1f t%d", w.Figure, w.UpdatePct, w.Zipf, w.Threads)
+		s += fmt.Sprintf(" u%d%%", w.UpdatePct)
 	}
-	return fmt.Sprintf("fig%d zipf%.1f t%d", w.Figure, w.Zipf, w.Threads)
+	s += fmt.Sprintf(" zipf%.1f t%d", w.Zipf, w.Threads)
+	if w.ScanLen > 0 {
+		s += fmt.Sprintf(" scan%d", w.ScanLen)
+	}
+	return s
 }
 
 // Summary compares the protagonists against competitors per workload.
@@ -127,7 +136,7 @@ func isOurs(name string) bool {
 func Summarize(rows []Row) []Summary {
 	groups := make(map[Workload][]Row)
 	for _, r := range rows {
-		w := Workload{r.Figure, r.UpdatePct, r.Zipf, r.Threads}
+		w := Workload{r.Figure, r.UpdatePct, r.Zipf, r.Threads, r.ScanLen}
 		groups[w] = append(groups[w], r)
 	}
 	var out []Summary

@@ -1,0 +1,321 @@
+// Package rq provides the epoch-based range-query machinery that gives
+// the (a,b)-trees in this repository linearizable range queries — the
+// extension the paper defers to future work ("linearizable range queries
+// could be added using the techniques described in [1]", §3, citing
+// Arbel-Raviv & Brown's epoch-based range queries, PPoPP 2018).
+//
+// The design follows that line of work, adapted to leaf-structured trees
+// whose leaves are modified in place under fine-grained locks:
+//
+//   - A Provider owns a global range-query timestamp. Only range queries
+//     advance it (one fetch-add per scan); updates merely read it, so
+//     point operations never contend on the counter.
+//
+//   - Every leaf write happens inside the leaf's version window (the
+//     odd/even version protocol the tree already uses for its
+//     double-collect searches). Inside the window — after the version
+//     went odd, before any content word changes — the writer reads the
+//     global timestamp c and compares it with the leaf's last write
+//     stamp s. If no scan began since the last write (c == s, the
+//     steady state of scan-free workloads) nothing else happens. If
+//     c > s, a scan with timestamp in (s, c] may still need the leaf's
+//     pre-write contents, so the writer pushes an immutable snapshot of
+//     them, stamped s, onto the leaf's version chain before mutating.
+//
+//   - A scan obtains its linearization timestamp t with one fetch-add
+//     and then reads each overlapping leaf with the usual double
+//     collect. A leaf whose stamp is < t is current as of t (any write
+//     it has absorbed read the counter before the scan's fetch-add and
+//     therefore linearizes before the scan); a leaf whose stamp is >= t
+//     was overwritten after the scan linearized, and the scan walks the
+//     leaf's version chain to the newest snapshot stamped < t.
+//
+//   - Structural modifications (splitting inserts, merges,
+//     distributions) replace leaves wholesale; the replacement nodes
+//     inherit the replaced leaves' version chains, restricted to each
+//     new leaf's key range, so history survives arbitrary reshaping.
+//     Retired chains on unlinked leaves are reclaimed exactly like the
+//     leaves themselves: by the garbage collector for the volatile
+//     trees, and alongside internal/epoch's grace period for the
+//     persistent trees (a scan holds an epoch guard, so a retired
+//     leaf's chain cannot be recycled under it).
+//
+//   - Chains are pruned by the writers that grow them, using the
+//     registry of active scan timestamps: any snapshot older than the
+//     newest snapshot still visible to the minimum active timestamp is
+//     unreachable and is cut loose.
+//
+// Correctness hinges on two points. First, stamps order operations
+// consistently with real time: if a write returns before a scan begins,
+// the write's stamp (read before it returned) is strictly less than the
+// scan's timestamp (a fetch-add after), and symmetrically a write that
+// reads the counter after a scan's fetch-add is stamped >= t. Second,
+// reading the stamp inside the version window makes the double collect
+// arbitrate concurrent cases: a successful collect proves the leaf's
+// window did not overlap the reads, so the writer's stamp read happened
+// entirely before (its effect is in the collected content, stamp < t)
+// or entirely after (stamp >= t, content excluded via the chain) the
+// scan's fetch-add. Either way the scan returns exactly the state at
+// its timestamp, for every leaf, which makes the whole scan one atomic
+// snapshot.
+package rq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// idle marks a Scanner slot with no scan in flight.
+const idle = ^uint64(0)
+
+// Pair is one key-value pair in a version snapshot.
+type Pair struct{ K, V uint64 }
+
+// Version is an immutable snapshot of one leaf's contents (restricted to
+// that leaf's key range), valid for scan timestamps t with
+// Stamp < t <= stamp of the next-newer state. Items are sorted by key.
+// Next links to the next-older snapshot; it is atomic only so that
+// writers can prune the tail while concurrent scans walk the chain.
+type Version struct {
+	Stamp uint64
+	Items []Pair
+	next  atomic.Pointer[Version]
+}
+
+// Next returns the next-older snapshot in the chain, or nil.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// Provider owns one tree's global range-query timestamp and the registry
+// of active scans. The zero timestamp predates every scan (scan
+// timestamps start at 1), so freshly created leaves stamped 0 are
+// current for every scan until their first post-scan write.
+type Provider struct {
+	ts atomic.Uint64
+
+	mu       sync.Mutex // guards scanner registration
+	scanners atomic.Pointer[[]*Scanner]
+
+	// scans counts Begin calls; versions counts snapshots pushed.
+	// Both are off the point-operation fast path.
+	scans    atomic.Uint64
+	versions atomic.Uint64
+}
+
+// Scanner is a per-thread registration with a Provider. A Scanner must
+// not be used concurrently.
+type Scanner struct {
+	p        *Provider
+	announce atomic.Uint64
+	_        [64 - 8]byte // keep announcements off each other's cache lines
+}
+
+// NewProvider returns a provider with no scans in flight.
+func NewProvider() *Provider {
+	p := &Provider{}
+	ss := make([]*Scanner, 0)
+	p.scanners.Store(&ss)
+	return p
+}
+
+// Register adds a scanner slot for one worker thread.
+func (p *Provider) Register() *Scanner {
+	s := &Scanner{p: p}
+	s.announce.Store(idle)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := *p.scanners.Load()
+	ss := make([]*Scanner, len(old)+1)
+	copy(ss, old)
+	ss[len(old)] = s
+	p.scanners.Store(&ss)
+	return s
+}
+
+// Begin starts a scan: it announces a conservative lower bound, draws
+// the scan's linearization timestamp with one fetch-add, and announces
+// the final value. The scan observes exactly the writes stamped < t.
+func (s *Scanner) Begin() uint64 {
+	// The pre-announcement (<= the final t) closes the race with a
+	// concurrent MinActive reader that scans the registry between our
+	// fetch-add and the final announcement.
+	s.announce.Store(s.p.ts.Load())
+	t := s.p.ts.Add(1)
+	s.announce.Store(t)
+	s.p.scans.Add(1)
+	return t
+}
+
+// End retires the scan's timestamp reservation.
+func (s *Scanner) End() { s.announce.Store(idle) }
+
+// ReadStamp returns the current timestamp. Writers call it inside a
+// leaf's version window to stamp the state they are about to install.
+func (p *Provider) ReadStamp() uint64 { return p.ts.Load() }
+
+// MinActive returns a timestamp m such that every in-flight scan — and
+// every scan that will ever begin — has timestamp >= m. Snapshots
+// shadowed for all t >= m can be pruned.
+func (p *Provider) MinActive() uint64 {
+	m := p.ts.Load() + 1 // future scans draw > current ts
+	for _, s := range *p.scanners.Load() {
+		if a := s.announce.Load(); a != idle && a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Stats reports how many scans have begun and how many leaf snapshots
+// writers have preserved for them.
+func (p *Provider) Stats() (scans, versions uint64) {
+	return p.scans.Load(), p.versions.Load()
+}
+
+// Push prepends a snapshot (stamp, items) to chain and prunes entries no
+// active or future scan can reach. items must be sorted by key and must
+// not be mutated afterwards. Callers hold the owning leaf's lock, so
+// pushes to one chain never race; concurrent scans may be walking the
+// chain, which pruning respects by only cutting links past the entry
+// still visible at minActive.
+func (p *Provider) Push(chain *Version, stamp uint64, items []Pair, minActive uint64) *Version {
+	v := &Version{Stamp: stamp, Items: items}
+	v.next.Store(chain)
+	p.versions.Add(1)
+	prune(v, minActive)
+	return v
+}
+
+// prune cuts the chain after the newest entry stamped < minActive: that
+// entry is the one a scan at minActive resolves to, and everything older
+// is shadowed for every reachable timestamp.
+func prune(head *Version, minActive uint64) {
+	for v := head; v != nil; v = v.next.Load() {
+		if v.Stamp < minActive {
+			v.next.Store(nil)
+			return
+		}
+	}
+}
+
+// VisibleAt resolves chain for a scan timestamp t: the newest snapshot
+// stamped < t. It returns nil if the chain holds no such snapshot —
+// which, under the pruning rule, can only happen for timestamps no
+// registered scan holds.
+func VisibleAt(chain *Version, t uint64) *Version {
+	for v := chain; v != nil; v = v.next.Load() {
+		if v.Stamp < t {
+			return v
+		}
+	}
+	return nil
+}
+
+// Restrict copies a timeline, keeping only items with lo <= key <= hi.
+// Entries are kept even when their restriction is empty: an empty
+// snapshot still records "no keys in this subrange at that time". The
+// copy shares no links with the input, so the originals' pruning cannot
+// disturb it.
+func Restrict(chain *Version, lo, hi uint64) *Version {
+	var head, tail *Version
+	for v := chain; v != nil; v = v.next.Load() {
+		items := make([]Pair, 0, len(v.Items))
+		for _, it := range v.Items {
+			if it.K >= lo && it.K <= hi {
+				items = append(items, it)
+			}
+		}
+		nv := &Version{Stamp: v.Stamp, Items: items}
+		if tail == nil {
+			head = nv
+		} else {
+			tail.next.Store(nv)
+		}
+		tail = nv
+	}
+	return head
+}
+
+// MergeTimelines combines the timelines of two leaves with disjoint key
+// ranges (a merge's inputs) into one: the result has an entry at every
+// stamp where either side changed, holding the union of the two sides'
+// states at that stamp. Sides whose history does not reach back to some
+// stamp contribute their oldest known state (or nothing) — by the
+// pruning rule no live scan resolves below the truncation point.
+func MergeTimelines(a, b *Version) *Version {
+	if a == nil && b == nil {
+		return nil
+	}
+	as, bs := toSlice(a), toSlice(b)
+	stamps := mergedStamps(as, bs)
+
+	var head, tail *Version
+	for _, s := range stamps { // descending
+		ia, ib := itemsAt(as, s), itemsAt(bs, s)
+		items := make([]Pair, 0, len(ia)+len(ib))
+		items = append(append(items, ia...), ib...)
+		SortPairs(items)
+		nv := &Version{Stamp: s, Items: items}
+		if tail == nil {
+			head = nv
+		} else {
+			tail.next.Store(nv)
+		}
+		tail = nv
+	}
+	return head
+}
+
+func toSlice(v *Version) []*Version {
+	var out []*Version
+	for ; v != nil; v = v.next.Load() {
+		out = append(out, v)
+	}
+	return out
+}
+
+// mergedStamps returns the union of the two entry-stamp sets, descending.
+func mergedStamps(as, bs []*Version) []uint64 {
+	var out []uint64
+	i, j := 0, 0
+	for i < len(as) || j < len(bs) {
+		switch {
+		case j == len(bs) || (i < len(as) && as[i].Stamp > bs[j].Stamp):
+			out = append(out, as[i].Stamp)
+			i++
+		case i == len(as) || bs[j].Stamp > as[i].Stamp:
+			out = append(out, bs[j].Stamp)
+			j++
+		default: // equal
+			out = append(out, as[i].Stamp)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// itemsAt returns one side's state as of stamp s: its newest entry
+// stamped <= s (entries are descending). nil if history was pruned
+// below s.
+func itemsAt(vs []*Version, s uint64) []Pair {
+	for _, v := range vs {
+		if v.Stamp <= s {
+			return v.Items
+		}
+	}
+	return nil
+}
+
+// SortPairs sorts by key (insertion sort: inputs throughout the RQ
+// machinery are near-sorted runs of at most a node's capacity).
+func SortPairs(items []Pair) {
+	for i := 1; i < len(items); i++ {
+		it := items[i]
+		j := i - 1
+		for j >= 0 && items[j].K > it.K {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = it
+	}
+}

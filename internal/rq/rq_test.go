@@ -1,0 +1,175 @@
+package rq
+
+import "testing"
+
+func pairs(ks ...uint64) []Pair {
+	out := make([]Pair, len(ks))
+	for i, k := range ks {
+		out[i] = Pair{K: k, V: k * 10}
+	}
+	return out
+}
+
+func keys(v *Version) []uint64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]uint64, len(v.Items))
+	for i, p := range v.Items {
+		out[i] = p.K
+	}
+	return out
+}
+
+func stamps(chain *Version) []uint64 {
+	var out []uint64
+	for v := chain; v != nil; v = v.Next() {
+		out = append(out, v.Stamp)
+	}
+	return out
+}
+
+func eqU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProviderTimestamps(t *testing.T) {
+	p := NewProvider()
+	if got := p.ReadStamp(); got != 0 {
+		t.Fatalf("fresh stamp %d, want 0", got)
+	}
+	// No scans in flight: MinActive says future scans are > current ts.
+	if got := p.MinActive(); got != 1 {
+		t.Fatalf("idle MinActive %d, want 1", got)
+	}
+	s1 := p.Register()
+	s2 := p.Register()
+	t1 := s1.Begin()
+	if t1 != 1 {
+		t.Fatalf("first scan timestamp %d, want 1", t1)
+	}
+	t2 := s2.Begin()
+	if t2 != 2 {
+		t.Fatalf("second scan timestamp %d, want 2", t2)
+	}
+	if got := p.MinActive(); got != t1 {
+		t.Fatalf("MinActive %d with scans %d,%d in flight", got, t1, t2)
+	}
+	s1.End()
+	if got := p.MinActive(); got != t2 {
+		t.Fatalf("MinActive %d after first scan ended, want %d", got, t2)
+	}
+	s2.End()
+	if got := p.MinActive(); got != 3 {
+		t.Fatalf("idle MinActive %d, want ts+1 = 3", got)
+	}
+	if scans, _ := p.Stats(); scans != 2 {
+		t.Fatalf("scan count %d, want 2", scans)
+	}
+}
+
+func TestPushVisibleAtPrune(t *testing.T) {
+	p := NewProvider()
+	// History: state stamped 0 (pairs 1), then 3 (pairs 1,2), then 5.
+	var chain *Version
+	chain = p.Push(chain, 0, pairs(1), 0)
+	chain = p.Push(chain, 3, pairs(1, 2), 0)
+	chain = p.Push(chain, 5, pairs(1, 2, 3), 0)
+	if got := stamps(chain); !eqU64(got, []uint64{5, 3, 0}) {
+		t.Fatalf("chain stamps %v", got)
+	}
+	// A scan at t resolves to the newest entry stamped < t.
+	for _, tc := range []struct {
+		t    uint64
+		want []uint64
+	}{
+		{1, []uint64{1}},
+		{3, []uint64{1}},
+		{4, []uint64{1, 2}},
+		{6, []uint64{1, 2, 3}},
+	} {
+		v := VisibleAt(chain, tc.t)
+		if v == nil || !eqU64(keys(v), tc.want) {
+			t.Fatalf("VisibleAt(%d) = %v, want %v", tc.t, keys(v), tc.want)
+		}
+	}
+	// Pruning with minActive 4: the entry stamped 3 still serves t=4;
+	// the entry stamped 0 is shadowed for every reachable timestamp.
+	chain = p.Push(chain, 7, pairs(1, 2, 3, 4), 4)
+	if got := stamps(chain); !eqU64(got, []uint64{7, 5, 3}) {
+		t.Fatalf("pruned chain stamps %v", got)
+	}
+	if _, versions := p.Stats(); versions != 4 {
+		t.Fatalf("version count %d, want 4", versions)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	p := NewProvider()
+	var chain *Version
+	chain = p.Push(chain, 2, pairs(1, 5, 9), 0)
+	chain = p.Push(chain, 4, pairs(1, 5, 6, 9), 0)
+	left := Restrict(chain, 0, 5)
+	right := Restrict(chain, 6, ^uint64(0))
+	if got := stamps(left); !eqU64(got, []uint64{4, 2}) {
+		t.Fatalf("left stamps %v", got)
+	}
+	if !eqU64(keys(left), []uint64{1, 5}) || !eqU64(keys(left.Next()), []uint64{1, 5}) {
+		t.Fatalf("left items %v / %v", keys(left), keys(left.Next()))
+	}
+	if !eqU64(keys(right), []uint64{6, 9}) || !eqU64(keys(right.Next()), []uint64{9}) {
+		t.Fatalf("right items %v / %v", keys(right), keys(right.Next()))
+	}
+	// The copy must be detached: pruning the original leaves it intact.
+	p.Push(chain, 9, pairs(1), 9)
+	if left.Next() == nil {
+		t.Fatal("restricted chain shares links with the original")
+	}
+}
+
+func TestMergeTimelines(t *testing.T) {
+	p := NewProvider()
+	// Left leaf (keys < 10): states at 0 and 4. Right leaf (keys >= 10):
+	// states at 0 and 6.
+	var a, b *Version
+	a = p.Push(a, 0, pairs(1), 0)
+	a = p.Push(a, 4, pairs(1, 2), 0)
+	b = p.Push(b, 0, pairs(10), 0)
+	b = p.Push(b, 6, pairs(10, 11), 0)
+
+	m := MergeTimelines(a, b)
+	if got := stamps(m); !eqU64(got, []uint64{6, 4, 0}) {
+		t.Fatalf("merged stamps %v", got)
+	}
+	// At stamp 6: newest of both sides. At 4: left's update, right still
+	// old. At 0: both initial.
+	for _, tc := range []struct {
+		t    uint64
+		want []uint64
+	}{
+		{7, []uint64{1, 2, 10, 11}},
+		{5, []uint64{1, 2, 10}},
+		{3, []uint64{1, 10}},
+	} {
+		v := VisibleAt(m, tc.t)
+		if v == nil || !eqU64(keys(v), tc.want) {
+			t.Fatalf("merged VisibleAt(%d) = %v, want %v", tc.t, keys(v), tc.want)
+		}
+	}
+	if MergeTimelines(nil, nil) != nil {
+		t.Fatal("merging empty timelines should be nil")
+	}
+	// One-sided merge keeps the survivor's history.
+	m = MergeTimelines(a, nil)
+	if got := stamps(m); !eqU64(got, []uint64{4, 0}) {
+		t.Fatalf("one-sided merged stamps %v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package ycsb
+
+// Workload E: the YCSB scan workload (95% short range scans / 5%
+// inserts of new records, Zipf-distributed scan start keys, uniform
+// scan lengths). The paper stops at Workload A because its trees lack
+// range queries; with the internal/rq subsystem the ABtrees serve E
+// with linearizable scans, which is what this driver measures. The
+// scan-capable registry structures participate via bench.Ranger /
+// bench.SnapshotRanger.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/xrand"
+	"repro/internal/zipfian"
+)
+
+// EConfig describes a Workload E run.
+type EConfig struct {
+	Threads   int
+	Records   uint64  // initial table size
+	ZipfS     float64 // scan-start-key skew (YCSB E draws starts zipfian; 0.5 here, like A)
+	ScanLen   uint64  // maximum scan length; each scan draws uniform [1, ScanLen] (YCSB default 100)
+	InsertPct int     // percent of ops that insert a new record (YCSB E: 5)
+	Snapshot  bool    // scans use linearizable RangeSnapshot; false = per-leaf-atomic Range
+	Duration  time.Duration
+	Seed      uint64
+}
+
+// EResult is a Workload E outcome.
+type EResult struct {
+	EConfig
+	Ops       uint64 // scans + inserts
+	Scans     uint64
+	Pairs     uint64 // pairs returned across all scans
+	Inserts   uint64
+	Elapsed   time.Duration
+	TxPerUsec float64
+	EmptyScan uint64 // sanity: scans starting at a loaded key must see >= 1 pair
+}
+
+// RunE loads Records rows into the index, then drives Workload E:
+// each op is a scan with probability 100-InsertPct (start key Zipf over
+// the loaded range, length uniform in [1, ScanLen]), else an insert of
+// a brand-new record beyond the loaded range. The run key-sum-validates
+// the inserts at the end.
+func RunE(d bench.Dict, cfg EConfig) (EResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.ScanLen == 0 {
+		cfg.ScanLen = 100
+	}
+	if cfg.InsertPct == 0 {
+		cfg.InsertPct = 5
+	}
+	if bench.ScanFunc(d.NewHandle(), cfg.Snapshot) == nil {
+		kind := "Range"
+		if cfg.Snapshot {
+			kind = "RangeSnapshot"
+		}
+		return EResult{EConfig: cfg}, fmt.Errorf("ycsb: structure does not support %s scans", kind)
+	}
+
+	load(d, cfg.Records, cfg.Threads, cfg.Seed)
+	baseline := d.KeySum()
+
+	var stop atomic.Bool
+	var nextKey atomic.Uint64
+	nextKey.Store(cfg.Records)
+	scans := make([]uint64, cfg.Threads)
+	pairs := make([]uint64, cfg.Threads)
+	inserts := make([]uint64, cfg.Threads)
+	empty := make([]uint64, cfg.Threads)
+	insSums := make([]uint64, cfg.Threads)
+	start := make(chan struct{})
+	var ready, wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := d.NewHandle()
+			scan := bench.ScanFunc(h, cfg.Snapshot)
+			rng := xrand.New(cfg.Seed + uint64(w)*97)
+			z := zipfian.New(xrand.New(cfg.Seed*13+uint64(w)), cfg.Records, cfg.ZipfS)
+			ready.Done()
+			<-start
+			for !stop.Load() {
+				if int(rng.Uint64n(100)) < cfg.InsertPct {
+					// Insert a new record past the loaded key space
+					// (YCSB E models appending fresh items).
+					k := nextKey.Add(1)
+					if _, ok := h.Insert(k, k); ok {
+						inserts[w]++
+						insSums[w] += k
+					}
+				} else {
+					lo := z.Next()
+					n := uint64(0)
+					scan(lo, lo+rng.Uint64n(cfg.ScanLen), func(_, _ uint64) bool {
+						n++
+						return true
+					})
+					if n == 0 {
+						empty[w]++
+					}
+					scans[w]++
+					pairs[w] += n
+				}
+			}
+		}(w)
+	}
+	ready.Wait()
+	began := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	res := EResult{EConfig: cfg, Elapsed: time.Since(began)}
+	var insSum uint64
+	for w := 0; w < cfg.Threads; w++ {
+		res.Scans += scans[w]
+		res.Pairs += pairs[w]
+		res.Inserts += inserts[w]
+		res.EmptyScan += empty[w]
+		insSum += insSums[w]
+	}
+	res.Ops = res.Scans + res.Inserts
+	res.TxPerUsec = float64(res.Ops) / float64(res.Elapsed.Microseconds())
+	if res.EmptyScan > 0 {
+		return res, fmt.Errorf("ycsb: %d scans over loaded keys returned nothing", res.EmptyScan)
+	}
+	if got, want := d.KeySum(), baseline+insSum; got != want {
+		return res, fmt.Errorf("ycsb: key-sum validation failed: structure=%d, want %d", got, want)
+	}
+	return res, nil
+}

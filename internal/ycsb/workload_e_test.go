@@ -1,0 +1,55 @@
+package ycsb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func TestWorkloadERuns(t *testing.T) {
+	for _, name := range bench.ScanStructures {
+		for _, snapshot := range []bool{false, true} {
+			mode := "weak"
+			if snapshot {
+				mode = "snapshot"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				d := bench.NewDict(name, 20000)
+				res, err := RunE(d, EConfig{
+					Threads:  4,
+					Records:  5000,
+					ZipfS:    0.5,
+					ScanLen:  50,
+					Snapshot: snapshot,
+					Duration: 150 * time.Millisecond,
+					Seed:     7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Scans == 0 {
+					t.Fatal("no scans completed")
+				}
+				if res.Pairs == 0 {
+					t.Fatal("scans returned no pairs")
+				}
+				// 5% inserts by default: the insert fraction should be
+				// well away from both 0 and the scan share.
+				frac := float64(res.Inserts) / float64(res.Ops)
+				if frac < 0.01 || frac > 0.15 {
+					t.Fatalf("insert fraction %.3f, want ~0.05", frac)
+				}
+			})
+		}
+	}
+}
+
+// TestWorkloadEScanUnsupported checks the driver refuses structures
+// without range scans instead of silently benchmarking nothing.
+func TestWorkloadEScanUnsupported(t *testing.T) {
+	d := bench.NewDict("CATree", 1000)
+	if _, err := RunE(d, EConfig{Threads: 1, Records: 100, Duration: 10 * time.Millisecond}); err == nil {
+		t.Fatal("RunE accepted a structure without Range support")
+	}
+}

@@ -53,31 +53,26 @@ type Result struct {
 	RowsUpdate uint64
 }
 
-// Run loads Records rows into the index, then drives Workload A.
-func Run(d bench.Dict, cfg Config) (Result, error) {
-	if cfg.Duration <= 0 {
-		cfg.Duration = time.Second
-	}
-	rows := make([]row, cfg.Records+1)
-
-	// Load phase: key i -> row i, inserted in shuffled order. YCSB's
-	// loader hashes keys, so arrival order is effectively random; loading
-	// 1..N ascending would degenerate the non-rebalancing BST baselines
-	// into linked lists. At most GOMAXPROCS loaders run: oversubscribing
-	// a pure insert phase only creates lock convoys.
-	order := make([]uint64, cfg.Records)
+// load populates the index with keys 1..records (key i -> value i),
+// inserted in shuffled order. YCSB's loader hashes keys, so arrival
+// order is effectively random; loading 1..N ascending would degenerate
+// the non-rebalancing BST baselines into linked lists. At most
+// GOMAXPROCS loaders run (capped by threads when positive):
+// oversubscribing a pure insert phase only creates lock convoys.
+func load(d bench.Dict, records uint64, threads int, seed uint64) {
+	order := make([]uint64, records)
 	for i := range order {
 		order[i] = uint64(i) + 1
 	}
-	shuffleRng := xrand.New(cfg.Seed*31337 + 5)
+	shuffleRng := xrand.New(seed*31337 + 5)
 	for i := len(order) - 1; i > 0; i-- {
 		j := shuffleRng.Intn(i + 1)
 		order[i], order[j] = order[j], order[i]
 	}
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
-	if cfg.Threads > 0 && workers > cfg.Threads {
-		workers = cfg.Threads
+	if threads > 0 && workers > threads {
+		workers = threads
 	}
 	per := len(order) / workers
 	for w := 0; w < workers; w++ {
@@ -96,8 +91,18 @@ func Run(d bench.Dict, cfg Config) (Result, error) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// Run loads Records rows into the index, then drives Workload A.
+func Run(d bench.Dict, cfg Config) (Result, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	rows := make([]row, cfg.Records+1)
+	load(d, cfg.Records, cfg.Threads, cfg.Seed)
 
 	// Measured phase.
+	var wg sync.WaitGroup
 	var stop atomic.Bool
 	counts := make([]uint64, cfg.Threads)
 	misses := make([]uint64, cfg.Threads)

@@ -94,6 +94,18 @@ func (h *PersistentHandle) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 	h.th.Range(lo, hi, fn)
 }
 
+// RangeSnapshot calls fn for each pair with lo <= key <= hi in ascending
+// order, stopping early if fn returns false. The reported pairs are one
+// atomic snapshot of the whole interval (see Handle.RangeSnapshot); the
+// snapshot machinery is volatile and does not affect what is durable.
+func (h *PersistentHandle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.th.RangeSnapshot(lo, hi, fn)
+}
+
+// RQStats reports how many RangeSnapshot queries have run and how many
+// superseded leaf versions updates preserved for them.
+func (t *PersistentTree) RQStats() (scans, versions uint64) { return t.t.RQStats() }
+
 // SimulateCrash models power loss: every line of simulated PM that was
 // written but not yet flushed is lost, except that each dirty line
 // independently survives with probability evictProb (real caches may have
