@@ -1,0 +1,118 @@
+package abtree_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	abtree "repro"
+)
+
+// TestShardedTreeBasics exercises the public sharded dictionary: routed
+// point ops, merged KeySum, cross-shard Range and RangeSnapshot.
+func TestShardedTreeBasics(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		tr   *abtree.ShardedTree
+	}{
+		{"occ", abtree.NewSharded(4, 1000)},
+		{"elim", abtree.NewShardedElim(4, 1000)},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			tr := mk.tr
+			if tr.Shards() != 4 {
+				t.Fatalf("Shards() = %d, want 4", tr.Shards())
+			}
+			h := tr.NewHandle()
+			var want uint64
+			for k := uint64(1); k <= 1200; k += 2 { // spills past keyRange
+				h.Insert(k, k*3)
+				want += k
+			}
+			if got := tr.KeySum(); got != want {
+				t.Fatalf("KeySum = %d, want %d", got, want)
+			}
+			if v, ok := h.Find(601); !ok || v != 1803 {
+				t.Fatalf("Find(601) = (%d, %v)", v, ok)
+			}
+			var n int
+			prev := uint64(0)
+			h.RangeSnapshot(100, 900, func(k, v uint64) bool {
+				if k <= prev || v != k*3 {
+					t.Fatalf("snapshot pair (%d,%d) after key %d", k, v, prev)
+				}
+				prev = k
+				n++
+				return true
+			})
+			if n != 400 {
+				t.Fatalf("RangeSnapshot saw %d pairs, want 400", n)
+			}
+			n = 0
+			h.Range(100, 900, func(k, v uint64) bool { n++; return true })
+			if n != 400 {
+				t.Fatalf("Range saw %d pairs, want 400", n)
+			}
+			if scans, _ := tr.RQStats(); scans != 1 {
+				t.Fatalf("RQStats scans = %d, want 1", scans)
+			}
+		})
+	}
+}
+
+// TestShardedTreeSnapshotAtomic is the public-API version of the
+// cross-shard write-order witness: a writer sweeps keys spanning every
+// shard in ascending order writing round g; every RangeSnapshot must
+// read a round-g prefix followed by a round-(g-1) suffix, which only an
+// atomic cross-shard cut can guarantee.
+func TestShardedTreeSnapshotAtomic(t *testing.T) {
+	const m = 64
+	tr := abtree.NewSharded(4, 2*m)
+	init := tr.NewHandle()
+	for i := 0; i < m; i++ {
+		init.Insert(uint64(2*i+1), 0)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tr.NewHandle()
+		for g := uint64(1); !stop.Load(); g++ {
+			for i := 0; i < m; i++ {
+				k := uint64(2*i + 1)
+				h.Delete(k)
+				h.Insert(k, g)
+			}
+		}
+	}()
+	h := tr.NewHandle()
+	rounds := 300
+	if testing.Short() {
+		rounds = 60
+	}
+	for n := 0; n < rounds; n++ {
+		var vals []uint64
+		h.RangeSnapshot(1, 2*m, func(k, v uint64) bool {
+			vals = append(vals, v)
+			return true
+		})
+		// Delete+Insert is not atomic, so a key mid-replacement may be
+		// absent; but the values present must still be non-increasing
+		// with spread <= 1 — any ascending step is a torn cross-shard cut.
+		for i := 1; i < len(vals); i++ {
+			if vals[i] > vals[i-1] {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("snapshot %d torn: round %d after %d", n, vals[i], vals[i-1])
+			}
+		}
+		if len(vals) > 0 && vals[0]-vals[len(vals)-1] > 1 {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("snapshot %d torn: rounds spread %d..%d", n, vals[len(vals)-1], vals[0])
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

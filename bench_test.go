@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/dict"
 	"repro/internal/ycsb"
 )
 
@@ -27,7 +28,7 @@ import (
 // memory to a single large tree.
 var cellCache struct {
 	key  string
-	dict bench.Dict
+	dict dict.Dict
 }
 
 // microCell runs one SetBench cell as a testing.B benchmark: the tree is

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/dict"
 	"repro/internal/ycsb"
 )
 
@@ -51,6 +52,37 @@ func main() {
 		scanMode   = flag.String("scanmode", "snapshot", "figure 18: \"snapshot\" (linearizable RangeSnapshot) or \"weak\" (Range)")
 	)
 	flag.Parse()
+
+	// Validate the scan flags up front, for every figure: an unknown
+	// -scanmode (or a zero -scanlen) is a usage error, never a silent
+	// fallback to a default, and the scan flags only mean something for
+	// the scan workload (-figure 18).
+	snapshot := false
+	switch *scanMode {
+	case "snapshot":
+		snapshot = true
+	case "weak":
+	default:
+		fmt.Fprintf(os.Stderr, "bad -scanmode %q (want \"snapshot\" or \"weak\")\n", *scanMode)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *scanLen == 0 {
+		fmt.Fprintln(os.Stderr, "bad -scanlen 0 (scans must cover at least 1 key)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	scanFlagsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scanmode" || f.Name == "scanlen" {
+			scanFlagsSet = true
+		}
+	})
+	if scanFlagsSet && *figure != 18 {
+		fmt.Fprintf(os.Stderr, "-scanmode/-scanlen only apply to the scan workload (-figure 18), not -figure %d/-table %d\n", *figure, *table)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	threads := parseInts(*threadsCSV)
 	if len(threads) == 0 {
@@ -96,18 +128,15 @@ func main() {
 		if *keys != 0 {
 			records = *keys
 		}
+		// Snapshot mode defaults to the linearizable-scan structures;
+		// weak mode also includes the competitors (and their sharded
+		// compositions) that only have a non-linearizable Range.
 		structs := bench.ScanStructures
+		if !snapshot {
+			structs = bench.RangeStructures
+		}
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
-		}
-		snapshot := false
-		switch *scanMode {
-		case "snapshot":
-			snapshot = true
-		case "weak":
-		default:
-			fmt.Fprintf(os.Stderr, "bad -scanmode %q (want snapshot or weak)\n", *scanMode)
-			os.Exit(2)
 		}
 		runYCSBE(records, structs, threads, *duration, *seed, *scanLen, snapshot)
 	case *table == 1:
@@ -149,19 +178,19 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 		for _, zipf := range []float64{0, 1} {
 			for _, name := range structs {
 				for _, th := range threads {
-					dict := bench.NewDict(name, keyRange)
+					dd := bench.NewDict(name, keyRange)
 					cfg := bench.Config{
 						Threads: th, KeyRange: keyRange, UpdatePct: upd,
 						ZipfS: zipf, Duration: d, Seed: seed,
 					}
-					bench.Prefill(dict, cfg)
-					res, err := bench.Run(dict, cfg)
+					bench.Prefill(dd, cfg)
+					res, err := bench.Run(dd, cfg)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 						os.Exit(1)
 					}
 					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%.3f\n", fig, upd, zipf, name, th, res.OpsPerUsec)
-					if es, ok := dict.(bench.ElimStatser); ok {
+					if es, ok := dd.(dict.ElimStatser); ok {
 						ei, ed, eu := es.ElimStats()
 						if total := ei + ed + eu; total > 0 {
 							fmt.Printf("# elim-rate %s t%d: %.4f%% (%d/%d)\n",
@@ -180,8 +209,8 @@ func runYCSB(records uint64, structs []string, threads []int, d time.Duration, s
 	fmt.Println("figure\tstructure\tthreads\ttx_per_us")
 	for _, name := range structs {
 		for _, th := range threads {
-			dict := bench.NewDict(name, records*2)
-			res, err := ycsb.Run(dict, ycsb.Config{
+			dd := bench.NewDict(name, records*2)
+			res, err := ycsb.Run(dd, ycsb.Config{
 				Threads: th, Records: records, ZipfS: 0.5, Duration: d, Seed: seed,
 			})
 			if err != nil {
@@ -204,8 +233,8 @@ func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, 
 	fmt.Println("figure\tstructure\tthreads\tscanlen\ttx_per_us")
 	for _, name := range structs {
 		for _, th := range threads {
-			dict := bench.NewDict(name, records*2)
-			res, err := ycsb.RunE(dict, ycsb.EConfig{
+			dd := bench.NewDict(name, records*2)
+			res, err := ycsb.RunE(dd, ycsb.EConfig{
 				Threads: th, Records: records, ZipfS: 0.5, ScanLen: scanLen,
 				Snapshot: snapshot, Duration: d, Seed: seed,
 			})
@@ -228,13 +257,13 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 	for _, zipf := range []float64{0, 1} {
 		for _, name := range structs {
 			for _, th := range threads {
-				dict := bench.NewDict(name, keyRange)
+				dd := bench.NewDict(name, keyRange)
 				cfg := bench.Config{
 					Threads: th, KeyRange: keyRange, UpdatePct: 50,
 					ZipfS: zipf, Duration: d, Seed: seed,
 				}
-				bench.Prefill(dict, cfg)
-				res, err := bench.Run(dict, cfg)
+				bench.Prefill(dd, cfg)
+				res, err := bench.Run(dd, cfg)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 					os.Exit(1)
@@ -271,9 +300,9 @@ func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64) {
 }
 
 func measure(name string, cfg bench.Config) float64 {
-	dict := bench.NewDict(name, cfg.KeyRange)
-	bench.Prefill(dict, cfg)
-	res, err := bench.Run(dict, cfg)
+	dd := bench.NewDict(name, cfg.KeyRange)
+	bench.Prefill(dd, cfg)
+	res, err := bench.Run(dd, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 		os.Exit(1)

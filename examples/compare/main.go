@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/dict"
 )
 
 func main() {
@@ -59,7 +60,7 @@ func main() {
 			os.Exit(1)
 		}
 		note := ""
-		if es, ok := d.(bench.ElimStatser); ok {
+		if es, ok := d.(dict.ElimStatser); ok {
 			if ei, ed, _ := es.ElimStats(); ei+ed > 0 {
 				note = fmt.Sprintf("eliminated %d ops", ei+ed)
 			}

@@ -3,6 +3,11 @@
 // its steady-state size, drives it with a configurable operation mix and
 // key distribution from n worker threads for a fixed duration, validates
 // the result with the paper's key-sum scheme, and reports throughput.
+//
+// The harness is written entirely against internal/dict's canonical
+// Dict/Handle interfaces; this package's registry (registry.go) adapts
+// every concrete structure — including internal/shard's partitioned
+// compositions — to them.
 package bench
 
 import (
@@ -12,60 +17,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
 )
-
-// Handle is a per-goroutine accessor for a dictionary under test.
-type Handle interface {
-	Find(key uint64) (uint64, bool)
-	Insert(key, val uint64) (uint64, bool)
-	Delete(key uint64) (uint64, bool)
-}
-
-// Ranger is implemented by handles that support range scans. The scan
-// need not be one atomic snapshot (the ABtrees' Range is per-leaf
-// atomic); structures implementing it participate in scan workloads.
-type Ranger interface {
-	Range(lo, hi uint64, fn func(k, v uint64) bool)
-}
-
-// SnapshotRanger is implemented by handles whose range scans are single
-// atomic snapshots (linearizable range queries, internal/rq).
-type SnapshotRanger interface {
-	RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool)
-}
-
-// ScanFunc resolves a handle's range-scan entry point: RangeSnapshot
-// when snapshot is requested, Range otherwise; nil if the handle does
-// not support the requested kind.
-func ScanFunc(h Handle, snapshot bool) func(lo, hi uint64, fn func(k, v uint64) bool) {
-	if snapshot {
-		if sr, ok := h.(SnapshotRanger); ok {
-			return sr.RangeSnapshot
-		}
-		return nil
-	}
-	if r, ok := h.(Ranger); ok {
-		return r.Range
-	}
-	return nil
-}
-
-// ElimStatser is implemented by dictionaries with publishing elimination;
-// the CLI reports elimination rates for them.
-type ElimStatser interface {
-	ElimStats() (inserts, deletes, upserts uint64)
-}
-
-// Dict abstracts the data structures under test.
-type Dict interface {
-	// NewHandle returns a per-goroutine accessor (structures without
-	// per-thread state return themselves).
-	NewHandle() Handle
-	// KeySum returns the quiescent sum of keys, for §6 validation.
-	KeySum() uint64
-}
 
 // Config describes one experiment cell.
 type Config struct {
@@ -94,7 +49,7 @@ type Result struct {
 // structure holds KeyRange/2 keys — the expected steady-state size when
 // inserts and deletes are balanced (paper §6 "Methodology"). It uses all
 // available cores.
-func Prefill(d Dict, cfg Config) {
+func Prefill(d dict.Dict, cfg Config) {
 	target := cfg.KeyRange / 2
 	workers := runtime.GOMAXPROCS(0)
 	if uint64(workers) > target && target > 0 {
@@ -126,7 +81,7 @@ func Prefill(d Dict, cfg Config) {
 // an operation by the update mix and a key by the Zipf(s) distribution
 // over [1, KeyRange], for cfg.Duration. It returns throughput and
 // validates the key-sum unless cfg.NoValid.
-func Run(d Dict, cfg Config) (Result, error) {
+func Run(d dict.Dict, cfg Config) (Result, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
@@ -137,7 +92,7 @@ func Run(d Dict, cfg Config) (Result, error) {
 		if cfg.ScanLen == 0 {
 			cfg.ScanLen = 100
 		}
-		if ScanFunc(d.NewHandle(), cfg.SnapScans) == nil {
+		if dict.ScanFunc(d.NewHandle(), cfg.SnapScans) == nil {
 			return Result{Config: cfg}, fmt.Errorf("bench: structure does not support %s scans", scanKind(cfg.SnapScans))
 		}
 	}
@@ -157,7 +112,7 @@ func Run(d Dict, cfg Config) (Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			h := d.NewHandle()
-			scan := ScanFunc(h, cfg.SnapScans)
+			scan := dict.ScanFunc(h, cfg.SnapScans)
 			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
 			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
 			ready.Done()
@@ -219,7 +174,7 @@ func Run(d Dict, cfg Config) (Result, error) {
 // RunOps is a fixed-op-count variant used by testing.B benchmarks: each
 // of cfg.Threads workers performs opsPerThread operations; the caller
 // times it.
-func RunOps(d Dict, cfg Config, opsPerThread int) {
+func RunOps(d dict.Dict, cfg Config, opsPerThread int) {
 	if cfg.ScanPct > 0 && cfg.ScanLen == 0 {
 		cfg.ScanLen = 100
 	}
@@ -229,7 +184,7 @@ func RunOps(d Dict, cfg Config, opsPerThread int) {
 		go func(w int) {
 			defer wg.Done()
 			h := d.NewHandle()
-			scan := ScanFunc(h, cfg.SnapScans)
+			scan := dict.ScanFunc(h, cfg.SnapScans)
 			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
 			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
 			for i := 0; i < opsPerThread; i++ {

@@ -49,7 +49,7 @@ func TestPrefillReachesTarget(t *testing.T) {
 	Prefill(d, Config{KeyRange: 10000, Seed: 1})
 	// KeySum != 0 and roughly half the range present.
 	n := 0
-	d.(coreDict).t.Scan(func(_, _ uint64) { n++ })
+	d.(coreDict).T.Scan(func(_, _ uint64) { n++ })
 	if n != 5000 {
 		t.Fatalf("prefill size = %d, want 5000", n)
 	}

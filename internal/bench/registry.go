@@ -11,6 +11,7 @@ import (
 	"repro/internal/cbtree"
 	"repro/internal/cist"
 	"repro/internal/core"
+	"repro/internal/dict"
 	"repro/internal/efrbbst"
 	"repro/internal/extbst"
 	"repro/internal/fptree"
@@ -19,26 +20,18 @@ import (
 	"repro/internal/pabtree"
 	"repro/internal/pmem"
 	"repro/internal/rntree"
+	"repro/internal/rq"
+	"repro/internal/shard"
 	"repro/internal/splaylist"
+	"repro/internal/treedict"
 )
 
-// Adapters giving every structure the Dict/Handle interface.
+// The ABtrees are adapted by internal/treedict (coreDict/pabDict are
+// aliases so the registry table reads compactly); selfDict below covers
+// the structures whose methods are directly concurrent-safe.
 
-type coreDict struct{ t *core.Tree }
-
-func (d coreDict) NewHandle() Handle { return d.t.NewThread() }
-func (d coreDict) KeySum() uint64    { return d.t.KeySum() }
-func (d coreDict) ElimStats() (uint64, uint64, uint64) {
-	return d.t.ElimStats()
-}
-
-type pabDict struct{ t *pabtree.Tree }
-
-func (d pabDict) NewHandle() Handle { return d.t.NewThread() }
-func (d pabDict) KeySum() uint64    { return d.t.KeySum() }
-func (d pabDict) ElimStats() (uint64, uint64, uint64) {
-	return d.t.ElimStats()
-}
+type coreDict = treedict.Core
+type pabDict = treedict.Pab
 
 // selfDict adapts structures whose methods are directly concurrent-safe
 // (no per-thread handle state).
@@ -51,18 +44,8 @@ type selfHandle interface {
 
 type selfDict struct{ h selfHandle }
 
-func (d selfDict) NewHandle() Handle { return d.h }
-func (d selfDict) KeySum() uint64    { return d.h.KeySum() }
-
-// catree has no KeySum; wrap it.
-type catreeDict struct{ t *catree.Tree }
-
-func (d catreeDict) NewHandle() Handle { return d.t }
-func (d catreeDict) KeySum() uint64 {
-	var s uint64
-	d.t.Scan(func(k, _ uint64) { s += k })
-	return s
-}
+func (d selfDict) NewHandle() dict.Handle { return d.h }
+func (d selfDict) KeySum() uint64         { return d.h.KeySum() }
 
 // maxArenaWords caps simulated PM arenas at 1<<34 words (128 GiB): big
 // enough for any benchmarkable key range, small enough that the
@@ -92,36 +75,79 @@ func arenaWords(keyRange uint64) int {
 
 // registry is the single source of truth for the structures the harness
 // can build: Names, NewDict and the registry test all derive from it.
-var registry = map[string]func(keyRange uint64) Dict{
-	"OCC-ABtree":            func(uint64) Dict { return coreDict{core.New()} },
-	"Elim-ABtree":           func(uint64) Dict { return coreDict{core.New(core.WithElimination())} },
-	"OCC-ABtree-TAS":        func(uint64) Dict { return coreDict{core.New(core.WithTASLocks())} },
-	"OCC-ABtree-FC":         func(uint64) Dict { return coreDict{core.New(core.WithLeafCombining())} },
-	"OCC-ABtree-Cohort":     func(uint64) Dict { return coreDict{core.New(core.WithCohortLocks())} },
-	"Elim-ABtree-Cohort":    func(uint64) Dict { return coreDict{core.New(core.WithElimination(), core.WithCohortLocks())} },
-	"Elim-ABtree-TAS":       func(uint64) Dict { return coreDict{core.New(core.WithElimination(), core.WithTASLocks())} },
-	"OCC-ABtree-Sorted":     func(uint64) Dict { return coreDict{core.New(core.WithSortedLeaves())} },
-	"OCC-ABtree-LockedFind": func(uint64) Dict { return coreDict{core.New(core.WithLockedSearch())} },
-	"OCC-ABtree-b4":         func(uint64) Dict { return coreDict{core.New(core.WithDegree(2, 4))} },
-	"OCC-ABtree-b16":        func(uint64) Dict { return coreDict{core.New(core.WithDegree(2, 16))} },
-	"LF-ABtree":             func(uint64) Dict { return selfDict{lfabtree.New()} },
-	"CATree":                func(uint64) Dict { return catreeDict{catree.New()} },
-	"DGT15":                 func(uint64) Dict { return selfDict{extbst.New()} },
-	"EFRB10":                func(uint64) Dict { return selfDict{efrbbst.New()} },
-	"SplayList":             func(uint64) Dict { return selfDict{splaylist.New()} },
-	"BCCO10":                func(uint64) Dict { return selfDict{bcco10.New()} },
-	"CBTree":                func(uint64) Dict { return selfDict{cbtree.New()} },
-	"OLC-ART":               func(uint64) Dict { return selfDict{olcart.New()} },
-	"C-IST":                 func(uint64) Dict { return selfDict{cist.New()} },
-	"OpenBw-Tree":           func(uint64) Dict { return selfDict{bwtree.New()} },
-	"p-OCC-ABtree": func(kr uint64) Dict {
-		return pabDict{pabtree.New(pmem.New(arenaWords(kr)))}
+var registry = map[string]func(keyRange uint64) dict.Dict{
+	"OCC-ABtree":            func(uint64) dict.Dict { return coreDict{T: core.New()} },
+	"Elim-ABtree":           func(uint64) dict.Dict { return coreDict{T: core.New(core.WithElimination())} },
+	"OCC-ABtree-TAS":        func(uint64) dict.Dict { return coreDict{T: core.New(core.WithTASLocks())} },
+	"OCC-ABtree-FC":         func(uint64) dict.Dict { return coreDict{T: core.New(core.WithLeafCombining())} },
+	"OCC-ABtree-Cohort":     func(uint64) dict.Dict { return coreDict{T: core.New(core.WithCohortLocks())} },
+	"Elim-ABtree-Cohort":    func(uint64) dict.Dict { return coreDict{T: core.New(core.WithElimination(), core.WithCohortLocks())} },
+	"Elim-ABtree-TAS":       func(uint64) dict.Dict { return coreDict{T: core.New(core.WithElimination(), core.WithTASLocks())} },
+	"OCC-ABtree-Sorted":     func(uint64) dict.Dict { return coreDict{T: core.New(core.WithSortedLeaves())} },
+	"OCC-ABtree-LockedFind": func(uint64) dict.Dict { return coreDict{T: core.New(core.WithLockedSearch())} },
+	"OCC-ABtree-b4":         func(uint64) dict.Dict { return coreDict{T: core.New(core.WithDegree(2, 4))} },
+	"OCC-ABtree-b16":        func(uint64) dict.Dict { return coreDict{T: core.New(core.WithDegree(2, 16))} },
+	"LF-ABtree":             func(uint64) dict.Dict { return selfDict{lfabtree.New()} },
+	"CATree":                func(uint64) dict.Dict { return selfDict{catree.New()} },
+	"DGT15":                 func(uint64) dict.Dict { return selfDict{extbst.New()} },
+	"EFRB10":                func(uint64) dict.Dict { return selfDict{efrbbst.New()} },
+	"SplayList":             func(uint64) dict.Dict { return selfDict{splaylist.New()} },
+	"BCCO10":                func(uint64) dict.Dict { return selfDict{bcco10.New()} },
+	"CBTree":                func(uint64) dict.Dict { return selfDict{cbtree.New()} },
+	"OLC-ART":               func(uint64) dict.Dict { return selfDict{olcart.New()} },
+	"C-IST":                 func(uint64) dict.Dict { return selfDict{cist.New()} },
+	"OpenBw-Tree":           func(uint64) dict.Dict { return selfDict{bwtree.New()} },
+	"p-OCC-ABtree": func(kr uint64) dict.Dict {
+		return pabDict{T: pabtree.New(pmem.New(arenaWords(kr)))}
 	},
-	"p-Elim-ABtree": func(kr uint64) Dict {
-		return pabDict{pabtree.New(pmem.New(arenaWords(kr)), pabtree.WithElimination())}
+	"p-Elim-ABtree": func(kr uint64) dict.Dict {
+		return pabDict{T: pabtree.New(pmem.New(arenaWords(kr)), pabtree.WithElimination())}
 	},
-	"FPTree": func(kr uint64) Dict { return selfDict{fptree.New(pmem.New(arenaWords(kr)))} },
-	"RNTree": func(kr uint64) Dict { return selfDict{rntree.New(pmem.New(arenaWords(kr)))} },
+	"FPTree": func(kr uint64) dict.Dict { return selfDict{fptree.New(pmem.New(arenaWords(kr)))} },
+	"RNTree": func(kr uint64) dict.Dict { return selfDict{rntree.New(pmem.New(arenaWords(kr)))} },
+
+	// Range-partitioned compositions (internal/shard): N per-shard trees
+	// behind one dict.Dict, point ops routed by key, scans crossing
+	// shard boundaries. The ABtree shards share one rq clock, so their
+	// RangeSnapshot is linearizable across the whole partition.
+	"shard4-occ-abtree": func(kr uint64) dict.Dict {
+		return shard.New(4, kr, func(_ int, c *rq.Clock) dict.Dict {
+			return coreDict{T: core.New(core.WithRQClock(c))}
+		})
+	},
+	"shard8-occ-abtree": func(kr uint64) dict.Dict {
+		return shard.New(8, kr, func(_ int, c *rq.Clock) dict.Dict {
+			return coreDict{T: core.New(core.WithRQClock(c))}
+		})
+	},
+	"shard8-elim-abtree": func(kr uint64) dict.Dict {
+		return shard.New(8, kr, func(_ int, c *rq.Clock) dict.Dict {
+			return coreDict{T: core.New(core.WithElimination(), core.WithRQClock(c))}
+		})
+	},
+	"shard8-p-occ-abtree": func(kr uint64) dict.Dict {
+		return shard.New(8, kr, func(i int, c *rq.Clock) dict.Dict {
+			// Inner shards hold ~1/8 of the keys (arenaWords floors at a
+			// comfortable minimum); the last shard is open above keyRange
+			// and absorbs append-style insert streams (Workload E's new
+			// records), so it keeps the full unsharded headroom.
+			words := arenaWords(kr / 8)
+			if i == 7 {
+				words = arenaWords(kr)
+			}
+			return pabDict{T: pabtree.New(pmem.New(words), pabtree.WithRQClock(c))}
+		})
+	},
+	"shard8-catree": func(kr uint64) dict.Dict {
+		return shard.New(8, kr, func(int, *rq.Clock) dict.Dict {
+			return selfDict{catree.New()} // weak cross-shard Range only
+		})
+	},
+	"shard8-lf-abtree": func(kr uint64) dict.Dict {
+		return shard.New(8, kr, func(int, *rq.Clock) dict.Dict {
+			return selfDict{lfabtree.New()} // weak cross-shard Range only
+		})
+	},
 }
 
 // Volatile structure names in the order the paper's legends use.
@@ -135,17 +161,33 @@ var PersistentStructures = []string{
 	"p-OCC-ABtree", "p-Elim-ABtree", "FPTree", "RNTree",
 }
 
+// ShardStructures lists the range-partitioned compositions.
+var ShardStructures = []string{
+	"shard4-occ-abtree", "shard8-occ-abtree", "shard8-elim-abtree",
+	"shard8-p-occ-abtree", "shard8-catree", "shard8-lf-abtree",
+}
+
 // ScanStructures lists the registered structures whose handles support
-// range scans (Ranger); all of them also support linearizable snapshot
-// scans (SnapshotRanger). The scan workloads (Workload E, scan-mix
-// microbenchmarks) default to this set.
+// linearizable snapshot scans (SnapshotRanger); all of them also
+// support weak scans (Ranger). Snapshot-mode scan workloads (Workload
+// E, scan-mix microbenchmarks) default to this set.
 var ScanStructures = []string{
 	"OCC-ABtree", "Elim-ABtree", "p-OCC-ABtree", "p-Elim-ABtree",
+	"shard4-occ-abtree", "shard8-occ-abtree", "shard8-elim-abtree",
+	"shard8-p-occ-abtree",
 }
+
+// RangeStructures lists the structures whose handles support at least
+// weak (non-linearizable) range scans: the snapshot-capable set plus
+// the competitors with a native Range. Weak-mode scan workloads default
+// to this set.
+var RangeStructures = append(append([]string{}, ScanStructures...),
+	"CATree", "LF-ABtree", "shard8-catree", "shard8-lf-abtree",
+)
 
 // NewDict constructs a registered structure sized for keyRange. It panics
 // on an unknown name (Names lists the registry).
-func NewDict(name string, keyRange uint64) Dict {
+func NewDict(name string, keyRange uint64) dict.Dict {
 	build, ok := registry[name]
 	if !ok {
 		panic(fmt.Sprintf("bench: unknown structure %q (known: %v)", name, Names()))

@@ -52,10 +52,12 @@ func rotateLeft(n *avlNode) *avlNode {
 	return r
 }
 
-// avl is a sequential ordered dictionary with size tracking.
+// avl is a sequential ordered dictionary with size and key-sum
+// tracking (sum maintained incrementally so Tree.KeySum is O(#bases)).
 type avl struct {
 	root *avlNode
 	n    int
+	sum  uint64 // wrapping sum of keys
 }
 
 func (t *avl) get(k uint64) (uint64, bool) {
@@ -96,6 +98,7 @@ func (t *avl) insert(k, v uint64) (old uint64, inserted bool) {
 	t.root = ins(t.root)
 	if inserted {
 		t.n++
+		t.sum += k
 	}
 	return old, inserted
 }
@@ -133,6 +136,7 @@ func (t *avl) remove(k uint64) (old uint64, removed bool) {
 	t.root = del(t.root)
 	if removed {
 		t.n--
+		t.sum -= k
 	}
 	return old, removed
 }
@@ -143,6 +147,28 @@ func removeMin(n *avlNode) *avlNode {
 	}
 	n.left = removeMin(n.left)
 	return fix(n)
+}
+
+// rangeItems appends the pairs with lo <= key <= hi in key order,
+// pruning subtrees outside the interval.
+func (t *avl) rangeItems(dst []kvPair, lo, hi uint64) []kvPair {
+	var walk func(n *avlNode)
+	walk = func(n *avlNode) {
+		if n == nil {
+			return
+		}
+		if n.k > lo {
+			walk(n.left)
+		}
+		if n.k >= lo && n.k <= hi {
+			dst = append(dst, kvPair{n.k, n.v})
+		}
+		if n.k < hi {
+			walk(n.right)
+		}
+	}
+	walk(t.root)
+	return dst
 }
 
 // items appends the tree's pairs in key order.
@@ -176,5 +202,9 @@ func buildBalanced(items []kvPair) *avl {
 		n.height = 1 + max(h(n.left), h(n.right))
 		return n
 	}
-	return &avl{root: build(0, len(items)), n: len(items)}
+	var sum uint64
+	for _, it := range items {
+		sum += it.k
+	}
+	return &avl{root: build(0, len(items)), n: len(items), sum: sum}
 }

@@ -313,6 +313,86 @@ func (t *Tree) replaceChild(parent, old, repl *caNode) {
 	}
 }
 
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, stopping early if fn returns false. Each base node's
+// contribution is atomic (collected under the base's lock, emitted
+// after it is released, so fn may safely re-enter the tree); the scan
+// as a whole is NOT one atomic snapshot — like the ABtrees' weak Range,
+// keys inserted or deleted mid-scan in not-yet-visited bases may or may
+// not appear. Safe under concurrency.
+//
+// The scan hops base to base using the route keys on the descent path:
+// when the descent to cursor goes left at a route, that route's key
+// bounds the base's coverage from above (while the base is valid no
+// route subdividing its range can exist — only splitting the base
+// itself creates such routes, and that invalidates it), so the next
+// iteration resumes there. Scans do not feed the contention statistic:
+// adaptation stays driven by point-operation contention.
+func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == ^uint64(0) {
+		hi--
+	}
+	if hi < lo {
+		return
+	}
+	cursor := lo
+	for {
+		n := t.root.Load()
+		bound := uint64(0)
+		hasBound := false
+		for n.base == nil {
+			if cursor < n.key {
+				bound, hasBound = n.key, true
+				n = n.left.Load()
+			} else {
+				n = n.right.Load()
+			}
+		}
+		b := n.base
+		lockBase(b)
+		if !b.valid {
+			b.mu.Unlock()
+			continue
+		}
+		capHi := hi
+		if hasBound && bound-1 < capHi {
+			capHi = bound - 1 // never read past the base's coverage
+		}
+		items := b.data.rangeItems(nil, cursor, capHi)
+		b.mu.Unlock()
+		for _, it := range items {
+			if !fn(it.k, it.v) {
+				return
+			}
+		}
+		if !hasBound || bound > hi {
+			return
+		}
+		cursor = bound
+	}
+}
+
+// KeySum returns the wrapping sum of all keys (§6 validation scheme).
+// Quiescent only. O(#bases): each base's AVL maintains its key sum
+// incrementally, so no per-key walk is needed.
+func (t *Tree) KeySum() uint64 {
+	var s uint64
+	var walk func(n *caNode)
+	walk = func(n *caNode) {
+		if n.base != nil {
+			s += n.base.data.sum
+			return
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(t.root.Load())
+	return s
+}
+
 // Scan calls fn for every pair in ascending key order (quiescent only).
 func (t *Tree) Scan(fn func(k, v uint64)) {
 	var walk func(n *caNode)

@@ -1,0 +1,129 @@
+package catree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeSequential(t *testing.T) {
+	tr := New()
+	for k := uint64(1); k <= 500; k++ {
+		tr.Insert(k, k*10)
+	}
+	var got []uint64
+	tr.Range(50, 120, func(k, v uint64) bool {
+		if v != k*10 {
+			t.Fatalf("key %d: value %d, want %d", k, v, k*10)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 71 {
+		t.Fatalf("got %d keys, want 71", len(got))
+	}
+	for i, k := range got {
+		if k != 50+uint64(i) {
+			t.Fatalf("position %d: key %d, want %d", i, k, 50+uint64(i))
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Range(1, 500, func(k, v uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d keys, want 5", n)
+	}
+	// Empty and inverted intervals.
+	tr.Range(1000, 2000, func(k, v uint64) bool { t.Fatal("unexpected pair"); return true })
+	tr.Range(20, 10, func(k, v uint64) bool { t.Fatal("unexpected pair"); return true })
+}
+
+// TestRangeConcurrentChurn checks the weak-Range guarantees that must
+// hold even mid-churn — strictly ascending keys (no duplicates, no
+// reordering across base hops) and never a value the key never held —
+// while concurrent contended operations drive base splits and joins.
+func TestRangeConcurrentChurn(t *testing.T) {
+	const keyRange = 2048
+	tr := New()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := uint64(w)*2654435761 + 1
+			for !stop.Load() {
+				s = s*6364136223846793005 + 1442695040888963407
+				k := 1 + (s>>33)%keyRange
+				if s&1 == 0 {
+					tr.Insert(k, k+7)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(w)
+	}
+	rounds := 200
+	if testing.Short() {
+		rounds = 50
+	}
+	for n := 0; n < rounds; n++ {
+		prev := uint64(0)
+		tr.Range(1, keyRange, func(k, v uint64) bool {
+			if k <= prev {
+				t.Errorf("scan %d: key %d after %d (duplicate or out of order)", n, k, prev)
+				return false
+			}
+			if v != k+7 {
+				t.Errorf("scan %d: key %d carries value %d, want %d", n, k, v, k+7)
+				return false
+			}
+			prev = k
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent: Range agrees exactly with Scan, and the native KeySum
+	// (incremental per-base sums, surviving splits/joins/buildBalanced)
+	// agrees with a fresh full walk.
+	var scanKeys []uint64
+	var walkSum uint64
+	tr.Scan(func(k, _ uint64) { scanKeys = append(scanKeys, k); walkSum += k })
+	var rangeKeys []uint64
+	tr.Range(1, keyRange, func(k, _ uint64) bool { rangeKeys = append(rangeKeys, k); return true })
+	if len(scanKeys) != len(rangeKeys) {
+		t.Fatalf("quiescent Range saw %d keys, Scan %d", len(rangeKeys), len(scanKeys))
+	}
+	for i := range scanKeys {
+		if scanKeys[i] != rangeKeys[i] {
+			t.Fatalf("position %d: Range %d, Scan %d", i, rangeKeys[i], scanKeys[i])
+		}
+	}
+	if got := tr.KeySum(); got != walkSum {
+		t.Fatalf("native KeySum = %d, full walk %d", got, walkSum)
+	}
+}
+
+func TestKeySumIncremental(t *testing.T) {
+	tr := New()
+	var want uint64
+	for k := uint64(1); k <= 300; k++ {
+		tr.Insert(k, k)
+		want += k
+	}
+	for k := uint64(2); k <= 300; k += 2 {
+		tr.Delete(k)
+		want -= k
+	}
+	// Duplicate inserts and absent deletes must not move the sum.
+	tr.Insert(3, 99)
+	tr.Delete(4)
+	if got := tr.KeySum(); got != want {
+		t.Fatalf("KeySum = %d, want %d", got, want)
+	}
+}

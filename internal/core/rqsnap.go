@@ -105,6 +105,21 @@ func (th *Thread) scanner() *rq.Scanner {
 // query linearizes at the moment it draws its timestamp, before reading
 // any leaf. Safe to call concurrently with updates.
 func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	sc := th.scanner()
+	ts := sc.Begin()
+	defer sc.End()
+	th.RangeSnapshotAt(ts, lo, hi, fn)
+}
+
+// RangeSnapshotAt is RangeSnapshot at an externally drawn linearization
+// timestamp ts: it reports the tree's state as of ts without drawing a
+// timestamp of its own. The caller must hold ts active on the tree's rq
+// clock (an rq.Scanner between Begin and End) for the duration of the
+// call, or version chains the scan still needs could be pruned under
+// it. With several trees on one shared clock (WithRQClock), calling
+// this on each tree with one ts yields a single atomic snapshot across
+// all of them — internal/shard's cross-shard scan.
+func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) {
 	if lo == emptyKey {
 		lo = 1
 	}
@@ -113,9 +128,6 @@ func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 		return
 	}
 	t := th.t
-	sc := th.scanner()
-	ts := sc.Begin()
-	defer sc.End()
 	cursor := lo
 	for {
 		leaf, bound, hasBound := t.searchWithBound(cursor)

@@ -39,9 +39,11 @@ type Tree struct {
 	// (WithLeafCombining only).
 	fcCombined atomic.Uint64
 
-	// rqp coordinates linearizable range queries (rqsnap.go): the global
-	// scan timestamp, the active-scan registry, and version-chain stats.
-	rqp *rq.Provider
+	// rqp coordinates linearizable range queries (rqsnap.go): the scan
+	// timestamp clock (private by default, shared under WithRQClock),
+	// the active-scan registry, and version-chain stats.
+	rqp     *rq.Provider
+	rqClock *rq.Clock // nil = private clock
 }
 
 // FCCombined reports how many operations were applied on their owners'
@@ -90,6 +92,13 @@ func WithTASLocks() Option { return func(t *Tree) { t.lock = lockTAS } }
 // round-robin by NewThread.
 func WithCohortLocks() Option { return func(t *Tree) { t.lock = lockCohort } }
 
+// WithRQClock couples the tree's range-query subsystem to c instead of a
+// private clock. Trees sharing one clock share one scan-linearization
+// point: a scan that draws a timestamp from the shared clock (see
+// RangeSnapshotAt) observes a single atomic snapshot across all of
+// them. internal/shard uses this for cross-shard linearizable scans.
+func WithRQClock(c *rq.Clock) Option { return func(t *Tree) { t.rqClock = c } }
+
 // WithLeafCombining replaces publishing elimination with per-leaf flat
 // combining — the alternative design the paper tested and found "much
 // slower than our publishing elimination technique" (§2). It exists for
@@ -114,7 +123,10 @@ func New(opts ...Option) *Tree {
 	if t.elimFinds && !t.elim {
 		panic("core: WithFindElimination requires WithElimination")
 	}
-	t.rqp = rq.NewProvider()
+	if t.rqClock == nil {
+		t.rqClock = rq.NewClock()
+	}
+	t.rqp = rq.NewProviderWith(t.rqClock)
 	root := newLeaf(nil, 0)
 	t.entry = newInternal(internalKind, nil, []*node{root}, 0)
 	return t
@@ -122,6 +134,10 @@ func New(opts ...Option) *Tree {
 
 // Elim reports whether publishing elimination is enabled.
 func (t *Tree) Elim() bool { return t.elim }
+
+// RQClock returns the linearization clock the tree's range-query
+// subsystem runs on (shared with other trees under WithRQClock).
+func (t *Tree) RQClock() *rq.Clock { return t.rqp.Clock() }
 
 // MinSize returns a, MaxSize returns b.
 func (t *Tree) MinSize() int { return t.a }

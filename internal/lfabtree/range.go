@@ -1,0 +1,58 @@
+package lfabtree
+
+// Range scanning for the LF-ABtree. Leaves are immutable (every update
+// replaces the whole leaf, RCU-style), so each leaf read is trivially
+// atomic: whatever leaf the wait-free descent reaches is a consistent
+// snapshot of its key range at some point during the scan. The scan as
+// a whole is NOT one atomic snapshot — like the ABtrees' weak Range,
+// keys inserted or deleted mid-scan in not-yet-visited leaves may or
+// may not appear. This is the non-linearizable Range that lets the
+// LF-ABtree join Workload E and the weak scan mixes via dict.Ranger.
+
+// searchWithBound descends to the leaf for key, also reporting the
+// leaf's key-range upper bound: the smallest routing key greater than
+// the path taken. hasBound is false for the rightmost leaf.
+func (t *Tree) searchWithBound(key uint64) (leaf *node, bound uint64, hasBound bool) {
+	n := t.entry
+	for !n.leaf {
+		nIdx := 0
+		for nIdx < len(n.keys) && key >= n.keys[nIdx] {
+			nIdx++
+		}
+		if nIdx < len(n.keys) {
+			bound, hasBound = n.keys[nIdx], true
+		}
+		n = n.child(nIdx)
+	}
+	return n, bound, hasBound
+}
+
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, stopping early if fn returns false. Per-leaf atomic (see the
+// file comment); safe under concurrency, never retries or blocks.
+func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == ^uint64(0) {
+		hi--
+	}
+	if hi < lo {
+		return
+	}
+	cursor := lo
+	for {
+		leaf, bound, hasBound := t.searchWithBound(cursor)
+		for i, k := range leaf.keys { // leaf keys are sorted
+			if k >= cursor && k <= hi {
+				if !fn(k, leaf.vals[i]) {
+					return
+				}
+			}
+		}
+		if !hasBound || bound > hi {
+			return
+		}
+		cursor = bound
+	}
+}

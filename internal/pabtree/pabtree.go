@@ -128,12 +128,19 @@ func (t *Tree) ElimStats() (inserts, deletes, upserts uint64) {
 type Option func(*config)
 
 type config struct {
-	a, b int
-	elim bool
+	a, b  int
+	elim  bool
+	clock *rq.Clock
 }
 
 // WithElimination enables publishing elimination (p-Elim-ABtree).
 func WithElimination() Option { return func(c *config) { c.elim = true } }
+
+// WithRQClock couples the tree's range-query subsystem to a shared
+// linearization clock instead of a private one (see core.WithRQClock):
+// trees on one clock serve mutually linearizable snapshot scans through
+// RangeSnapshotAt. The clock is volatile; pass it again on Recover.
+func WithRQClock(c *rq.Clock) Option { return func(cf *config) { cf.clock = c } }
 
 // WithDegree sets the (a,b) bounds; 2 <= a <= b/2, 4 <= b <= 11.
 func WithDegree(a, b int) Option { return func(c *config) { c.a, c.b = a, b } }
@@ -185,7 +192,10 @@ func newTreeShell(arena *pmem.Arena, cfg config) *Tree {
 		elim:     cfg.elim,
 	}
 	t.em = epoch.NewManager[uint32](t.pushFree)
-	t.rqp = rq.NewProvider()
+	if cfg.clock == nil {
+		cfg.clock = rq.NewClock()
+	}
+	t.rqp = rq.NewProviderWith(cfg.clock)
 	return t
 }
 
@@ -194,6 +204,10 @@ func (t *Tree) Arena() *pmem.Arena { return t.arena }
 
 // Elim reports whether publishing elimination is enabled.
 func (t *Tree) Elim() bool { return t.elim }
+
+// RQClock returns the linearization clock the tree's range-query
+// subsystem runs on (shared with other trees under WithRQClock).
+func (t *Tree) RQClock() *rq.Clock { return t.rqp.Clock() }
 
 // MinSize returns a; MaxSize returns b.
 func (t *Tree) MinSize() int { return t.a }

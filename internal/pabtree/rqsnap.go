@@ -100,6 +100,18 @@ func (th *Thread) scanner() *rq.Scanner {
 // current durable-linearizable state; they do not interact with crash
 // simulation (no scan survives a crash).
 func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	sc := th.scanner()
+	ts := sc.Begin()
+	defer sc.End()
+	th.RangeSnapshotAt(ts, lo, hi, fn)
+}
+
+// RangeSnapshotAt is RangeSnapshot at an externally drawn linearization
+// timestamp ts (see core.Thread.RangeSnapshotAt): the caller must hold
+// ts active on the tree's rq clock for the duration of the call. With
+// several trees on one shared clock (WithRQClock), one ts across all of
+// them yields a single atomic cross-tree snapshot.
+func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) {
 	if lo == emptyKey {
 		lo = 1
 	}
@@ -110,9 +122,6 @@ func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 	th.enter()
 	defer th.exit()
 	t := th.t
-	sc := th.scanner()
-	ts := sc.Begin()
-	defer sc.End()
 	cursor := lo
 	for {
 		leaf, bound, hasBound := t.searchWithBound(cursor)

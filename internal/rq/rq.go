@@ -7,9 +7,13 @@
 // The design follows that line of work, adapted to leaf-structured trees
 // whose leaves are modified in place under fine-grained locks:
 //
-//   - A Provider owns a global range-query timestamp. Only range queries
-//     advance it (one fetch-add per scan); updates merely read it, so
-//     point operations never contend on the counter.
+//   - A Clock owns a global range-query timestamp and the registry of
+//     active scans. Only range queries advance the timestamp (one
+//     fetch-add per scan); updates merely read it, so point operations
+//     never contend on the counter. A Clock can be shared by any number
+//     of trees (each through its own Provider), in which case it is the
+//     single linearization point for scans spanning all of them — the
+//     basis of internal/shard's cross-shard linearizable scans.
 //
 //   - Every leaf write happens inside the leaf's version window (the
 //     odd/even version protocol the tree already uses for its
@@ -85,63 +89,90 @@ type Version struct {
 // Next returns the next-older snapshot in the chain, or nil.
 func (v *Version) Next() *Version { return v.next.Load() }
 
-// Provider owns one tree's global range-query timestamp and the registry
-// of active scans. The zero timestamp predates every scan (scan
-// timestamps start at 1), so freshly created leaves stamped 0 are
+// Clock is a linearization clock: the global range-query timestamp and
+// the registry of active scans. The zero timestamp predates every scan
+// (scan timestamps start at 1), so freshly created leaves stamped 0 are
 // current for every scan until their first post-scan write.
-type Provider struct {
+//
+// A Clock is shared by every tree whose scans must be mutually
+// linearizable: each tree couples to it through its own Provider, and a
+// scan that draws one timestamp from the shared clock observes a single
+// atomic snapshot across all of them.
+type Clock struct {
 	ts atomic.Uint64
 
 	mu       sync.Mutex // guards scanner registration
 	scanners atomic.Pointer[[]*Scanner]
 
-	// scans counts Begin calls; versions counts snapshots pushed.
-	// Both are off the point-operation fast path.
-	scans    atomic.Uint64
-	versions atomic.Uint64
+	// scans counts Begin calls across every provider on this clock.
+	// Off the point-operation fast path.
+	scans atomic.Uint64
 }
 
-// Scanner is a per-thread registration with a Provider. A Scanner must
+// NewClock returns a clock with no scans in flight.
+func NewClock() *Clock {
+	c := &Clock{}
+	ss := make([]*Scanner, 0)
+	c.scanners.Store(&ss)
+	return c
+}
+
+// Provider couples one tree to a linearization clock (possibly shared
+// with other trees) and tracks the tree's version-chain statistics.
+type Provider struct {
+	clock    *Clock
+	versions atomic.Uint64 // snapshots pushed by this tree's writers
+}
+
+// Scanner is a per-thread registration with a Clock. A Scanner must
 // not be used concurrently.
 type Scanner struct {
-	p        *Provider
+	c        *Clock
 	announce atomic.Uint64
 	_        [64 - 8]byte // keep announcements off each other's cache lines
 }
 
-// NewProvider returns a provider with no scans in flight.
-func NewProvider() *Provider {
-	p := &Provider{}
-	ss := make([]*Scanner, 0)
-	p.scanners.Store(&ss)
-	return p
-}
+// NewProvider returns a provider on a private, freshly created clock —
+// the single-tree configuration.
+func NewProvider() *Provider { return NewProviderWith(NewClock()) }
+
+// NewProviderWith returns a provider on c, which may be shared with any
+// number of other providers (trees).
+func NewProviderWith(c *Clock) *Provider { return &Provider{clock: c} }
+
+// Clock returns the provider's linearization clock.
+func (p *Provider) Clock() *Clock { return p.clock }
 
 // Register adds a scanner slot for one worker thread.
-func (p *Provider) Register() *Scanner {
-	s := &Scanner{p: p}
+func (c *Clock) Register() *Scanner {
+	s := &Scanner{c: c}
 	s.announce.Store(idle)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	old := *p.scanners.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.scanners.Load()
 	ss := make([]*Scanner, len(old)+1)
 	copy(ss, old)
 	ss[len(old)] = s
-	p.scanners.Store(&ss)
+	c.scanners.Store(&ss)
 	return s
 }
 
+// Register adds a scanner slot for one worker thread on the provider's
+// clock.
+func (p *Provider) Register() *Scanner { return p.clock.Register() }
+
 // Begin starts a scan: it announces a conservative lower bound, draws
 // the scan's linearization timestamp with one fetch-add, and announces
-// the final value. The scan observes exactly the writes stamped < t.
+// the final value. The scan observes exactly the writes stamped < t —
+// on every tree sharing the clock.
 func (s *Scanner) Begin() uint64 {
 	// The pre-announcement (<= the final t) closes the race with a
 	// concurrent MinActive reader that scans the registry between our
 	// fetch-add and the final announcement.
-	s.announce.Store(s.p.ts.Load())
-	t := s.p.ts.Add(1)
+	s.announce.Store(s.c.ts.Load())
+	t := s.c.ts.Add(1)
 	s.announce.Store(t)
-	s.p.scans.Add(1)
+	s.c.scans.Add(1)
 	return t
 }
 
@@ -150,14 +181,19 @@ func (s *Scanner) End() { s.announce.Store(idle) }
 
 // ReadStamp returns the current timestamp. Writers call it inside a
 // leaf's version window to stamp the state they are about to install.
-func (p *Provider) ReadStamp() uint64 { return p.ts.Load() }
+func (c *Clock) ReadStamp() uint64 { return c.ts.Load() }
+
+// ReadStamp returns the current timestamp of the provider's clock.
+func (p *Provider) ReadStamp() uint64 { return p.clock.ts.Load() }
 
 // MinActive returns a timestamp m such that every in-flight scan — and
 // every scan that will ever begin — has timestamp >= m. Snapshots
-// shadowed for all t >= m can be pruned.
-func (p *Provider) MinActive() uint64 {
-	m := p.ts.Load() + 1 // future scans draw > current ts
-	for _, s := range *p.scanners.Load() {
+// shadowed for all t >= m can be pruned. Because the registry is
+// clock-wide, the bound accounts for scans begun through every tree
+// sharing the clock.
+func (c *Clock) MinActive() uint64 {
+	m := c.ts.Load() + 1 // future scans draw > current ts
+	for _, s := range *c.scanners.Load() {
 		if a := s.announce.Load(); a != idle && a < m {
 			m = a
 		}
@@ -165,10 +201,14 @@ func (p *Provider) MinActive() uint64 {
 	return m
 }
 
-// Stats reports how many scans have begun and how many leaf snapshots
-// writers have preserved for them.
+// MinActive returns the clock-wide pruning bound (see Clock.MinActive).
+func (p *Provider) MinActive() uint64 { return p.clock.MinActive() }
+
+// Stats reports how many scans have begun on the provider's clock
+// (clock-wide: scans spanning several trees count once) and how many
+// leaf snapshots this tree's writers have preserved for them.
 func (p *Provider) Stats() (scans, versions uint64) {
-	return p.scans.Load(), p.versions.Load()
+	return p.clock.scans.Load(), p.versions.Load()
 }
 
 // Push prepends a snapshot (stamp, items) to chain and prunes entries no

@@ -76,6 +76,55 @@ func TestProviderTimestamps(t *testing.T) {
 	}
 }
 
+// TestSharedClockProviders checks the N-trees-one-clock configuration:
+// timestamps, the active-scan registry and the scan count are
+// clock-wide, while version counts stay per-provider.
+func TestSharedClockProviders(t *testing.T) {
+	c := NewClock()
+	pa := NewProviderWith(c)
+	pb := NewProviderWith(c)
+	if pa.Clock() != c || pb.Clock() != c {
+		t.Fatal("providers did not retain the shared clock")
+	}
+
+	// A scan begun through one provider's registration is visible in
+	// the other provider's timestamp and pruning bound.
+	sa := pa.Register()
+	ts := sa.Begin()
+	if ts != 1 {
+		t.Fatalf("first shared timestamp %d, want 1", ts)
+	}
+	if got := pb.ReadStamp(); got != ts {
+		t.Fatalf("provider B reads stamp %d, want the shared %d", got, ts)
+	}
+	if got := pb.MinActive(); got != ts {
+		t.Fatalf("provider B MinActive %d: an active scan on the shared clock must bound pruning everywhere", got)
+	}
+	sa.End()
+	if got := pb.MinActive(); got != ts+1 {
+		t.Fatalf("idle shared MinActive %d, want %d", got, ts+1)
+	}
+
+	// A second scan through B draws the next timestamp — one total
+	// order across providers.
+	sb := pb.Register()
+	if ts2 := sb.Begin(); ts2 != ts+1 {
+		t.Fatalf("provider B scan timestamp %d, want %d", ts2, ts+1)
+	}
+	sb.End()
+
+	// Scan count is clock-wide; versions are per-provider.
+	pa.Push(nil, 0, nil, pa.MinActive())
+	aScans, aVers := pa.Stats()
+	bScans, bVers := pb.Stats()
+	if aScans != 2 || bScans != 2 {
+		t.Fatalf("clock-wide scan counts (%d, %d), want (2, 2)", aScans, bScans)
+	}
+	if aVers != 1 || bVers != 0 {
+		t.Fatalf("per-provider version counts (%d, %d), want (1, 0)", aVers, bVers)
+	}
+}
+
 func TestPushVisibleAtPrune(t *testing.T) {
 	p := NewProvider()
 	// History: state stamped 0 (pairs 1), then 3 (pairs 1,2), then 5.

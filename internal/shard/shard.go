@@ -1,0 +1,303 @@
+// Package shard composes N per-shard dictionaries into one
+// range-partitioned dict.Dict: point operations route to the shard
+// owning the key, KeySum and the stats interfaces merge across shards,
+// and — when the shards support it — range scans run across shard
+// boundaries, with RangeSnapshot linearizable across the whole
+// dictionary via a shared rq.Clock.
+//
+// Partitioning is by key range: shard i of n owns an equal slice of
+// [1, keyRange], and the last shard additionally owns everything above
+// keyRange (so workloads that append past the loaded key space, like
+// YCSB Workload E's inserts, keep routing correctly). The shard map is
+// immutable; rebalancing the partition is a higher layer's concern.
+//
+// Cross-shard linearizability: a plain per-shard snapshot scan draws a
+// timestamp per shard at different moments, so a scan crossing a
+// boundary could observe a later write in shard i+1 while missing an
+// earlier write in shard i — a torn cut of the key space (the test
+// suite's write-order witness demonstrates exactly this). Instead, New
+// creates one rq.Clock and hands it to every shard builder; builders
+// couple their trees to it (core.WithRQClock / pabtree.WithRQClock),
+// making the clock the single linearization point for all shards. A
+// cross-shard RangeSnapshot then draws ONE timestamp from the shared
+// clock and reads every shard's state as of that timestamp through
+// RangeSnapshotAt, which the internal/rq argument makes a single atomic
+// snapshot of the whole dictionary: writers on any shard stamp against
+// the same counter, and the clock-wide active-scan registry keeps every
+// version chain the scan still needs from being pruned.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/rq"
+)
+
+// Builder constructs shard i of a partitioned dictionary. clock is the
+// dictionary's shared linearization clock: builders whose structures
+// support snapshot scans must couple the tree to it (core.WithRQClock,
+// pabtree.WithRQClock) or cross-shard RangeSnapshot will not be
+// offered for the composed dictionary.
+type Builder func(shard int, clock *rq.Clock) dict.Dict
+
+// Dict is a range-partitioned dictionary over n sub-dictionaries. It
+// implements dict.Dict; its handles additionally implement dict.Ranger
+// and dict.SnapshotRanger/SnapshotAtRanger exactly when every shard's
+// handles do.
+type Dict struct {
+	clock  *rq.Clock
+	shards []dict.Dict
+	// bounds[i] is the first key owned by shard i+1 (len = n-1); shard 0
+	// starts at key 1 and the last shard is unbounded above.
+	bounds []uint64
+
+	canRange bool // every shard handle implements dict.Ranger
+	canSnap  bool // ... and dict.SnapshotAtRanger (shared-clock scans)
+}
+
+// New builds an n-way partition of [1, keyRange] (the last shard open
+// above keyRange), constructing each shard with build around one shared
+// linearization clock.
+func New(n int, keyRange uint64, build Builder) *Dict {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: need at least 1 shard, got %d", n))
+	}
+	step := keyRange / uint64(n)
+	if step == 0 {
+		step = 1
+	}
+	d := &Dict{
+		clock:  rq.NewClock(),
+		shards: make([]dict.Dict, n),
+		bounds: make([]uint64, n-1),
+	}
+	for i := 0; i < n-1; i++ {
+		d.bounds[i] = 1 + step*uint64(i+1)
+	}
+	for i := range d.shards {
+		d.shards[i] = build(i, d.clock)
+	}
+	// Probe one handle per shard for scan capabilities: the composed
+	// handle only offers a scan kind every shard can serve. Snapshot
+	// scans require three things of every shard — a SnapshotAtRanger
+	// handle, Ranger (every SnapshotAtRanger in this repository is one,
+	// keeping the capability lattice monotone), and proof via RQClocked
+	// that the shard actually runs on THIS partition's clock: a
+	// snapshot-capable shard whose builder ignored the clock (or a
+	// nested partition, which always owns a private clock) would
+	// interpret our timestamps against an unrelated counter and serve
+	// torn, unsafely pruned results, so it degrades to weak Range only.
+	d.canRange, d.canSnap = true, true
+	for _, s := range d.shards {
+		h := s.NewHandle()
+		if _, ok := h.(dict.Ranger); !ok {
+			d.canRange = false
+		}
+		if _, ok := h.(dict.SnapshotAtRanger); !ok {
+			d.canSnap = false
+		}
+		if rc, ok := s.(dict.RQClocked); !ok || rc.RQClock() != d.clock {
+			d.canSnap = false
+		}
+	}
+	d.canSnap = d.canSnap && d.canRange
+	return d
+}
+
+// Shards returns the number of shards.
+func (d *Dict) Shards() int { return len(d.shards) }
+
+// Clock returns the dictionary's shared linearization clock.
+func (d *Dict) Clock() *rq.Clock { return d.clock }
+
+// RQClock returns the shared clock (dict.RQClocked). A nested Dict
+// reports its own private clock here, which the outer partition's
+// coupling check rejects — nesting therefore composes point ops and
+// weak Range but never claims cross-partition snapshot atomicity.
+func (d *Dict) RQClock() *rq.Clock { return d.clock }
+
+// route returns the index of the shard owning key. n is registry-scale
+// (single digits), so a linear sweep beats binary search.
+func (d *Dict) route(key uint64) int {
+	for i, b := range d.bounds {
+		if key < b {
+			return i
+		}
+	}
+	return len(d.shards) - 1
+}
+
+// lowOf returns the smallest key shard i owns.
+func (d *Dict) lowOf(i int) uint64 {
+	if i == 0 {
+		return 1
+	}
+	return d.bounds[i-1]
+}
+
+// highOf returns the largest key shard i owns.
+func (d *Dict) highOf(i int) uint64 {
+	if i == len(d.shards)-1 {
+		return ^uint64(0) - 1
+	}
+	return d.bounds[i] - 1
+}
+
+// NewHandle returns a per-goroutine accessor whose dynamic type exposes
+// exactly the scan capabilities every shard supports.
+func (d *Dict) NewHandle() dict.Handle {
+	hs := make([]dict.Handle, len(d.shards))
+	for i, s := range d.shards {
+		hs[i] = s.NewHandle()
+	}
+	base := handle{d: d, hs: hs}
+	if !d.canRange {
+		return &base
+	}
+	rh := rangeHandle{handle: base, rs: make([]dict.Ranger, len(hs))}
+	for i, h := range hs {
+		rh.rs[i] = h.(dict.Ranger)
+	}
+	if !d.canSnap {
+		return &rh
+	}
+	sh := &snapHandle{rangeHandle: rh, sat: make([]dict.SnapshotAtRanger, len(hs))}
+	for i, h := range hs {
+		sh.sat[i] = h.(dict.SnapshotAtRanger)
+	}
+	return sh
+}
+
+// KeySum returns the wrapping sum of keys across all shards (quiescent
+// only, like every KeySum in this repository).
+func (d *Dict) KeySum() uint64 {
+	var s uint64
+	for _, sd := range d.shards {
+		s += sd.KeySum()
+	}
+	return s
+}
+
+// ElimStats merges the shards' publishing-elimination counters (zero
+// for shards without elimination).
+func (d *Dict) ElimStats() (inserts, deletes, upserts uint64) {
+	for _, sd := range d.shards {
+		if es, ok := sd.(dict.ElimStatser); ok {
+			i, de, u := es.ElimStats()
+			inserts += i
+			deletes += de
+			upserts += u
+		}
+	}
+	return inserts, deletes, upserts
+}
+
+// RQStats merges the shards' range-query statistics: scans is
+// clock-wide (a cross-shard scan counts once, not once per shard);
+// versions sums the leaf snapshots preserved by each shard's writers.
+func (d *Dict) RQStats() (scans, versions uint64) {
+	for _, sd := range d.shards {
+		if rs, ok := sd.(dict.RQStatser); ok {
+			s, v := rs.RQStats()
+			if s > scans {
+				scans = s // per-provider scans report the shared clock's count
+			}
+			versions += v
+		}
+	}
+	return scans, versions
+}
+
+// handle routes point operations to the owning shard.
+type handle struct {
+	d  *Dict
+	hs []dict.Handle
+}
+
+func (h *handle) Find(key uint64) (uint64, bool) {
+	return h.hs[h.d.route(key)].Find(key)
+}
+
+func (h *handle) Insert(key, val uint64) (uint64, bool) {
+	return h.hs[h.d.route(key)].Insert(key, val)
+}
+
+func (h *handle) Delete(key uint64) (uint64, bool) {
+	return h.hs[h.d.route(key)].Delete(key)
+}
+
+// forEachShard drives one cross-shard scan: it walks the shards
+// overlapping [lo, hi] in key order, clipping the interval to each
+// shard's coverage and calling scan(i, sublo, subhi, fn) per shard,
+// and stops early once fn returns false or hi is reached. Both the
+// weak and the snapshot scan are this loop around different per-shard
+// entry points.
+func (d *Dict) forEachShard(lo, hi uint64, fn func(k, v uint64) bool, scan func(i int, sublo, subhi uint64, fn func(k, v uint64) bool)) {
+	if hi < lo {
+		return
+	}
+	stopped := false
+	wrapped := func(k, v uint64) bool {
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for i := d.route(max(lo, 1)); i < len(d.shards); i++ {
+		sublo, subhi := max(lo, d.lowOf(i)), min(hi, d.highOf(i))
+		if sublo > subhi {
+			break
+		}
+		scan(i, sublo, subhi, wrapped)
+		if stopped || subhi == hi {
+			return
+		}
+	}
+}
+
+// rangeHandle adds cross-shard weak scans: each shard's contribution
+// carries that shard's Range guarantee (per-leaf or per-base atomic),
+// and the concatenation is in ascending key order because the partition
+// is by range — but the scan as a whole is not one atomic snapshot.
+type rangeHandle struct {
+	handle
+	rs []dict.Ranger
+}
+
+func (h *rangeHandle) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.d.forEachShard(lo, hi, fn, func(i int, sublo, subhi uint64, fn func(k, v uint64) bool) {
+		h.rs[i].Range(sublo, subhi, fn)
+	})
+}
+
+// snapHandle adds cross-shard linearizable scans on the shared clock.
+type snapHandle struct {
+	rangeHandle
+	sat []dict.SnapshotAtRanger
+	sc  *rq.Scanner // lazily registered with the shared clock
+}
+
+// RangeSnapshot draws one timestamp from the shared clock and reads
+// every overlapping shard's state as of that timestamp: a single atomic
+// snapshot of the whole partitioned dictionary (see the package
+// comment for why per-shard timestamps would tear).
+func (h *snapHandle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	if h.sc == nil {
+		h.sc = h.d.clock.Register()
+	}
+	ts := h.sc.Begin()
+	defer h.sc.End()
+	h.RangeSnapshotAt(ts, lo, hi, fn)
+}
+
+// RangeSnapshotAt reports the dictionary's state as of ts. The caller
+// must hold ts active on the dictionary's own clock (see RQClock: an
+// outer partition never routes here, because a nested Dict's private
+// clock fails the outer coupling check).
+func (h *snapHandle) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) {
+	h.d.forEachShard(lo, hi, fn, func(i int, sublo, subhi uint64, fn func(k, v uint64) bool) {
+		h.sat[i].RangeSnapshotAt(ts, sublo, subhi, fn)
+	})
+}

@@ -1,0 +1,38 @@
+// Package treedict adapts this repository's own trees (internal/core,
+// internal/pabtree) to the canonical dictionary interfaces in
+// internal/dict. It is the one place the adapter methods live:
+// internal/bench's registry, the public sharded API and the shard
+// tests all build on these instead of hand-rolling copies, so a
+// capability added here (RQStats, RQClock, ...) reaches every layer —
+// in particular internal/shard's capability probe — at once.
+package treedict
+
+import (
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/pabtree"
+	"repro/internal/rq"
+)
+
+// Core adapts a volatile OCC/Elim-ABtree to dict.Dict (plus the
+// ElimStatser, RQStatser and RQClocked capabilities).
+type Core struct{ T *core.Tree }
+
+func (d Core) NewHandle() dict.Handle { return d.T.NewThread() }
+func (d Core) KeySum() uint64         { return d.T.KeySum() }
+func (d Core) ElimStats() (inserts, deletes, upserts uint64) {
+	return d.T.ElimStats()
+}
+func (d Core) RQStats() (scans, versions uint64) { return d.T.RQStats() }
+func (d Core) RQClock() *rq.Clock                { return d.T.RQClock() }
+
+// Pab adapts a persistent p-OCC/p-Elim-ABtree to the same interfaces.
+type Pab struct{ T *pabtree.Tree }
+
+func (d Pab) NewHandle() dict.Handle { return d.T.NewThread() }
+func (d Pab) KeySum() uint64         { return d.T.KeySum() }
+func (d Pab) ElimStats() (inserts, deletes, upserts uint64) {
+	return d.T.ElimStats()
+}
+func (d Pab) RQStats() (scans, versions uint64) { return d.T.RQStats() }
+func (d Pab) RQClock() *rq.Clock                { return d.T.RQClock() }

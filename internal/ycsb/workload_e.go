@@ -5,8 +5,8 @@ package ycsb
 // scan lengths). The paper stops at Workload A because its trees lack
 // range queries; with the internal/rq subsystem the ABtrees serve E
 // with linearizable scans, which is what this driver measures. The
-// scan-capable registry structures participate via bench.Ranger /
-// bench.SnapshotRanger.
+// scan-capable registry structures participate via dict.Ranger /
+// dict.SnapshotRanger.
 
 import (
 	"fmt"
@@ -14,7 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bench"
+	"repro/internal/dict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
 )
@@ -48,7 +48,7 @@ type EResult struct {
 // the loaded range, length uniform in [1, ScanLen]), else an insert of
 // a brand-new record beyond the loaded range. The run key-sum-validates
 // the inserts at the end.
-func RunE(d bench.Dict, cfg EConfig) (EResult, error) {
+func RunE(d dict.Dict, cfg EConfig) (EResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
@@ -58,7 +58,7 @@ func RunE(d bench.Dict, cfg EConfig) (EResult, error) {
 	if cfg.InsertPct == 0 {
 		cfg.InsertPct = 5
 	}
-	if bench.ScanFunc(d.NewHandle(), cfg.Snapshot) == nil {
+	if dict.ScanFunc(d.NewHandle(), cfg.Snapshot) == nil {
 		kind := "Range"
 		if cfg.Snapshot {
 			kind = "RangeSnapshot"
@@ -85,7 +85,7 @@ func RunE(d bench.Dict, cfg EConfig) (EResult, error) {
 		go func(w int) {
 			defer wg.Done()
 			h := d.NewHandle()
-			scan := bench.ScanFunc(h, cfg.Snapshot)
+			scan := dict.ScanFunc(h, cfg.Snapshot)
 			rng := xrand.New(cfg.Seed + uint64(w)*97)
 			z := zipfian.New(xrand.New(cfg.Seed*13+uint64(w)), cfg.Records, cfg.ZipfS)
 			ready.Done()

@@ -46,10 +46,44 @@ func TestWorkloadERuns(t *testing.T) {
 }
 
 // TestWorkloadEScanUnsupported checks the driver refuses structures
-// without range scans instead of silently benchmarking nothing.
+// without the requested scan kind instead of silently benchmarking
+// nothing. DGT15 has no Range at all; the CATree (which gained a weak
+// Range) is accepted in weak mode but refused linearizable snapshots.
 func TestWorkloadEScanUnsupported(t *testing.T) {
-	d := bench.NewDict("CATree", 1000)
+	d := bench.NewDict("DGT15", 1000)
 	if _, err := RunE(d, EConfig{Threads: 1, Records: 100, Duration: 10 * time.Millisecond}); err == nil {
 		t.Fatal("RunE accepted a structure without Range support")
+	}
+	ca := bench.NewDict("CATree", 1000)
+	if _, err := RunE(ca, EConfig{Threads: 1, Records: 100, Duration: 10 * time.Millisecond, Snapshot: true}); err == nil {
+		t.Fatal("RunE accepted snapshot scans on a weak-Range-only structure")
+	}
+	if _, err := RunE(ca, EConfig{Threads: 1, Records: 100, Duration: 10 * time.Millisecond}); err != nil {
+		t.Fatalf("RunE refused the CATree's weak Range: %v", err)
+	}
+}
+
+// TestWorkloadEWeakRangeCompetitors runs Workload E in weak mode over
+// the weak-only competitors and sharded compositions that joined via
+// RangeStructures.
+func TestWorkloadEWeakRangeCompetitors(t *testing.T) {
+	for _, name := range []string{"CATree", "LF-ABtree", "shard8-catree", "shard8-lf-abtree"} {
+		t.Run(name, func(t *testing.T) {
+			d := bench.NewDict(name, 20000)
+			res, err := RunE(d, EConfig{
+				Threads:  4,
+				Records:  5000,
+				ZipfS:    0.5,
+				ScanLen:  50,
+				Duration: 100 * time.Millisecond,
+				Seed:     7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scans == 0 || res.Pairs == 0 {
+				t.Fatalf("scans=%d pairs=%d: workload did not scan", res.Scans, res.Pairs)
+			}
+		})
 	}
 }

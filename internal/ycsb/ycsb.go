@@ -14,7 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/bench"
+	"repro/internal/dict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
 )
@@ -59,7 +59,7 @@ type Result struct {
 // the non-rebalancing BST baselines into linked lists. At most
 // GOMAXPROCS loaders run (capped by threads when positive):
 // oversubscribing a pure insert phase only creates lock convoys.
-func load(d bench.Dict, records uint64, threads int, seed uint64) {
+func load(d dict.Dict, records uint64, threads int, seed uint64) {
 	order := make([]uint64, records)
 	for i := range order {
 		order[i] = uint64(i) + 1
@@ -94,7 +94,7 @@ func load(d bench.Dict, records uint64, threads int, seed uint64) {
 }
 
 // Run loads Records rows into the index, then drives Workload A.
-func Run(d bench.Dict, cfg Config) (Result, error) {
+func Run(d dict.Dict, cfg Config) (Result, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
