@@ -172,7 +172,9 @@ func (h *Handle) Upsert(key, val uint64) { h.th.Upsert(key, val) }
 // atomic snapshot; the scan as a whole is not a single atomic snapshot.
 // It is the cheaper of the two scans: it never creates leaf versions.
 // For a fully linearizable scan use RangeSnapshot. Safe to call
-// concurrently with updates.
+// concurrently with updates. fn may run point operations on this handle
+// but must not start another scan on it (scans reuse per-handle scratch
+// so that, warmed up, they allocate nothing).
 func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) { h.th.Range(lo, hi, fn) }
 
 // RangeSnapshot calls fn for each pair with lo <= key <= hi, in
@@ -182,7 +184,9 @@ func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) { h.th.Range(lo
 // technique the paper's §3 points to; see internal/rq). Point
 // operations never wait for scans; while scans are in flight,
 // conflicting updates preserve superseded leaf states on short version
-// chains for them. Safe to call concurrently with updates.
+// chains for them (recycled through a pool once no scan can need them).
+// Safe to call concurrently with updates. fn may run point operations
+// on this handle but must not start another scan on it.
 func (h *Handle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 	h.th.RangeSnapshot(lo, hi, fn)
 }

@@ -18,6 +18,11 @@
 //	abtree-bench -figure 18 -scanlen 500     # longer scans
 //	abtree-bench -figure 18 -scanmode weak   # per-leaf-atomic Range instead
 //
+// Any run also lands as machine-readable JSON with -json (the
+// BENCH_*.json series EXPERIMENTS.md tracks the perf trajectory with):
+//
+//	abtree-bench -figure 18 -json BENCH_fig18.json
+//
 // The defaults are laptop-scale (short durations, thread counts up to
 // GOMAXPROCS); the paper's absolute numbers came from a 144-thread Xeon,
 // so shapes — who wins, by what factor, where lines cross — are the
@@ -35,8 +40,53 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dict"
+	"repro/internal/report"
 	"repro/internal/ycsb"
 )
+
+// resultSink accumulates every measured cell for -json output (written
+// to path; empty = no JSON); the TSV on stdout is unchanged. A nil
+// sink records nothing.
+type resultSink struct {
+	path string
+	rows []report.Row
+}
+
+func (s *resultSink) add(r report.Row) {
+	if s != nil {
+		s.rows = append(s.rows, r)
+	}
+}
+
+// fatal reports a run error and exits — after flushing, so cells
+// already measured before the failure still land in the -json output.
+func (s *resultSink) fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	s.flush()
+	os.Exit(1)
+}
+
+// flush writes the accumulated rows as an indented JSON array (the
+// BENCH_*.json format internal/report round-trips).
+func (s *resultSink) flush() {
+	if s == nil || s.path == "" {
+		return
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing -json output: %v\n", err)
+		os.Exit(1)
+	}
+	if err := report.WriteJSON(f, s.rows); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing -json output: %v\n", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -50,6 +100,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		scanLen    = flag.Uint64("scanlen", 100, "figure 18: maximum scan length")
 		scanMode   = flag.String("scanmode", "snapshot", "figure 18: \"snapshot\" (linearizable RangeSnapshot) or \"weak\" (Range)")
+		jsonPath   = flag.String("json", "", "also write results as a JSON array to this path (e.g. BENCH_fig18.json)")
 	)
 	flag.Parse()
 
@@ -84,6 +135,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	sink := &resultSink{path: *jsonPath}
+	// Deferred so cells measured before a mid-run panic (e.g. an unknown
+	// structure name partway through -structures) still land in the
+	// JSON output; the os.Exit error paths flush through sink.fatal.
+	defer sink.flush()
 	threads := parseInts(*threadsCSV)
 	if len(threads) == 0 {
 		for t := 1; t <= runtime.GOMAXPROCS(0); t *= 2 {
@@ -102,7 +158,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed)
+		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed, sink)
 	case *figure == 16:
 		records := uint64(1_000_000) // paper: 100M; scale with -keys
 		if *keys != 0 {
@@ -112,7 +168,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runYCSB(records, structs, threads, *duration, *seed)
+		runYCSB(records, structs, threads, *duration, *seed, sink)
 	case *figure == 17:
 		keyRange := uint64(1_000_000)
 		if *keys != 0 {
@@ -122,7 +178,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runFig17(keyRange, structs, threads, *duration, *seed)
+		runFig17(keyRange, structs, threads, *duration, *seed, sink)
 	case *figure == 18:
 		records := uint64(1_000_000)
 		if *keys != 0 {
@@ -138,17 +194,25 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runYCSBE(records, structs, threads, *duration, *seed, *scanLen, snapshot)
+		runYCSBE(records, structs, threads, *duration, *seed, *scanLen, snapshot, sink)
 	case *table == 1:
 		keyRange := uint64(1_000_000)
 		if *keys != 0 {
 			keyRange = *keys
 		}
-		runTable1(keyRange, threads, *duration, *seed)
+		runTable1(keyRange, threads, *duration, *seed, sink)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// scanModeName is the -scanmode vocabulary, recorded in JSON rows.
+func scanModeName(snapshot bool) string {
+	if snapshot {
+		return "snapshot"
+	}
+	return "weak"
 }
 
 func parseInts(csv string) []int {
@@ -169,7 +233,7 @@ func parseInts(csv string) []int {
 
 // runMicrobench regenerates one of Figures 12-15: the SetBench grid of
 // {update%} x {uniform, Zipf 1} x thread counts for each structure.
-func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64) {
+func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64, sink *resultSink) {
 	fmt.Printf("# Figure %d: SetBench microbenchmark, %d keys (ops/us)\n", fig, keyRange)
 	fmt.Println("# (for Elim trees, an 'elim-rate' comment follows each row: the")
 	fmt.Println("#  fraction of completed ops that eliminated instead of writing)")
@@ -186,10 +250,11 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 					bench.Prefill(dd, cfg)
 					res, err := bench.Run(dd, cfg)
 					if err != nil {
-						fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-						os.Exit(1)
+						sink.fatal("%s: %v", name, err)
 					}
 					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%.3f\n", fig, upd, zipf, name, th, res.OpsPerUsec)
+					sink.add(report.Row{Figure: fig, UpdatePct: upd, Zipf: zipf,
+						Structure: name, Threads: th, OpsPerUs: res.OpsPerUsec, Keys: keyRange})
 					if es, ok := dd.(dict.ElimStatser); ok {
 						ei, ed, eu := es.ElimStats()
 						if total := ei + ed + eu; total > 0 {
@@ -204,7 +269,7 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 }
 
 // runYCSB regenerates Figure 16: Workload A transactions/us.
-func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64) {
+func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64, sink *resultSink) {
 	fmt.Printf("# Figure 16: YCSB Workload A, %d records, Zipf 0.5 (tx/us)\n", records)
 	fmt.Println("figure\tstructure\tthreads\ttx_per_us")
 	for _, name := range structs {
@@ -214,17 +279,18 @@ func runYCSB(records uint64, structs []string, threads []int, d time.Duration, s
 				Threads: th, Records: records, ZipfS: 0.5, Duration: d, Seed: seed,
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				os.Exit(1)
+				sink.fatal("%s: %v", name, err)
 			}
 			fmt.Printf("16\t%s\t%d\t%.3f\n", name, th, res.TxPerUsec)
+			sink.add(report.Row{Figure: 16, UpdatePct: -1, Zipf: 0.5,
+				Structure: name, Threads: th, OpsPerUs: res.TxPerUsec, Keys: records})
 		}
 	}
 }
 
 // runYCSBE runs the Workload E extension ("figure 18"): 95% short scans
 // / 5% inserts over the scan-capable structures.
-func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, seed, scanLen uint64, snapshot bool) {
+func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, seed, scanLen uint64, snapshot bool, sink *resultSink) {
 	mode := "weak (per-leaf-atomic Range)"
 	if snapshot {
 		mode = "snapshot (linearizable RangeSnapshot)"
@@ -239,10 +305,12 @@ func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, 
 				Snapshot: snapshot, Duration: d, Seed: seed,
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				os.Exit(1)
+				sink.fatal("%s: %v", name, err)
 			}
 			fmt.Printf("18\t%s\t%d\t%d\t%.3f\n", name, th, scanLen, res.TxPerUsec)
+			sink.add(report.Row{Figure: 18, UpdatePct: -1, Zipf: 0.5,
+				Structure: name, Threads: th, ScanLen: int(scanLen), OpsPerUs: res.TxPerUsec,
+				ScanMode: scanModeName(snapshot), Keys: records})
 			fmt.Printf("# scan-detail %s t%d: %d scans, %.1f pairs/scan, %d inserts\n",
 				name, th, res.Scans, float64(res.Pairs)/float64(max(res.Scans, 1)), res.Inserts)
 		}
@@ -251,7 +319,7 @@ func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, 
 
 // runFig17 regenerates Figure 17: persistent trees, 1M keys, 50% updates,
 // uniform and Zipf 1.
-func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64) {
+func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64, sink *resultSink) {
 	fmt.Printf("# Figure 17: persistent trees, %d keys, 50%% updates (ops/us)\n", keyRange)
 	fmt.Println("figure\tzipf\tstructure\tthreads\tops_per_us")
 	for _, zipf := range []float64{0, 1} {
@@ -265,10 +333,11 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 				bench.Prefill(dd, cfg)
 				res, err := bench.Run(dd, cfg)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-					os.Exit(1)
+					sink.fatal("%s: %v", name, err)
 				}
 				fmt.Printf("17\t%.0f\t%s\t%d\t%.3f\n", zipf, name, th, res.OpsPerUsec)
+				sink.add(report.Row{Figure: 17, UpdatePct: -1, Zipf: zipf,
+					Structure: name, Threads: th, OpsPerUs: res.OpsPerUsec, Keys: keyRange})
 			}
 		}
 	}
@@ -276,7 +345,7 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 
 // runTable1 regenerates Table 1: throughput change from enabling
 // persistence, at update rates {100, 50, 10}, uniform and Zipf 1.
-func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64) {
+func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, sink *resultSink) {
 	th := threads[len(threads)-1] // the paper uses the max thread count (96)
 	fmt.Printf("# Table 1: persistence overhead, %d keys, %d threads\n", keyRange, th)
 	fmt.Println("zipf\tupdates%\ttree\tvolatile_ops_us\tpersistent_ops_us\tchange%")
@@ -290,22 +359,25 @@ func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64) {
 					Threads: th, KeyRange: keyRange, UpdatePct: upd,
 					ZipfS: zipf, Duration: d, Seed: seed,
 				}
-				vol := measure(pair[0], cfg)
-				per := measure(pair[1], cfg)
+				vol := measure(pair[0], cfg, sink)
+				per := measure(pair[1], cfg, sink)
 				fmt.Printf("%.0f\t%d\t%s\t%.3f\t%.3f\t%+.1f%%\n",
 					zipf, upd, pair[1], vol, per, 100*(per-vol)/vol)
+				sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
+					Structure: pair[0], Threads: th, OpsPerUs: vol, Keys: keyRange})
+				sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
+					Structure: pair[1], Threads: th, OpsPerUs: per, Keys: keyRange})
 			}
 		}
 	}
 }
 
-func measure(name string, cfg bench.Config) float64 {
+func measure(name string, cfg bench.Config, sink *resultSink) float64 {
 	dd := bench.NewDict(name, cfg.KeyRange)
 	bench.Prefill(dd, cfg)
 	res, err := bench.Run(dd, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-		os.Exit(1)
+		sink.fatal("%s: %v", name, err)
 	}
 	return res.OpsPerUsec
 }

@@ -182,7 +182,7 @@ var ScanStructures = []string{
 // the competitors with a native Range. Weak-mode scan workloads default
 // to this set.
 var RangeStructures = append(append([]string{}, ScanStructures...),
-	"CATree", "LF-ABtree", "shard8-catree", "shard8-lf-abtree",
+	"CATree", "LF-ABtree", "OpenBw-Tree", "shard8-catree", "shard8-lf-abtree",
 )
 
 // NewDict constructs a registered structure sized for keyRange. It panics

@@ -451,6 +451,41 @@ func (t *Tree) leftmostLeaf() uint64 {
 	}
 }
 
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, stopping early if fn returns false. Safe under concurrency:
+// each leaf's delta chain is immutable, so replaying it yields a
+// consistent point-in-time view of that leaf (per-leaf atomic, like the
+// ABtrees' weak Range — the scan as a whole is not one snapshot). The
+// replay-and-flatten per visited leaf is the OpenBw-Tree's documented
+// scan cost profile and is kept as such.
+func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	if hi < lo {
+		return
+	}
+	pid := t.descendToLeaf(lo)
+	for {
+		head := t.slot(pid).Load()
+		keys, vals, base := flatten(head)
+		if base.hasHigh && lo >= base.high {
+			// Outran an unposted split: follow the B-link.
+			pid = base.side
+			continue
+		}
+		for i := sort.Search(len(keys), func(i int) bool { return keys[i] >= lo }); i < len(keys); i++ {
+			if keys[i] > hi {
+				return
+			}
+			if !fn(keys[i], vals[i]) {
+				return
+			}
+		}
+		if !base.hasHigh || base.high > hi || base.side == noPID {
+			return
+		}
+		pid = base.side
+	}
+}
+
 // Scan calls fn for every key/value pair in ascending key order by
 // walking the leaf level's side links (quiescent use).
 func (t *Tree) Scan(fn func(key, val uint64)) {

@@ -1,0 +1,150 @@
+package bwtree
+
+import (
+	"sync"
+	"testing"
+)
+
+func collectRange(t *Tree, lo, hi uint64) (keys, vals []uint64) {
+	t.Range(lo, hi, func(k, v uint64) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals
+}
+
+func TestRangeBasic(t *testing.T) {
+	tr := New()
+	// Odd keys 1..199, enough to force leaf splits (maxLeafKeys = 64).
+	for k := uint64(1); k < 200; k += 2 {
+		tr.Insert(k, k*10)
+	}
+	keys, vals := collectRange(tr, 0, ^uint64(0))
+	if len(keys) != 100 {
+		t.Fatalf("full range returned %d keys, want 100", len(keys))
+	}
+	for i, k := range keys {
+		if want := uint64(2*i + 1); k != want {
+			t.Fatalf("keys[%d] = %d, want %d", i, k, want)
+		}
+		if vals[i] != k*10 {
+			t.Fatalf("vals[%d] = %d, want %d", i, vals[i], k*10)
+		}
+	}
+
+	// Interior range with exclusive-feeling bounds on absent even keys.
+	keys, _ = collectRange(tr, 50, 60)
+	if want := []uint64{51, 53, 55, 57, 59}; len(keys) != len(want) {
+		t.Fatalf("range [50,60] = %v, want %v", keys, want)
+	} else {
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("range [50,60] = %v, want %v", keys, want)
+			}
+		}
+	}
+
+	// Bounds on present keys are inclusive.
+	if keys, _ = collectRange(tr, 51, 51); len(keys) != 1 || keys[0] != 51 {
+		t.Fatalf("range [51,51] = %v, want [51]", keys)
+	}
+	// Empty and inverted ranges.
+	if keys, _ = collectRange(tr, 200, 300); len(keys) != 0 {
+		t.Fatalf("range past the keys = %v, want empty", keys)
+	}
+	if keys, _ = collectRange(tr, 60, 50); len(keys) != 0 {
+		t.Fatalf("inverted range = %v, want empty", keys)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New()
+	for k := uint64(1); k <= 500; k++ {
+		tr.Insert(k, k)
+	}
+	var got []uint64
+	tr.Range(100, 400, func(k, _ uint64) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	if len(got) != 5 || got[0] != 100 || got[4] != 104 {
+		t.Fatalf("early-stopped range = %v, want [100..104]", got)
+	}
+}
+
+// TestRangeDeltas checks that unconsolidated delta records (fresh
+// inserts and deletes still sitting on the chain) are visible to Range.
+func TestRangeDeltas(t *testing.T) {
+	tr := New()
+	for k := uint64(10); k <= 50; k += 10 {
+		tr.Insert(k, k)
+	}
+	tr.Delete(30)
+	tr.Insert(35, 350)
+	keys, vals := collectRange(tr, 10, 50)
+	want := []uint64{10, 20, 35, 40, 50}
+	if len(keys) != len(want) {
+		t.Fatalf("range = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("range = %v, want %v", keys, want)
+		}
+	}
+	if vals[2] != 350 {
+		t.Fatalf("delta insert value %d, want 350", vals[2])
+	}
+}
+
+// TestRangeConcurrent smokes Range under concurrent inserts: every scan
+// must return sorted unique keys, and keys inserted before the scans
+// begin must always appear.
+func TestRangeConcurrent(t *testing.T) {
+	tr := New()
+	const stable = 1000
+	for k := uint64(1); k <= stable; k++ {
+		tr.Insert(2*k, 2*k) // even keys are the stable population
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := uint64(2*w + 1) // odd keys churn in concurrently
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Insert(k, k)
+				k += 4
+				if k > 4*stable {
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var prev uint64
+		evens := 0
+		tr.Range(1, 2*stable, func(k, _ uint64) bool {
+			if k <= prev {
+				t.Errorf("scan %d: keys out of order (%d after %d)", i, k, prev)
+				return false
+			}
+			prev = k
+			if k%2 == 0 {
+				evens++
+			}
+			return true
+		})
+		if evens != stable {
+			t.Errorf("scan %d: saw %d stable even keys, want %d", i, evens, stable)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,80 @@
+package core
+
+// Allocation regression guards for the hot paths ISSUE 3 makes
+// allocation-free: steady-state point operations (scan-free) and the
+// warmed-up scan fast path. These are hard == 0 assertions — a single
+// new allocation on these paths is a regression, not noise.
+
+import "testing"
+
+func allocGuardTree(t *testing.T, opts ...Option) (*Tree, *Thread) {
+	t.Helper()
+	tr := New(opts...)
+	th := tr.NewThread()
+	for k := uint64(1); k <= 10_000; k++ {
+		th.Insert(k, k)
+	}
+	return tr, th
+}
+
+// TestAllocsSteadyStatePointOps: Get, a present-key Insert (pure read),
+// and a delete/insert cycle on a settled OCC tree allocate nothing.
+// (The Elim-ABtree is excluded by design: a publishing update allocates
+// its immutable ElimRecord.)
+func TestAllocsSteadyStatePointOps(t *testing.T) {
+	_, th := allocGuardTree(t)
+	if avg := testing.AllocsPerRun(200, func() { th.Find(7777) }); avg != 0 {
+		t.Errorf("Find allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { th.Insert(7777, 1) }); avg != 0 {
+		t.Errorf("present-key Insert allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		th.Delete(5000)
+		th.Insert(5000, 5000)
+	}); avg != 0 {
+		t.Errorf("steady-state Delete+Insert allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestAllocsScanFastPath: warmed-up weak and snapshot scans allocate
+// nothing, across scan lengths spanning one leaf to hundreds.
+func TestAllocsScanFastPath(t *testing.T) {
+	_, th := allocGuardTree(t)
+	var sink uint64
+	fn := func(_, v uint64) bool {
+		sink += v
+		return true
+	}
+	th.RangeSnapshot(1, 10, fn) // register the scanner outside the measurement
+	for _, scanlen := range []uint64{5, 100, 2000} {
+		if avg := testing.AllocsPerRun(100, func() { th.Range(3000, 3000+scanlen-1, fn) }); avg != 0 {
+			t.Errorf("Range scanlen=%d allocates %.2f/op, want 0", scanlen, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() { th.RangeSnapshot(3000, 3000+scanlen-1, fn) }); avg != 0 {
+			t.Errorf("RangeSnapshot scanlen=%d allocates %.2f/op, want 0", scanlen, avg)
+		}
+	}
+	_ = sink
+}
+
+// TestAllocsWriteUnderScan: once the version pool is warm, a writer
+// preserving pre-write states for an in-flight scan recycles Version
+// nodes instead of allocating them.
+func TestAllocsWriteUnderScan(t *testing.T) {
+	tr, th := allocGuardTree(t)
+	sc := tr.rqp.Register()
+	cycle := func() {
+		ts := sc.Begin()
+		_ = ts
+		th.Delete(5000)
+		th.Insert(5000, 5000)
+		sc.End()
+	}
+	for i := 0; i < 100; i++ {
+		cycle() // warm the pool
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Errorf("write under scan allocates %.2f/op after warm-up, want 0", avg)
+	}
+}

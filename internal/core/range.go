@@ -9,12 +9,96 @@ package core
 // path. The scan as a whole is therefore not one atomic snapshot; keys
 // inserted or deleted mid-scan in not-yet-visited leaves may or may not
 // appear.
+//
+// Scan fast path: hopping leaf to leaf by re-descending from the root
+// makes an L-key scan cost O(L/b * log n) node visits. Instead, each
+// Thread caches its latest root-to-leaf descent — the nodes on the
+// path, with the key-range bounds accumulated beside them — and resumes
+// the next hop from the deepest cached ancestor whose range still
+// covers the cursor: usually the previous leaf's parent, making the hop
+// O(1) amortized. The cache is validated, not trusted:
+//
+//   - Internal routing keys are immutable and a node's key range is
+//     fixed at creation, so any descent through cached nodes lands on a
+//     leaf whose range contains the cursor — even if part of the path
+//     was unlinked along the way, its frozen routing still routes
+//     correctly.
+//   - What staleness CAN do is land the scan on an unlinked leaf with
+//     frozen, outdated contents. Every unlink marks the node inside its
+//     version window, so the per-leaf collect re-checks marked inside
+//     the validated double collect and reports failure; the scan then
+//     invalidates the cache and re-descends from the root (the
+//     pre-cache behavior). The resume point itself is also skipped when
+//     marked, popping toward the root.
+//
+// The collects write into per-Thread scratch buffers, so a warmed-up
+// scan allocates nothing regardless of length.
 
-// searchWithBound is search(key, nil) that also reports the leaf's
-// key-range upper bound: the smallest routing key greater than the path
-// taken. hasBound is false for the rightmost leaf.
-func (t *Tree) searchWithBound(key uint64) (leaf *node, bound uint64, hasBound bool) {
-	n := t.entry
+// maxScanDepth bounds the cached descent. Height 32 would need > 2^31
+// keys even at pathological minimum occupancy; deeper trees still scan
+// correctly, they just bypass the cache.
+const maxScanDepth = 32
+
+// scanPath is a Thread's cached descent: the nodes root-to-leaf, each
+// with the key range [lo, hi) its subtree covered along this path
+// (hasHi false means unbounded above — the rightmost spine). Level 0 is
+// the entry sentinel; n[depth-1] is the leaf.
+type scanPath struct {
+	n     [maxScanDepth]*node
+	lo    [maxScanDepth]uint64
+	hi    [maxScanDepth]uint64
+	hasHi [maxScanDepth]bool
+	depth int // levels filled; 0 = empty
+}
+
+// invalidate empties the cache: the next hop descends from the root.
+func (p *scanPath) invalidate() { p.depth = 0 }
+
+// resumeLevel returns the deepest cached proper ancestor of the leaf
+// whose subtree still covers key and which has not been unlinked; 0
+// (the entry) when nothing better is cached. During a scan key is the
+// previous leaf's upper bound, so this is almost always the leaf's
+// parent.
+func (p *scanPath) resumeLevel(key uint64) int {
+	for i := p.depth - 2; i > 0; i-- {
+		if key >= p.lo[i] && (!p.hasHi[i] || key < p.hi[i]) && !p.n[i].marked.Load() {
+			return i
+		}
+	}
+	return 0
+}
+
+// searchScan descends to the leaf for key, resuming from the Thread's
+// cached path when possible and re-caching the path it takes. It
+// reports the leaf's key-range upper bound (the smallest routing key
+// greater than the path taken); hasBound is false for the rightmost
+// leaf.
+func (th *Thread) searchScan(key uint64) (leaf *node, bound uint64, hasBound bool) {
+	p := &th.path
+	if th.noScanCache {
+		p.invalidate()
+	}
+	lvl := 0
+	if p.depth > 0 {
+		lvl = p.resumeLevel(key)
+	}
+	if lvl == 0 {
+		p.n[0] = th.t.entry
+		p.lo[0] = 0
+		p.hi[0] = 0
+		p.hasHi[0] = false
+	}
+	return th.t.descendPath(p, lvl, key)
+}
+
+// descendPath finishes a descent from the cached level lvl, recording
+// the levels it visits. A tree deeper than maxScanDepth (unreachable
+// at sane degrees) stops recording and descends uncached.
+func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf *node, bound uint64, hasBound bool) {
+	n := p.n[lvl]
+	lo := p.lo[lvl]
+	bound, hasBound = p.hi[lvl], p.hasHi[lvl]
+	caching := true
 	for !n.isLeaf() {
 		nIdx := 0
 		rk := n.routingKeys()
@@ -22,20 +106,40 @@ func (t *Tree) searchWithBound(key uint64) (leaf *node, bound uint64, hasBound b
 			nIdx++
 		}
 		if nIdx < rk {
-			// We did not take the last child: keys[nIdx] bounds the
-			// subtree we descend into, and it is tighter than any bound
-			// found higher up.
 			bound = n.keys[nIdx].Load()
 			hasBound = true
 		}
+		if nIdx > 0 {
+			lo = n.keys[nIdx-1].Load()
+		}
 		n = n.ptrs[nIdx].Load()
+		if !caching {
+			continue
+		}
+		if lvl+1 == maxScanDepth {
+			caching = false
+			p.invalidate()
+			continue
+		}
+		lvl++
+		p.n[lvl] = n
+		p.lo[lvl] = lo
+		p.hi[lvl] = bound
+		p.hasHi[lvl] = hasBound
+	}
+	if caching {
+		p.depth = lvl + 1
 	}
 	return n, bound, hasBound
 }
 
-// snapshotLeaf returns a consistent copy of the leaf's pairs within
-// [lo, hi], sorted.
-func (t *Tree) snapshotLeaf(l *node, lo, hi uint64) []kv {
+// snapshotLeaf appends a consistent copy of the leaf's pairs within
+// [lo, hi], sorted, to buf. ok is false if the leaf has been unlinked
+// (observed inside the validated collect window), in which case the
+// caller must re-descend from the root: a cached path may have led here
+// arbitrarily long after the unlink, so the frozen contents cannot be
+// served.
+func (t *Tree) snapshotLeaf(buf []kv, l *node, lo, hi uint64) (items []kv, ok bool) {
 	spins := 0
 	for {
 		v1 := l.ver.Load()
@@ -43,7 +147,10 @@ func (t *Tree) snapshotLeaf(l *node, lo, hi uint64) []kv {
 			spinPause(&spins)
 			continue
 		}
-		items := make([]kv, 0, t.b)
+		if l.marked.Load() {
+			return buf, false
+		}
+		items = buf
 		for i := 0; i < t.b; i++ {
 			k := l.keys[i].Load()
 			if k != emptyKey && k >= lo && k <= hi {
@@ -52,15 +159,18 @@ func (t *Tree) snapshotLeaf(l *node, lo, hi uint64) []kv {
 		}
 		if l.ver.Load() == v1 {
 			sortKVs(items)
-			return items
+			return items, true
 		}
+		buf = items[:0]
 		spinPause(&spins)
 	}
 }
 
 // Range calls fn for each pair with lo <= key <= hi in ascending key
 // order, stopping early if fn returns false. Safe under concurrency;
-// per-leaf atomic (see file comment).
+// per-leaf atomic (see file comment). fn may run point operations on
+// this Thread but must not start another scan on it: scans reuse the
+// Thread's scratch buffers.
 func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 	if lo == emptyKey {
 		lo = 1
@@ -72,8 +182,14 @@ func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 	t := th.t
 	cursor := lo
 	for {
-		leaf, bound, hasBound := t.searchWithBound(cursor)
-		for _, it := range t.snapshotLeaf(leaf, cursor, hi) {
+		leaf, bound, hasBound := th.searchScan(cursor)
+		items, ok := t.snapshotLeaf(th.kvBuf[:0], leaf, cursor, hi)
+		th.kvBuf = items[:0]
+		if !ok {
+			th.path.invalidate()
+			continue // leaf was unlinked: re-descend to its replacement
+		}
+		for _, it := range items {
 			if !fn(it.k, it.v) {
 				return
 			}

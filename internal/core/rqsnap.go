@@ -8,6 +8,12 @@ package core
 // linearizability argument. Writers call rqStamp (in-place updates) or
 // the rqInherit* helpers (structural replacements) inside the leaf's
 // version window; scans resolve each leaf with collectVersioned.
+//
+// Steady-state allocation: snapshot scans descend through the Thread's
+// cached path and collect into the Thread's scratch buffer (range.go),
+// and writers preserving pre-write states draw their Version nodes and
+// Items buffers from the provider's recycling pool (internal/rq), so
+// neither side allocates once warmed up.
 
 import "repro/internal/rq"
 
@@ -23,8 +29,12 @@ func (t *Tree) rqStamp(leaf *node) {
 		return
 	}
 	// A scan with timestamp in (s, c] may still need the pre-write
-	// contents: preserve them, stamped with the state's own stamp.
-	leaf.rqVers.Store(t.rqp.Push(leaf.rqVers.Load(), s, gatherPairs(t, leaf), t.rqp.MinActive()))
+	// contents: preserve them, stamped with the state's own stamp. The
+	// snapshot's node and buffer come from the provider's pool, refilled
+	// by the pruning this push performs.
+	v := t.rqp.Acquire()
+	v.Items = gatherPairs(t, leaf, v.Items)
+	leaf.rqVers.Store(t.rqp.PushAcquired(leaf.rqVers.Load(), s, v, t.rqp.MinActive()))
 	leaf.rqTS.Store(c)
 }
 
@@ -35,7 +45,9 @@ func (t *Tree) rqStamp(leaf *node) {
 func (t *Tree) rqTimeline(leaf *node, c uint64) *rq.Version {
 	tl := leaf.rqVers.Load()
 	if s := leaf.rqTS.Load(); s < c {
-		tl = t.rqp.Push(tl, s, gatherPairs(t, leaf), t.rqp.MinActive())
+		v := t.rqp.Acquire()
+		v.Items = gatherPairs(t, leaf, v.Items)
+		tl = t.rqp.PushAcquired(tl, s, v, t.rqp.MinActive())
 	}
 	return tl
 }
@@ -47,8 +59,8 @@ func (t *Tree) rqInheritSplit(old, left, right *node, sep, c uint64) {
 	left.rqTS.Store(c)
 	right.rqTS.Store(c)
 	if tl := t.rqTimeline(old, c); tl != nil {
-		left.rqVers.Store(rq.Restrict(tl, 0, sep-1))
-		right.rqVers.Store(rq.Restrict(tl, sep, ^uint64(0)))
+		left.rqVers.Store(t.rqp.Restrict(tl, 0, sep-1))
+		right.rqVers.Store(t.rqp.Restrict(tl, sep, ^uint64(0)))
 	}
 }
 
@@ -56,7 +68,7 @@ func (t *Tree) rqInheritSplit(old, left, right *node, sep, c uint64) {
 // distribute, whose replacements span both old ranges). Runs inside both
 // leaves' version windows, with c the stamp read there.
 func (t *Tree) rqMergedTimeline(left, right *node, c uint64) *rq.Version {
-	return rq.MergeTimelines(t.rqTimeline(left, c), t.rqTimeline(right, c))
+	return t.rqp.MergeTimelines(t.rqTimeline(left, c), t.rqTimeline(right, c))
 }
 
 // rqInheritDistribute hands two redistributed leaves' combined history
@@ -66,8 +78,8 @@ func (t *Tree) rqInheritDistribute(oldLeft, oldRight, newLeft, newRight *node, n
 	newLeft.rqTS.Store(c)
 	newRight.rqTS.Store(c)
 	if tl := t.rqMergedTimeline(oldLeft, oldRight, c); tl != nil {
-		newLeft.rqVers.Store(rq.Restrict(tl, 0, newSep-1))
-		newRight.rqVers.Store(rq.Restrict(tl, newSep, ^uint64(0)))
+		newLeft.rqVers.Store(t.rqp.Restrict(tl, 0, newSep-1))
+		newRight.rqVers.Store(t.rqp.Restrict(tl, newSep, ^uint64(0)))
 	}
 }
 
@@ -78,9 +90,8 @@ func (t *Tree) rqInheritMerge(oldLeft, oldRight, nn *node, c uint64) {
 	nn.rqVers.Store(t.rqMergedTimeline(oldLeft, oldRight, c))
 }
 
-// gatherPairs collects a locked leaf's pairs, sorted by key.
-func gatherPairs(t *Tree, l *node) []rq.Pair {
-	items := make([]rq.Pair, 0, t.b)
+// gatherPairs appends a locked leaf's pairs to items, sorted by key.
+func gatherPairs(t *Tree, l *node, items []rq.Pair) []rq.Pair {
 	for i := 0; i < t.b; i++ {
 		if k := l.keys[i].Load(); k != emptyKey {
 			items = append(items, rq.Pair{K: k, V: l.vals[i].Load()})
@@ -103,7 +114,9 @@ func (th *Thread) scanner() *rq.Scanner {
 // key order, stopping early if fn returns false. Unlike Range, the
 // reported pairs are a single atomic snapshot of the whole interval: the
 // query linearizes at the moment it draws its timestamp, before reading
-// any leaf. Safe to call concurrently with updates.
+// any leaf. Safe to call concurrently with updates. fn may run point
+// operations on this Thread but must not start another scan on it:
+// scans reuse the Thread's scratch buffers.
 func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 	sc := th.scanner()
 	ts := sc.Begin()
@@ -130,9 +143,11 @@ func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) 
 	t := th.t
 	cursor := lo
 	for {
-		leaf, bound, hasBound := t.searchWithBound(cursor)
-		items, ok := t.collectVersioned(leaf, ts, cursor, hi)
+		leaf, bound, hasBound := th.searchScan(cursor)
+		items, ok := t.collectVersioned(th.pairBuf[:0], leaf, ts, cursor, hi)
+		th.pairBuf = items[:0]
 		if !ok {
+			th.path.invalidate()
 			continue // leaf was unlinked: re-descend to its replacement
 		}
 		for _, it := range items {
@@ -147,12 +162,12 @@ func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) 
 	}
 }
 
-// collectVersioned reads the leaf's state as of scan timestamp ts,
-// filtered to [lo, hi] and sorted. ok is false if the leaf has been
-// unlinked, in which case the caller must re-descend: the replacement
-// nodes (which inherited this leaf's history) are the ones reachable
-// from the root.
-func (t *Tree) collectVersioned(l *node, ts, lo, hi uint64) ([]rq.Pair, bool) {
+// collectVersioned appends the leaf's state as of scan timestamp ts,
+// filtered to [lo, hi] and sorted, to buf. ok is false if the leaf has
+// been unlinked, in which case the caller must re-descend: the
+// replacement nodes (which inherited this leaf's history) are the ones
+// reachable from the root.
+func (t *Tree) collectVersioned(buf []rq.Pair, l *node, ts, lo, hi uint64) (items []rq.Pair, ok bool) {
 	spins := 0
 	for {
 		v1 := l.ver.Load()
@@ -161,11 +176,11 @@ func (t *Tree) collectVersioned(l *node, ts, lo, hi uint64) ([]rq.Pair, bool) {
 			continue
 		}
 		if l.marked.Load() {
-			return nil, false
+			return buf, false
 		}
 		s := l.rqTS.Load()
 		chain := l.rqVers.Load()
-		items := make([]rq.Pair, 0, t.b)
+		items = buf
 		for i := 0; i < t.b; i++ {
 			k := l.keys[i].Load()
 			if k != emptyKey && k >= lo && k <= hi {
@@ -173,6 +188,7 @@ func (t *Tree) collectVersioned(l *node, ts, lo, hi uint64) ([]rq.Pair, bool) {
 			}
 		}
 		if l.ver.Load() != v1 {
+			buf = items[:0]
 			spinPause(&spins)
 			continue
 		}

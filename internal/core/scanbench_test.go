@@ -1,0 +1,102 @@
+package core
+
+// Scan-path microbenchmarks: the headline metrics for the scan fast
+// path (path-cached descent + per-thread scratch + version pooling).
+// BenchmarkScanSnapshot/scanlen=100 single-thread ops/s and allocs/op
+// are the numbers EXPERIMENTS.md's before/after table tracks; the
+// AllocsPerRun regression guards live in allocs_test.go.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// scanBenchKeys is the prefilled key range: every key in [1, N] is
+// present, so a scan of length L visits exactly L keys.
+const scanBenchKeys = 100_000
+
+func newScanBenchTree(b *testing.B, opts ...Option) (*Tree, *Thread) {
+	b.Helper()
+	t := New(opts...)
+	th := t.NewThread()
+	for k := uint64(1); k <= scanBenchKeys; k++ {
+		th.Insert(k, k)
+	}
+	return t, th
+}
+
+func benchScan(b *testing.B, scan func(th *Thread, lo, hi uint64, fn func(k, v uint64) bool)) {
+	for _, L := range []uint64{10, 100, 1000} {
+		b.Run(fmt.Sprintf("scanlen=%d", L), func(b *testing.B) {
+			_, th := newScanBenchTree(b)
+			var sink uint64
+			fn := func(_, v uint64) bool {
+				sink += v
+				return true
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := uint64(i)%(scanBenchKeys-L) + 1
+				scan(th, lo, lo+L-1, fn)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkScanWeak measures the per-leaf-atomic Range hot path.
+func BenchmarkScanWeak(b *testing.B) {
+	benchScan(b, func(th *Thread, lo, hi uint64, fn func(k, v uint64) bool) {
+		th.Range(lo, hi, fn)
+	})
+}
+
+// BenchmarkScanSnapshot measures the linearizable RangeSnapshot hot
+// path (timestamp draw + versioned leaf collects).
+func BenchmarkScanSnapshot(b *testing.B) {
+	benchScan(b, func(th *Thread, lo, hi uint64, fn func(k, v uint64) bool) {
+		th.RangeSnapshot(lo, hi, fn)
+	})
+}
+
+// BenchmarkWriteUnderScan measures the updater's cost while snapshot
+// scans are continuously in flight: every write that observes a fresh
+// scan timestamp must preserve the leaf's pre-write state on its
+// version chain, so this is the version-chain allocation hot path.
+func BenchmarkWriteUnderScan(b *testing.B) {
+	t, th := newScanBenchTree(b)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sth := t.NewThread()
+		var sink uint64
+		// Short rotating scans keep the scan timestamp advancing quickly,
+		// so most measured writes hit the version-preservation path.
+		for lo := uint64(1); ; lo = lo%scanBenchKeys + 1 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sth.RangeSnapshot(lo, lo+999, func(_, v uint64) bool {
+				sink += v
+				return true
+			})
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)%scanBenchKeys + 1
+		if i&1 == 0 {
+			th.Delete(k)
+		} else {
+			th.Insert(k, k)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

@@ -31,6 +31,15 @@ type Thread struct {
 	// rqs is this thread's scan registration, nil until the first
 	// RangeSnapshot (rqsnap.go).
 	rqs *rq.Scanner
+
+	// Scan fast path (range.go): the cached root-to-leaf descent and the
+	// scratch buffers per-leaf collects append into, so steady-state
+	// scans neither re-descend from the root per leaf nor allocate.
+	// noScanCache forces full re-descents (differential tests only).
+	path        scanPath
+	kvBuf       []kv
+	pairBuf     []rq.Pair
+	noScanCache bool
 }
 
 // NewThread returns a new operation handle for t.

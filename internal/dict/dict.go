@@ -39,13 +39,17 @@ type Dict interface {
 // Ranger is implemented by handles that support range scans. The scan
 // need not be one atomic snapshot (the ABtrees' Range is per-leaf
 // atomic, the CATree's per-base atomic); structures implementing it
-// participate in scan workloads.
+// participate in scan workloads. fn may run point operations on the
+// same handle but must not start another scan on it: handles may reuse
+// per-scan scratch state.
 type Ranger interface {
 	Range(lo, hi uint64, fn func(k, v uint64) bool)
 }
 
 // SnapshotRanger is implemented by handles whose range scans are single
-// atomic snapshots (linearizable range queries, internal/rq).
+// atomic snapshots (linearizable range queries, internal/rq). The
+// Ranger callback contract applies here too: fn may run point
+// operations on the same handle but must not start another scan on it.
 type SnapshotRanger interface {
 	RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool)
 }
@@ -55,7 +59,9 @@ type SnapshotRanger interface {
 // hold the timestamp active on the structure's rq clock (an rq.Scanner
 // between Begin and End) for the duration of the call; internal/shard
 // uses this to run one scan timestamp across every shard of a
-// partitioned dictionary.
+// partitioned dictionary. The Ranger callback contract applies here
+// too: fn may run point operations on the same handle but must not
+// start another scan on it.
 type SnapshotAtRanger interface {
 	RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool)
 }

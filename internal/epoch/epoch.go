@@ -40,12 +40,16 @@ type Manager[T any] struct {
 }
 
 // Handle is a worker's registration with a Manager. A Handle must not be
-// used concurrently.
+// used concurrently. Enter/Exit nest: only the outermost pair opens and
+// closes the critical section, so an operation running inside another
+// operation's section (e.g. a point op invoked from a scan callback)
+// cannot end the outer section early.
 type Handle[T any] struct {
 	m        *Manager[T]
 	announce atomic.Uint64
 	limbo    [limboBuckets][]T
 	ops      uint64
+	depth    int          // Enter nesting level (handle is single-owner)
 	_        [64 - 8]byte // avoid false sharing between handles' announcements
 }
 
@@ -77,15 +81,23 @@ func (m *Manager[T]) Register() *Handle[T] {
 // Epoch returns the current global epoch (for stats and tests).
 func (m *Manager[T]) Epoch() uint64 { return m.epoch.Load() }
 
-// Enter begins a critical section: resources observed reachable after
-// Enter will not be freed until after the matching Exit.
+// Enter begins (or nests within) a critical section: resources observed
+// reachable after Enter will not be freed until after the matching
+// outermost Exit.
 func (h *Handle[T]) Enter() {
-	h.announce.Store(h.m.epoch.Load())
+	if h.depth == 0 {
+		h.announce.Store(h.m.epoch.Load())
+	}
+	h.depth++
 }
 
-// Exit ends the critical section. Periodically it tries to advance the
-// global epoch and frees any limbo generation that has expired.
+// Exit ends the critical section opened by the matching Enter; only the
+// outermost Exit closes the section. Periodically it tries to advance
+// the global epoch and frees any limbo generation that has expired.
 func (h *Handle[T]) Exit() {
+	if h.depth--; h.depth > 0 {
+		return
+	}
 	h.announce.Store(idle)
 	h.ops++
 	if h.ops%64 == 0 {

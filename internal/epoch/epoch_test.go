@@ -161,3 +161,43 @@ func TestManyHandlesAdvance(t *testing.T) {
 		t.Fatal("epoch never advanced under concurrent load")
 	}
 }
+
+// TestNestedEnterKeepsSectionOpen: Enter/Exit nest, and only the
+// outermost pair opens and closes the critical section — an inner
+// operation (a point op run from a scan callback) must not release the
+// outer section's grace-period guarantee.
+func TestNestedEnterKeepsSectionOpen(t *testing.T) {
+	freed := make(map[int]bool)
+	m := NewManager[int](func(x int) { freed[x] = true })
+	h := m.Register()
+	other := m.Register()
+
+	h.Enter()
+	h.Retire(1)
+	// Nested section, as a point op inside a scan produces.
+	h.Enter()
+	h.Exit()
+	// The outer section must still be announced: the epoch cannot
+	// advance past it no matter how hard another handle churns.
+	for i := 0; i < 1000; i++ {
+		other.Enter()
+		other.Exit()
+	}
+	if freed[1] {
+		t.Fatal("retiree freed while the outer critical section was still open")
+	}
+	e := m.Epoch()
+	h.Exit() // outermost: closes the section
+	for i := 0; i < 1000; i++ {
+		other.Enter()
+		other.Exit()
+		h.Enter()
+		h.Exit()
+	}
+	if m.Epoch() <= e {
+		t.Fatal("epoch did not advance after the outer section closed")
+	}
+	if !freed[1] {
+		t.Fatal("retiree never freed after the section closed and the epoch advanced")
+	}
+}

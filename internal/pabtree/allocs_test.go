@@ -1,0 +1,74 @@
+package pabtree
+
+// Allocation regression guards for the persistent trees, mirroring
+// internal/core/allocs_test.go: steady-state point operations
+// (scan-free) and the warmed-up scan fast path allocate nothing.
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func allocGuardTree(t *testing.T, opts ...Option) (*Tree, *Thread) {
+	t.Helper()
+	tr := New(pmem.New(1<<20), opts...)
+	th := tr.NewThread()
+	for k := uint64(1); k <= 10_000; k++ {
+		th.Insert(k, k)
+	}
+	return tr, th
+}
+
+func TestAllocsSteadyStatePointOps(t *testing.T) {
+	_, th := allocGuardTree(t)
+	if avg := testing.AllocsPerRun(200, func() { th.Find(7777) }); avg != 0 {
+		t.Errorf("Find allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { th.Insert(7777, 1) }); avg != 0 {
+		t.Errorf("present-key Insert allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		th.Delete(5000)
+		th.Insert(5000, 5000)
+	}); avg != 0 {
+		t.Errorf("steady-state Delete+Insert allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestAllocsScanFastPath(t *testing.T) {
+	_, th := allocGuardTree(t)
+	var sink uint64
+	fn := func(_, v uint64) bool {
+		sink += v
+		return true
+	}
+	th.RangeSnapshot(1, 10, fn) // register the scanner outside the measurement
+	for _, scanlen := range []uint64{5, 100, 2000} {
+		if avg := testing.AllocsPerRun(100, func() { th.Range(3000, 3000+scanlen-1, fn) }); avg != 0 {
+			t.Errorf("Range scanlen=%d allocates %.2f/op, want 0", scanlen, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() { th.RangeSnapshot(3000, 3000+scanlen-1, fn) }); avg != 0 {
+			t.Errorf("RangeSnapshot scanlen=%d allocates %.2f/op, want 0", scanlen, avg)
+		}
+	}
+	_ = sink
+}
+
+func TestAllocsWriteUnderScan(t *testing.T) {
+	tr, th := allocGuardTree(t)
+	sc := tr.rqp.Register()
+	cycle := func() {
+		ts := sc.Begin()
+		_ = ts
+		th.Delete(5000)
+		th.Insert(5000, 5000)
+		sc.End()
+	}
+	for i := 0; i < 100; i++ {
+		cycle() // warm the pool
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Errorf("write under scan allocates %.2f/op after warm-up, want 0", avg)
+	}
+}

@@ -4,15 +4,87 @@ package pabtree
 // semantics as internal/core/range.go: each leaf contributes an atomic
 // snapshot; the scan hops leaves using the key-range upper bounds found
 // on the search path.
+//
+// The scan fast path mirrors internal/core/range.go — the Thread caches
+// its latest root-to-leaf descent (node offsets with the key-range
+// bounds accumulated beside them) and resumes each hop from the deepest
+// cached ancestor still covering the cursor, collecting into per-Thread
+// scratch so a warmed-up scan allocates nothing — with one persistence
+// twist: node slots are recycled through internal/epoch, so a cached
+// offset is only meaningful inside the epoch critical section it was
+// read in. Scans therefore reset the cache on entry and reuse it only
+// across the hops of one call (which is where the re-descents were);
+// within the section a retired slot cannot be recycled, so a stale
+// cached node is at worst marked, never a different node.
 
-// searchWithBound descends to the leaf for key and reports the leaf's
-// key-range upper bound (the smallest routing key greater than the path
-// taken); hasBound is false for the rightmost leaf.
-func (t *Tree) searchWithBound(key uint64) (leaf uint64, bound uint64, hasBound bool) {
-	n := t.entryOff
+// maxScanDepth bounds the cached descent; deeper trees (unreachable at
+// sane degrees) still scan correctly, bypassing the cache.
+const maxScanDepth = 32
+
+// scanPath is a Thread's cached descent: node offsets root-to-leaf,
+// each with the key range [lo, hi) its subtree covered along this path
+// (hasHi false = unbounded above). Level 0 is the entry sentinel.
+type scanPath struct {
+	n     [maxScanDepth]uint64
+	lo    [maxScanDepth]uint64
+	hi    [maxScanDepth]uint64
+	hasHi [maxScanDepth]bool
+	depth int // levels filled; 0 = empty
+}
+
+// invalidate empties the cache: the next hop descends from the root.
+func (p *scanPath) invalidate() { p.depth = 0 }
+
+// resumeLevel returns the deepest cached proper ancestor of the leaf
+// whose subtree still covers key and which has not been unlinked; 0
+// (the entry) when nothing better is cached.
+func (t *Tree) resumeLevel(p *scanPath, key uint64) int {
+	for i := p.depth - 2; i > 0; i-- {
+		if key >= p.lo[i] && (!p.hasHi[i] || key < p.hi[i]) && !t.vn(p.n[i]).marked.Load() {
+			return i
+		}
+	}
+	return 0
+}
+
+// searchScan descends to the leaf for key, resuming from the Thread's
+// cached path when possible (valid only within the current epoch
+// critical section) and re-caching the path it takes. It reports the
+// leaf's key-range upper bound; hasBound is false for the rightmost
+// leaf.
+func (th *Thread) searchScan(key uint64) (leaf uint64, bound uint64, hasBound bool) {
+	t := th.t
+	p := &th.path
+	if th.noScanCache {
+		p.invalidate()
+	}
+	lvl := 0
+	if p.depth > 0 {
+		lvl = t.resumeLevel(p, key)
+	}
+	if lvl == 0 {
+		p.n[0] = t.entryOff
+		p.lo[0] = 0
+		p.hi[0] = 0
+		p.hasHi[0] = false
+	}
+	return t.descendPath(p, lvl, key)
+}
+
+// descendPath finishes a descent from the cached level lvl, recording
+// the levels it visits. A tree deeper than maxScanDepth (unreachable
+// at sane degrees) stops recording and descends uncached.
+func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf uint64, bound uint64, hasBound bool) {
+	n := p.n[lvl]
+	lo := p.lo[lvl]
+	bound, hasBound = p.hi[lvl], p.hasHi[lvl]
+	caching := true
 	for {
 		meta := t.meta(n)
 		if kindOf(meta) == leafKind {
+			if caching {
+				p.depth = lvl + 1
+			}
 			return n, bound, hasBound
 		}
 		nIdx := 0
@@ -24,13 +96,31 @@ func (t *Tree) searchWithBound(key uint64) (leaf uint64, bound uint64, hasBound 
 			bound = t.loadKeyWord(n, nIdx)
 			hasBound = true
 		}
+		if nIdx > 0 {
+			lo = t.loadKeyWord(n, nIdx-1)
+		}
 		n = t.loadChild(n, nIdx)
+		if !caching {
+			continue
+		}
+		if lvl+1 == maxScanDepth {
+			caching = false
+			p.invalidate()
+			continue
+		}
+		lvl++
+		p.n[lvl] = n
+		p.lo[lvl] = lo
+		p.hi[lvl] = bound
+		p.hasHi[lvl] = hasBound
 	}
 }
 
-// snapshotLeaf returns a consistent sorted copy of the leaf's pairs in
-// [lo, hi].
-func (t *Tree) snapshotLeaf(off uint64, lo, hi uint64) []kvPair {
+// snapshotLeaf appends a consistent sorted copy of the leaf's pairs in
+// [lo, hi] to buf. ok is false if the leaf has been unlinked (a cached
+// path may have led here after the unlink; the frozen contents cannot
+// be served).
+func (t *Tree) snapshotLeaf(buf []kvPair, off uint64, lo, hi uint64) (items []kvPair, ok bool) {
 	v := t.vn(off)
 	spins := 0
 	for {
@@ -40,7 +130,10 @@ func (t *Tree) snapshotLeaf(off uint64, lo, hi uint64) []kvPair {
 			spinPause(&spins)
 			continue
 		}
-		items := make([]kvPair, 0, t.b)
+		if v.marked.Load() {
+			return buf, false
+		}
+		items = buf
 		for i := 0; i < t.b; i++ {
 			k := t.loadKeyWord(off, i)
 			if k != emptyKey && k >= lo && k <= hi {
@@ -49,8 +142,9 @@ func (t *Tree) snapshotLeaf(off uint64, lo, hi uint64) []kvPair {
 		}
 		if v.ver.Load() == v1 {
 			sortKVs(items)
-			return items
+			return items, true
 		}
+		buf = items[:0]
 		t.crashCheck()
 		spinPause(&spins)
 	}
@@ -58,7 +152,9 @@ func (t *Tree) snapshotLeaf(off uint64, lo, hi uint64) []kvPair {
 
 // Range calls fn for each pair with lo <= key <= hi in ascending key
 // order, stopping early if fn returns false. Safe under concurrency;
-// per-leaf atomic.
+// per-leaf atomic. fn may run point operations on this Thread but must
+// not start another scan on it: scans reuse the Thread's scratch
+// buffers.
 func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 	if lo == emptyKey {
 		lo = 1
@@ -70,10 +166,17 @@ func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
 	th.enter()
 	defer th.exit()
 	t := th.t
+	th.path.invalidate() // cached offsets from prior epoch sections are dead
 	cursor := lo
 	for {
-		leaf, bound, hasBound := t.searchWithBound(cursor)
-		for _, it := range t.snapshotLeaf(leaf, cursor, hi) {
+		leaf, bound, hasBound := th.searchScan(cursor)
+		items, ok := t.snapshotLeaf(th.kvBuf[:0], leaf, cursor, hi)
+		th.kvBuf = items[:0]
+		if !ok {
+			th.path.invalidate()
+			continue // leaf was unlinked: re-descend to its replacement
+		}
+		for _, it := range items {
 			if !fn(it.k, it.v) {
 				return
 			}

@@ -13,7 +13,8 @@ import "repro/internal/rq"
 
 // rqStamp preserves and stamps a leaf about to be modified in place.
 // Must run inside the leaf's version window, before the first content
-// mutation of that window.
+// mutation of that window. The preserved snapshot's node and buffer
+// come from the provider's recycling pool (internal/rq).
 func (t *Tree) rqStamp(off uint64) {
 	c := t.rqp.ReadStamp()
 	lv := t.vn(off)
@@ -21,7 +22,9 @@ func (t *Tree) rqStamp(off uint64) {
 	if c == s {
 		return
 	}
-	lv.rqVers.Store(t.rqp.Push(lv.rqVers.Load(), s, t.gatherPairs(off), t.rqp.MinActive()))
+	v := t.rqp.Acquire()
+	v.Items = t.gatherPairs(off, v.Items)
+	lv.rqVers.Store(t.rqp.PushAcquired(lv.rqVers.Load(), s, v, t.rqp.MinActive()))
 	lv.rqTS.Store(c)
 }
 
@@ -31,7 +34,9 @@ func (t *Tree) rqTimeline(off, c uint64) *rq.Version {
 	lv := t.vn(off)
 	tl := lv.rqVers.Load()
 	if s := lv.rqTS.Load(); s < c {
-		tl = t.rqp.Push(tl, s, t.gatherPairs(off), t.rqp.MinActive())
+		v := t.rqp.Acquire()
+		v.Items = t.gatherPairs(off, v.Items)
+		tl = t.rqp.PushAcquired(tl, s, v, t.rqp.MinActive())
 	}
 	return tl
 }
@@ -43,15 +48,15 @@ func (t *Tree) rqInheritSplit(old, left, right uint64, sep, c uint64) {
 	t.vn(left).rqTS.Store(c)
 	t.vn(right).rqTS.Store(c)
 	if tl := t.rqTimeline(old, c); tl != nil {
-		t.vn(left).rqVers.Store(rq.Restrict(tl, 0, sep-1))
-		t.vn(right).rqVers.Store(rq.Restrict(tl, sep, ^uint64(0)))
+		t.vn(left).rqVers.Store(t.rqp.Restrict(tl, 0, sep-1))
+		t.vn(right).rqVers.Store(t.rqp.Restrict(tl, sep, ^uint64(0)))
 	}
 }
 
 // rqMergedTimeline combines two sibling leaves' histories for merge and
 // distribute. Runs inside both leaves' version windows.
 func (t *Tree) rqMergedTimeline(left, right, c uint64) *rq.Version {
-	return rq.MergeTimelines(t.rqTimeline(left, c), t.rqTimeline(right, c))
+	return t.rqp.MergeTimelines(t.rqTimeline(left, c), t.rqTimeline(right, c))
 }
 
 // rqInheritDistribute hands two redistributed leaves' combined history
@@ -61,8 +66,8 @@ func (t *Tree) rqInheritDistribute(oldLeft, oldRight, newLeft, newRight uint64, 
 	t.vn(newLeft).rqTS.Store(c)
 	t.vn(newRight).rqTS.Store(c)
 	if tl := t.rqMergedTimeline(oldLeft, oldRight, c); tl != nil {
-		t.vn(newLeft).rqVers.Store(rq.Restrict(tl, 0, newSep-1))
-		t.vn(newRight).rqVers.Store(rq.Restrict(tl, newSep, ^uint64(0)))
+		t.vn(newLeft).rqVers.Store(t.rqp.Restrict(tl, 0, newSep-1))
+		t.vn(newRight).rqVers.Store(t.rqp.Restrict(tl, newSep, ^uint64(0)))
 	}
 }
 
@@ -73,9 +78,9 @@ func (t *Tree) rqInheritMerge(oldLeft, oldRight, nn uint64, c uint64) {
 	t.vn(nn).rqVers.Store(t.rqMergedTimeline(oldLeft, oldRight, c))
 }
 
-// gatherPairs collects a locked leaf's pairs from the arena, sorted.
-func (t *Tree) gatherPairs(off uint64) []rq.Pair {
-	items := make([]rq.Pair, 0, t.b)
+// gatherPairs appends a locked leaf's pairs from the arena to items,
+// sorted by key.
+func (t *Tree) gatherPairs(off uint64, items []rq.Pair) []rq.Pair {
 	for i := 0; i < t.b; i++ {
 		if k := t.loadKeyWord(off, i); k != emptyKey {
 			items = append(items, rq.Pair{K: k, V: t.loadVal(off, i)})
@@ -98,7 +103,9 @@ func (th *Thread) scanner() *rq.Scanner {
 // one atomic snapshot of the whole interval (the query linearizes when
 // it draws its timestamp). Safe under concurrency. Snapshots read the
 // current durable-linearizable state; they do not interact with crash
-// simulation (no scan survives a crash).
+// simulation (no scan survives a crash). fn may run point operations on
+// this Thread but must not start another scan on it: scans reuse the
+// Thread's scratch buffers.
 func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 	sc := th.scanner()
 	ts := sc.Begin()
@@ -122,11 +129,14 @@ func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) 
 	th.enter()
 	defer th.exit()
 	t := th.t
+	th.path.invalidate() // cached offsets from prior epoch sections are dead
 	cursor := lo
 	for {
-		leaf, bound, hasBound := t.searchWithBound(cursor)
-		items, ok := t.collectVersioned(leaf, ts, cursor, hi)
+		leaf, bound, hasBound := th.searchScan(cursor)
+		items, ok := t.collectVersioned(th.pairBuf[:0], leaf, ts, cursor, hi)
+		th.pairBuf = items[:0]
 		if !ok {
+			th.path.invalidate()
 			continue // leaf was unlinked: re-descend to its replacement
 		}
 		for _, it := range items {
@@ -141,10 +151,10 @@ func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) 
 	}
 }
 
-// collectVersioned reads the leaf's state as of scan timestamp ts,
-// filtered to [lo, hi] and sorted; ok is false if the leaf has been
-// unlinked (caller re-descends).
-func (t *Tree) collectVersioned(off, ts, lo, hi uint64) ([]rq.Pair, bool) {
+// collectVersioned appends the leaf's state as of scan timestamp ts,
+// filtered to [lo, hi] and sorted, to buf; ok is false if the leaf has
+// been unlinked (caller re-descends).
+func (t *Tree) collectVersioned(buf []rq.Pair, off, ts, lo, hi uint64) (items []rq.Pair, ok bool) {
 	lv := t.vn(off)
 	spins := 0
 	for {
@@ -155,11 +165,11 @@ func (t *Tree) collectVersioned(off, ts, lo, hi uint64) ([]rq.Pair, bool) {
 			continue
 		}
 		if lv.marked.Load() {
-			return nil, false
+			return buf, false
 		}
 		s := lv.rqTS.Load()
 		chain := lv.rqVers.Load()
-		items := make([]rq.Pair, 0, t.b)
+		items = buf
 		for i := 0; i < t.b; i++ {
 			k := t.loadKeyWord(off, i)
 			if k != emptyKey && k >= lo && k <= hi {
@@ -167,6 +177,7 @@ func (t *Tree) collectVersioned(off, ts, lo, hi uint64) ([]rq.Pair, bool) {
 			}
 		}
 		if lv.ver.Load() != v1 {
+			buf = items[:0]
 			t.crashCheck()
 			spinPause(&spins)
 			continue

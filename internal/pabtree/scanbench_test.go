@@ -1,0 +1,93 @@
+package pabtree
+
+// Scan-path microbenchmarks for the persistent trees, mirroring
+// internal/core/scanbench_test.go (see there for what each benchmark
+// isolates).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+const scanBenchKeys = 100_000
+
+func newScanBenchTree(b *testing.B, opts ...Option) (*Tree, *Thread) {
+	b.Helper()
+	t := New(pmem.New(scanBenchKeys*32), opts...)
+	th := t.NewThread()
+	for k := uint64(1); k <= scanBenchKeys; k++ {
+		th.Insert(k, k)
+	}
+	return t, th
+}
+
+func benchScan(b *testing.B, scan func(th *Thread, lo, hi uint64, fn func(k, v uint64) bool)) {
+	for _, L := range []uint64{10, 100, 1000} {
+		b.Run(fmt.Sprintf("scanlen=%d", L), func(b *testing.B) {
+			_, th := newScanBenchTree(b)
+			var sink uint64
+			fn := func(_, v uint64) bool {
+				sink += v
+				return true
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := uint64(i)%(scanBenchKeys-L) + 1
+				scan(th, lo, lo+L-1, fn)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkScanWeak(b *testing.B) {
+	benchScan(b, func(th *Thread, lo, hi uint64, fn func(k, v uint64) bool) {
+		th.Range(lo, hi, fn)
+	})
+}
+
+func BenchmarkScanSnapshot(b *testing.B) {
+	benchScan(b, func(th *Thread, lo, hi uint64, fn func(k, v uint64) bool) {
+		th.RangeSnapshot(lo, hi, fn)
+	})
+}
+
+func BenchmarkWriteUnderScan(b *testing.B) {
+	t, th := newScanBenchTree(b)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sth := t.NewThread()
+		var sink uint64
+		// Short rotating scans keep the scan timestamp advancing quickly,
+		// so most measured writes hit the version-preservation path.
+		for lo := uint64(1); ; lo = lo%scanBenchKeys + 1 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sth.RangeSnapshot(lo, lo+999, func(_, v uint64) bool {
+				sink += v
+				return true
+			})
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)%scanBenchKeys + 1
+		if i&1 == 0 {
+			th.Delete(k)
+		} else {
+			th.Insert(k, k)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

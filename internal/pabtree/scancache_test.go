@@ -1,0 +1,173 @@
+package pabtree
+
+// Differential test for the persistent trees' path-cached scan fast
+// path, mirroring internal/core/scancache_test.go: two snapshot scans
+// at the SAME linearization timestamp — one through the warm path
+// cache, one with the cache disabled — must agree exactly under
+// concurrent split/merge churn.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/rq"
+)
+
+func TestScanPathCacheDifferential(t *testing.T) {
+	const keyRange = 4000
+	// The degree-(2,4) tree splits and merges constantly, and every SMO
+	// allocates node slots whose reclamation trails by an epoch grace
+	// period: give the arena generous headroom and bound the background
+	// writers' total work so slot demand cannot outrun reclamation on
+	// any scheduling.
+	tr := New(pmem.New(1<<23), WithDegree(2, 4))
+	loader := tr.NewThread()
+	for k := uint64(1); k <= keyRange; k++ {
+		loader.Insert(k, k)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			wth := tr.NewThread()
+			for n := 0; n < 100_000 && !stop.Load(); n++ {
+				k := uint64(rng.Intn(keyRange)) + 1
+				if rng.Intn(2) == 0 {
+					wth.Delete(k)
+				} else {
+					wth.Insert(k, k*3)
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	cached := tr.NewThread()
+	fresh := tr.NewThread()
+	fresh.noScanCache = true
+	churn := tr.NewThread()
+	sc := tr.rqp.Register()
+	rng := rand.New(rand.NewSource(42))
+	iters := 300
+	if testing.Short() {
+		iters = 80
+	}
+	var got, want []rq.Pair
+	for i := 0; i < iters; i++ {
+		// Churn from this goroutine too, so single-CPU boxes still
+		// reshape the tree between scans.
+		for j := 0; j < 20; j++ {
+			k := uint64(rng.Intn(keyRange)) + 1
+			if rng.Intn(2) == 0 {
+				churn.Delete(k)
+			} else {
+				churn.Insert(k, k*3)
+			}
+		}
+		runtime.Gosched()
+		lo := uint64(rng.Intn(keyRange-200)) + 1
+		hi := lo + uint64(rng.Intn(200))
+		ts := sc.Begin()
+		got = got[:0]
+		want = want[:0]
+		cached.RangeSnapshotAt(ts, lo, hi, func(k, v uint64) bool {
+			got = append(got, rq.Pair{K: k, V: v})
+			return true
+		})
+		fresh.RangeSnapshotAt(ts, lo, hi, func(k, v uint64) bool {
+			want = append(want, rq.Pair{K: k, V: v})
+			return true
+		})
+		sc.End()
+		if len(got) != len(want) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("iter %d [%d,%d] ts=%d: cached scan returned %d pairs, full re-descent %d", i, lo, hi, ts, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("iter %d [%d,%d] ts=%d: pair %d differs: cached %+v, full %+v", i, lo, hi, ts, j, got[j], want[j])
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if _, versions := tr.RQStats(); versions == 0 {
+		t.Fatal("churn produced no preserved versions; the differential exercised nothing")
+	}
+}
+
+// TestScanCallbackPointOps exercises the documented callback contract:
+// fn may run point operations on the scanning Thread itself. For the
+// persistent trees that relies on epoch critical sections nesting (the
+// point op's Exit must not end the scan's section, or the scan's
+// cached offsets could be recycled under it). Background churn keeps
+// slot retirement flowing while the scan is in flight.
+func TestScanCallbackPointOps(t *testing.T) {
+	const keyRange = 4000
+	tr := New(pmem.New(1<<23), WithDegree(2, 4))
+	th := tr.NewThread()
+	for k := uint64(2); k <= keyRange; k += 2 {
+		th.Insert(k, k) // stable even keys
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		wth := tr.NewThread()
+		for n := 0; n < 100_000 && !stop.Load(); n++ {
+			k := uint64(rng.Intn(keyRange/2))*2 + 1 // odd keys churn
+			if rng.Intn(2) == 0 {
+				wth.Delete(k)
+			} else {
+				wth.Insert(k, k)
+			}
+		}
+	}()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		next := uint64(2)
+		th.RangeSnapshot(1, keyRange, func(k, v uint64) bool {
+			if k%2 == 1 {
+				return true
+			}
+			if k != next || v != k {
+				t.Errorf("iter %d: expected stable key %d, got %d=%d", i, next, k, v)
+				return false
+			}
+			next = k + 2
+			// Point ops on the scanning Thread, mid-scan.
+			if _, ok := th.Find(k); !ok {
+				t.Errorf("iter %d: nested Find(%d) missed", i, k)
+				return false
+			}
+			if k%64 == 0 {
+				j := uint64(rng.Intn(keyRange/2))*2 + 1
+				th.Delete(j)
+				th.Insert(j, j)
+			}
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+		if next != keyRange+2 {
+			t.Errorf("iter %d: scan stopped at %d, want all %d stable keys", i, next, keyRange/2)
+			break
+		}
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+}

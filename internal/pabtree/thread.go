@@ -21,6 +21,15 @@ type Thread struct {
 	// rqs is this thread's scan registration, nil until the first
 	// RangeSnapshot (rqsnap.go).
 	rqs *rq.Scanner
+
+	// Scan fast path (range.go): the cached descent (offsets, valid only
+	// within one epoch critical section) and the scratch buffers
+	// per-leaf collects append into. noScanCache forces full re-descents
+	// (differential tests only).
+	path        scanPath
+	kvBuf       []kvPair
+	pairBuf     []rq.Pair
+	noScanCache bool
 }
 
 // NewThread registers a new operation handle.

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTrip: rows parsed from a TSV encode to JSON and decode
+// back unchanged, so BENCH_*.json files are a faithful machine-readable
+// mirror of the TSV series.
+func TestJSONRoundTrip(t *testing.T) {
+	rows, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = append(rows, Row{
+		Figure: 18, UpdatePct: -1, Zipf: 0.5, Structure: "shard8-occ-abtree",
+		Threads: 8, ScanLen: 100, OpsPerUs: 0.266,
+		ScanMode: "snapshot", Keys: 1_000_000,
+	})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	got, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("round trip returned %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Fatalf("row %d changed in round trip: %+v != %+v", i, got[i], rows[i])
+		}
+	}
+	// The field names are the TSV headers, so downstream tooling can
+	// match columns by name.
+	for _, want := range []string{`"figure"`, `"structure"`, `"threads"`, `"scanlen"`, `"ops_per_us"`, `"scanmode"`, `"keys"`} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("JSON output missing %s field:\n%s", want, doc)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("ReadJSON accepted garbage")
+	}
+}

@@ -7,6 +7,7 @@ package report
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -14,15 +15,46 @@ import (
 	"strings"
 )
 
-// Row is one measurement from a figure TSV.
+// Row is one measurement: a row of a figure TSV, and the unit of the
+// machine-readable JSON output (abtree-bench -json). The JSON field
+// names mirror the TSV column headers.
 type Row struct {
-	Figure    int
-	UpdatePct int // -1 if the figure has no update column (16, 17, 18)
-	Zipf      float64
-	Structure string
-	Threads   int
-	ScanLen   int // figure 18 (Workload E) only; 0 otherwise
-	OpsPerUs  float64
+	Figure    int     `json:"figure,omitempty"`
+	Table     int     `json:"table,omitempty"` // set instead of Figure for table runs
+	UpdatePct int     `json:"updates_pct"`     // -1 if the workload has no update column (16, 17, 18)
+	Zipf      float64 `json:"zipf"`
+	Structure string  `json:"structure"`
+	Threads   int     `json:"threads"`
+	ScanLen   int     `json:"scanlen,omitempty"` // figure 18 (Workload E) only; 0 otherwise
+	OpsPerUs  float64 `json:"ops_per_us"`
+
+	// JSON-only provenance (not TSV columns): without them, runs with
+	// different scan modes or key counts would be indistinguishable in
+	// the BENCH_*.json trajectory and diffs would compare incomparable
+	// numbers.
+	ScanMode string `json:"scanmode,omitempty"` // "snapshot" or "weak"; figure 18 only
+	Keys     uint64 `json:"keys,omitempty"`     // key range / record count of the run
+}
+
+// WriteJSON encodes rows as an indented JSON array — the BENCH_*.json
+// format downstream tooling tracks the perf trajectory with. The
+// encoding round-trips through ReadJSON.
+func WriteJSON(w io.Writer, rows []Row) error {
+	if rows == nil {
+		rows = []Row{} // an empty run is "[]", not "null"
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// ReadJSON decodes a WriteJSON document.
+func ReadJSON(r io.Reader) ([]Row, error) {
+	var rows []Row
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("report: bad JSON results: %w", err)
+	}
+	return rows, nil
 }
 
 // Parse reads an abtree-bench TSV (any figure format).

@@ -47,7 +47,16 @@
 //   - Chains are pruned by the writers that grow them, using the
 //     registry of active scan timestamps: any snapshot older than the
 //     newest snapshot still visible to the minimum active timestamp is
-//     unreachable and is cut loose.
+//     unreachable and is cut loose. Cut-loose snapshots — Version nodes
+//     and their Items backing arrays — return to a per-Provider pool
+//     and are handed back out by Acquire, so in steady state a
+//     scan-heavy mix imposes no allocation on updaters: each push
+//     reuses a node some earlier prune retired. Recycling at prune
+//     time is safe precisely because of the pruning rule: MinActive
+//     bounds every in-flight and future scan from below, a scan walks
+//     a chain only down to its newest entry stamped below its own
+//     timestamp, and entries the prune cuts lie strictly below the
+//     entry visible at MinActive — no scan can be holding them.
 //
 // Correctness hinges on two points. First, stamps order operations
 // consistently with real time: if a write returns before a scan begins,
@@ -118,11 +127,39 @@ func NewClock() *Clock {
 }
 
 // Provider couples one tree to a linearization clock (possibly shared
-// with other trees) and tracks the tree's version-chain statistics.
+// with other trees), tracks the tree's version-chain statistics, and
+// owns the tree's version pool: pruned snapshots come back through
+// recycleChain and are reissued by Acquire.
+//
+// The pool is striped so that it never becomes a serialization point
+// for writers: each stripe is a TryLock-guarded free list, and a
+// writer that finds every stripe contended simply falls back to the
+// allocator (Acquire) or the garbage collector (recycle) — the
+// pre-pool behavior, degraded to gracefully instead of blocked on.
 type Provider struct {
 	clock    *Clock
 	versions atomic.Uint64 // snapshots pushed by this tree's writers
+	recycled atomic.Uint64 // snapshots returned to the pool by pruning
+
+	rr      atomic.Uint64 // round-robin stripe cursor
+	stripes [poolStripes]poolStripe
 }
+
+// poolStripe is padded to a 128-byte stride (mutex 8 + slice header
+// 24 + pad 96) so adjacent stripes never share a cache line.
+type poolStripe struct {
+	mu   sync.Mutex
+	pool []*Version
+	_    [96]byte
+}
+
+// poolStripes spreads pool traffic; maxPoolStripe bounds each stripe's
+// free list so overflow past a usage peak falls to the garbage
+// collector instead of being retained forever.
+const (
+	poolStripes   = 8
+	maxPoolStripe = 512
+)
 
 // Scanner is a per-thread registration with a Clock. A Scanner must
 // not be used concurrently.
@@ -211,27 +248,117 @@ func (p *Provider) Stats() (scans, versions uint64) {
 	return p.clock.scans.Load(), p.versions.Load()
 }
 
-// Push prepends a snapshot (stamp, items) to chain and prunes entries no
-// active or future scan can reach. items must be sorted by key and must
-// not be mutated afterwards. Callers hold the owning leaf's lock, so
-// pushes to one chain never race; concurrent scans may be walking the
-// chain, which pruning respects by only cutting links past the entry
-// still visible at minActive.
+// Acquire returns a Version ready to be filled and pushed: Stamp and
+// next are zero, Items is empty but carries whatever capacity the pool
+// could recycle. Fill Items, then hand the node to PushAcquired. A
+// fully contended pool allocates rather than blocks.
+func (p *Provider) Acquire() *Version {
+	start := p.rr.Add(1)
+	for j := uint64(0); j < poolStripes; j++ {
+		s := &p.stripes[(start+j)%poolStripes]
+		if !s.mu.TryLock() {
+			continue
+		}
+		if n := len(s.pool); n > 0 {
+			v := s.pool[n-1]
+			s.pool[n-1] = nil
+			s.pool = s.pool[:n-1]
+			s.mu.Unlock()
+			return v
+		}
+		s.mu.Unlock()
+	}
+	return &Version{}
+}
+
+// recycleChain returns an unreachable chain (a pruned tail) to the
+// pool. Every node's Items keeps its backing array, emptied, so the
+// next Acquire reuses both the node and the buffer. Nodes that find
+// every stripe contended or full are dropped to the garbage collector.
+func (p *Provider) recycleChain(tail *Version) {
+	n := uint64(0)
+	start := p.rr.Add(1)
+	var s *poolStripe
+	for j := uint64(0); j < poolStripes; j++ {
+		c := &p.stripes[(start+j)%poolStripes]
+		if c.mu.TryLock() {
+			s = c
+			break
+		}
+	}
+	for v := tail; v != nil; {
+		next := v.next.Load()
+		v.next.Store(nil)
+		v.Stamp = 0
+		v.Items = v.Items[:0]
+		if s != nil && len(s.pool) < maxPoolStripe {
+			s.pool = append(s.pool, v)
+			n++
+		}
+		v = next
+	}
+	if s != nil {
+		s.mu.Unlock()
+	}
+	p.recycled.Add(n)
+}
+
+// Recycled reports how many pruned snapshots have been returned to the
+// provider's pool (overflow dropped to the garbage collector is not
+// counted).
+func (p *Provider) Recycled() uint64 { return p.recycled.Load() }
+
+// Pooled reports how many recycled snapshots currently sit in the pool
+// awaiting reuse.
+func (p *Provider) Pooled() int {
+	n := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		n += len(s.pool)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// PushAcquired prepends v — obtained from Acquire, Items filled (sorted
+// by key) and not mutated afterwards — to chain, stamps it, and prunes
+// entries no active or future scan can reach, recycling them into the
+// pool. Callers hold the owning leaf's lock, so pushes to one chain
+// never race; concurrent scans may be walking the chain, which pruning
+// respects by only cutting links past the entry still visible at
+// minActive (recycling inherits exactly that safety argument: see the
+// package comment).
+func (p *Provider) PushAcquired(chain *Version, stamp uint64, v *Version, minActive uint64) *Version {
+	v.Stamp = stamp
+	v.next.Store(chain)
+	p.versions.Add(1)
+	p.prune(v, minActive)
+	return v
+}
+
+// Push is PushAcquired for callers holding a bare items slice (tests,
+// mostly): it wraps items in a fresh Version node, bypassing the pool
+// on the way in but still recycling what its prune cuts loose.
 func (p *Provider) Push(chain *Version, stamp uint64, items []Pair, minActive uint64) *Version {
 	v := &Version{Stamp: stamp, Items: items}
 	v.next.Store(chain)
 	p.versions.Add(1)
-	prune(v, minActive)
+	p.prune(v, minActive)
 	return v
 }
 
 // prune cuts the chain after the newest entry stamped < minActive: that
 // entry is the one a scan at minActive resolves to, and everything older
-// is shadowed for every reachable timestamp.
-func prune(head *Version, minActive uint64) {
+// is shadowed for every reachable timestamp — and, being unreachable,
+// goes back to the pool.
+func (p *Provider) prune(head *Version, minActive uint64) {
 	for v := head; v != nil; v = v.next.Load() {
 		if v.Stamp < minActive {
-			v.next.Store(nil)
+			if tail := v.next.Load(); tail != nil {
+				v.next.Store(nil)
+				p.recycleChain(tail)
+			}
 			return
 		}
 	}
@@ -250,21 +377,37 @@ func VisibleAt(chain *Version, t uint64) *Version {
 	return nil
 }
 
+// newVersion allocates; it is the pool-less acquire used by the
+// package-level Restrict/MergeTimelines.
+func newVersion() *Version { return &Version{} }
+
 // Restrict copies a timeline, keeping only items with lo <= key <= hi.
 // Entries are kept even when their restriction is empty: an empty
 // snapshot still records "no keys in this subrange at that time". The
 // copy shares no links with the input, so the originals' pruning cannot
 // disturb it.
 func Restrict(chain *Version, lo, hi uint64) *Version {
+	return restrict(chain, lo, hi, newVersion)
+}
+
+// Restrict is the package-level Restrict drawing the copied entries
+// from the provider's version pool (the structural-modification path:
+// replacement leaves inherit restricted copies of their predecessors'
+// chains).
+func (p *Provider) Restrict(chain *Version, lo, hi uint64) *Version {
+	return restrict(chain, lo, hi, p.Acquire)
+}
+
+func restrict(chain *Version, lo, hi uint64, acquire func() *Version) *Version {
 	var head, tail *Version
 	for v := chain; v != nil; v = v.next.Load() {
-		items := make([]Pair, 0, len(v.Items))
+		nv := acquire()
+		nv.Stamp = v.Stamp
 		for _, it := range v.Items {
 			if it.K >= lo && it.K <= hi {
-				items = append(items, it)
+				nv.Items = append(nv.Items, it)
 			}
 		}
-		nv := &Version{Stamp: v.Stamp, Items: items}
 		if tail == nil {
 			head = nv
 		} else {
@@ -282,6 +425,16 @@ func Restrict(chain *Version, lo, hi uint64) *Version {
 // stamp contribute their oldest known state (or nothing) — by the
 // pruning rule no live scan resolves below the truncation point.
 func MergeTimelines(a, b *Version) *Version {
+	return mergeTimelines(a, b, newVersion)
+}
+
+// MergeTimelines is the package-level MergeTimelines drawing the merged
+// entries from the provider's version pool.
+func (p *Provider) MergeTimelines(a, b *Version) *Version {
+	return mergeTimelines(a, b, p.Acquire)
+}
+
+func mergeTimelines(a, b *Version, acquire func() *Version) *Version {
 	if a == nil && b == nil {
 		return nil
 	}
@@ -291,10 +444,10 @@ func MergeTimelines(a, b *Version) *Version {
 	var head, tail *Version
 	for _, s := range stamps { // descending
 		ia, ib := itemsAt(as, s), itemsAt(bs, s)
-		items := make([]Pair, 0, len(ia)+len(ib))
-		items = append(append(items, ia...), ib...)
-		SortPairs(items)
-		nv := &Version{Stamp: s, Items: items}
+		nv := acquire()
+		nv.Stamp = s
+		nv.Items = append(append(nv.Items, ia...), ib...)
+		SortPairs(nv.Items)
 		if tail == nil {
 			head = nv
 		} else {

@@ -1,0 +1,45 @@
+package shard
+
+// Allocation guard for cross-shard scans: the composed handle's scans
+// are per-shard RangeSnapshotAt/Range calls on per-goroutine sub-handle
+// threads, each reusing its own cached path and scratch buffers — so a
+// warmed-up cross-shard scan allocates nothing either, boundary
+// crossings included.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/rq"
+)
+
+func TestAllocsCrossShardScan(t *testing.T) {
+	const keyRange = 10_000
+	d := New(4, keyRange, func(_ int, c *rq.Clock) dict.Dict {
+		return coreDict{T: core.New(core.WithRQClock(c))}
+	})
+	h := d.NewHandle()
+	for k := uint64(1); k <= keyRange; k++ {
+		h.Insert(k, k)
+	}
+	sr, ok := h.(dict.SnapshotRanger)
+	if !ok {
+		t.Fatal("composed handle lost snapshot scans")
+	}
+	rr := h.(dict.Ranger)
+	var sink uint64
+	fn := func(_, v uint64) bool {
+		sink += v
+		return true
+	}
+	sr.RangeSnapshot(1, 10, fn) // register the scanner outside the measurement
+	// [2000, 7999] spans two shard boundaries of the 4-way partition.
+	if avg := testing.AllocsPerRun(100, func() { sr.RangeSnapshot(2000, 7999, fn) }); avg != 0 {
+		t.Errorf("cross-shard RangeSnapshot allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { rr.Range(2000, 7999, fn) }); avg != 0 {
+		t.Errorf("cross-shard Range allocates %.2f/op, want 0", avg)
+	}
+	_ = sink
+}

@@ -227,31 +227,59 @@ func (h *handle) Delete(key uint64) (uint64, bool) {
 	return h.hs[h.d.route(key)].Delete(key)
 }
 
+// scanState is a handle's cross-shard scan plumbing, allocated once
+// per handle so the scan hot path allocates nothing: the per-shard
+// sub-scans receive the same long-lived wrapped callback, which relays
+// to the scan-in-flight's fn and records an early stop so the shard
+// loop can break out too. Handles are per-goroutine and fn must not
+// start another scan on the same handle, so one state per handle
+// suffices.
+type scanState struct {
+	fn      func(k, v uint64) bool
+	stopped bool
+	wrapped func(k, v uint64) bool
+}
+
+func (s *scanState) begin(fn func(k, v uint64) bool) {
+	s.fn = fn
+	s.stopped = false
+	if s.wrapped == nil {
+		s.wrapped = s.relay
+	}
+}
+
+// end releases the callback so the handle does not pin whatever the
+// last scan's closure captured.
+func (s *scanState) end() { s.fn = nil }
+
+func (s *scanState) relay(k, v uint64) bool {
+	if !s.fn(k, v) {
+		s.stopped = true
+		return false
+	}
+	return true
+}
+
 // forEachShard drives one cross-shard scan: it walks the shards
 // overlapping [lo, hi] in key order, clipping the interval to each
-// shard's coverage and calling scan(i, sublo, subhi, fn) per shard,
-// and stops early once fn returns false or hi is reached. Both the
-// weak and the snapshot scan are this loop around different per-shard
-// entry points.
-func (d *Dict) forEachShard(lo, hi uint64, fn func(k, v uint64) bool, scan func(i int, sublo, subhi uint64, fn func(k, v uint64) bool)) {
+// shard's coverage and invoking call(i, sublo, subhi) per shard, and
+// stops early once the scan's fn returned false (recorded in ss) or hi
+// is reached. Both the weak and the snapshot scan are this loop around
+// different per-shard entry points; call is a per-handle pre-bound
+// method value, so the hot path allocates nothing.
+func (d *Dict) forEachShard(lo, hi uint64, ss *scanState, fn func(k, v uint64) bool, call func(i int, sublo, subhi uint64)) {
 	if hi < lo {
 		return
 	}
-	stopped := false
-	wrapped := func(k, v uint64) bool {
-		if !fn(k, v) {
-			stopped = true
-			return false
-		}
-		return true
-	}
+	ss.begin(fn)
+	defer ss.end()
 	for i := d.route(max(lo, 1)); i < len(d.shards); i++ {
 		sublo, subhi := max(lo, d.lowOf(i)), min(hi, d.highOf(i))
 		if sublo > subhi {
 			break
 		}
-		scan(i, sublo, subhi, wrapped)
-		if stopped || subhi == hi {
+		call(i, sublo, subhi)
+		if ss.stopped || subhi == hi {
 			return
 		}
 	}
@@ -263,20 +291,33 @@ func (d *Dict) forEachShard(lo, hi uint64, fn func(k, v uint64) bool, scan func(
 // is by range — but the scan as a whole is not one atomic snapshot.
 type rangeHandle struct {
 	handle
-	rs []dict.Ranger
+	rs       []dict.Ranger
+	ss       scanState
+	callWeak func(i int, sublo, subhi uint64) // bound once, first Range
+}
+
+func (h *rangeHandle) weakShard(i int, sublo, subhi uint64) {
+	h.rs[i].Range(sublo, subhi, h.ss.wrapped)
 }
 
 func (h *rangeHandle) Range(lo, hi uint64, fn func(k, v uint64) bool) {
-	h.d.forEachShard(lo, hi, fn, func(i int, sublo, subhi uint64, fn func(k, v uint64) bool) {
-		h.rs[i].Range(sublo, subhi, fn)
-	})
+	if h.callWeak == nil {
+		h.callWeak = h.weakShard
+	}
+	h.d.forEachShard(lo, hi, &h.ss, fn, h.callWeak)
 }
 
 // snapHandle adds cross-shard linearizable scans on the shared clock.
 type snapHandle struct {
 	rangeHandle
-	sat []dict.SnapshotAtRanger
-	sc  *rq.Scanner // lazily registered with the shared clock
+	sat      []dict.SnapshotAtRanger
+	sc       *rq.Scanner                      // lazily registered with the shared clock
+	ts       uint64                           // timestamp of the snapshot scan in flight
+	callSnap func(i int, sublo, subhi uint64) // bound once, first snapshot scan
+}
+
+func (h *snapHandle) snapShard(i int, sublo, subhi uint64) {
+	h.sat[i].RangeSnapshotAt(h.ts, sublo, subhi, h.ss.wrapped)
 }
 
 // RangeSnapshot draws one timestamp from the shared clock and reads
@@ -297,7 +338,9 @@ func (h *snapHandle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 // outer partition never routes here, because a nested Dict's private
 // clock fails the outer coupling check).
 func (h *snapHandle) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) {
-	h.d.forEachShard(lo, hi, fn, func(i int, sublo, subhi uint64, fn func(k, v uint64) bool) {
-		h.sat[i].RangeSnapshotAt(ts, sublo, subhi, fn)
-	})
+	if h.callSnap == nil {
+		h.callSnap = h.snapShard
+	}
+	h.ts = ts
+	h.d.forEachShard(lo, hi, &h.ss, fn, h.callSnap)
 }
