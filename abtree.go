@@ -195,3 +195,27 @@ func (h *Handle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 // tree and how many superseded leaf versions updates preserved for them
 // (both zero on scan-free workloads, whose updates skip the machinery).
 func (t *Tree) RQStats() (scans, versions uint64) { return t.t.RQStats() }
+
+// FindBatch looks up every keys[i], storing the value into vals[i] and
+// its presence into found[i]; the result slices must match len(keys).
+// The batch is sorted into per-leaf runs internally, descending once
+// per distinct node and answering each leaf's run from one validated
+// collect, so a MultiGet of nearby keys costs far less than the
+// per-key loop — results land in input order regardless. Each lookup
+// is individually linearizable; the batch as a whole is not atomic.
+func (h *Handle) FindBatch(keys, vals []uint64, found []bool) { h.th.FindBatch(keys, vals, found) }
+
+// InsertBatch inserts <keys[i], vals[i]> where keys[i] is absent
+// (inserted[i] = true); where present, the tree is unchanged and
+// prev[i] holds the existing value. Each leaf's run applies under one
+// lock acquisition; every insert linearizes individually (the batch is
+// not atomic), and equal keys apply in input order.
+func (h *Handle) InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool) {
+	h.th.InsertBatch(keys, vals, prev, inserted)
+}
+
+// DeleteBatch removes every present keys[i], storing the removed value
+// into prev[i] (deleted[i] = true). Same contract as InsertBatch.
+func (h *Handle) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
+	h.th.DeleteBatch(keys, prev, deleted)
+}

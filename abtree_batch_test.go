@@ -1,0 +1,50 @@
+package abtree
+
+// Public-API smoke for the batched point operations across all three
+// handle kinds (volatile, persistent, sharded).
+
+import "testing"
+
+type batchHandle interface {
+	Insert(key, val uint64) (uint64, bool)
+	FindBatch(keys, vals []uint64, found []bool)
+	InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool)
+	DeleteBatch(keys []uint64, prev []uint64, deleted []bool)
+}
+
+func testBatchAPI(t *testing.T, h batchHandle) {
+	t.Helper()
+	h.Insert(500, 999)                   // pre-existing key
+	keys := []uint64{400, 500, 600, 400} // includes a duplicate
+	vals := []uint64{4, 5, 6, 44}
+	prev := make([]uint64, len(keys))
+	ok := make([]bool, len(keys))
+	h.InsertBatch(keys, vals, prev, ok)
+	if !ok[0] || ok[1] || prev[1] != 999 || !ok[2] {
+		t.Fatalf("InsertBatch results: prev=%v ok=%v", prev, ok)
+	}
+	if ok[3] || prev[3] != 4 {
+		t.Fatalf("duplicate key in batch must see the first insert: prev=%d ok=%v", prev[3], ok[3])
+	}
+	h.FindBatch(keys, prev, ok)
+	if !ok[0] || prev[0] != 4 || !ok[1] || prev[1] != 999 || !ok[2] || prev[2] != 6 {
+		t.Fatalf("FindBatch results: vals=%v ok=%v", prev, ok)
+	}
+	h.DeleteBatch(keys, prev, ok)
+	if !ok[0] || !ok[1] || !ok[2] || ok[3] {
+		t.Fatalf("DeleteBatch results: prev=%v ok=%v", prev, ok)
+	}
+	h.FindBatch(keys, prev, ok)
+	for i, o := range ok {
+		if o {
+			t.Fatalf("key %d still present after DeleteBatch", keys[i])
+		}
+	}
+}
+
+func TestBatchPublicAPI(t *testing.T) {
+	t.Run("volatile", func(t *testing.T) { testBatchAPI(t, New().NewHandle()) })
+	t.Run("elim", func(t *testing.T) { testBatchAPI(t, NewElim().NewHandle()) })
+	t.Run("persistent", func(t *testing.T) { testBatchAPI(t, NewPersistent().NewHandle()) })
+	t.Run("sharded", func(t *testing.T) { testBatchAPI(t, NewSharded(4, 1000).NewHandle()) })
+}

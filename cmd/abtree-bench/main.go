@@ -18,6 +18,12 @@
 //	abtree-bench -figure 18 -scanlen 500     # longer scans
 //	abtree-bench -figure 18 -scanmode weak   # per-leaf-atomic Range instead
 //
+// Point-operation workloads (figures 12-17, table 1) can issue their
+// operations as sorted-run batches — the MultiGet/MultiPut serving
+// pattern; structures without native batching run a per-key loop:
+//
+//	abtree-bench -figure 12 -batch 64         # batched point ops
+//
 // Any run also lands as machine-readable JSON with -json (the
 // BENCH_*.json series EXPERIMENTS.md tracks the perf trajectory with):
 //
@@ -100,6 +106,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		scanLen    = flag.Uint64("scanlen", 100, "figure 18: maximum scan length")
 		scanMode   = flag.String("scanmode", "snapshot", "figure 18: \"snapshot\" (linearizable RangeSnapshot) or \"weak\" (Range)")
+		batch      = flag.Int("batch", 1, "issue point operations as sorted-run batches of this size (figures 12-17, table 1; 1 = per-key)")
 		jsonPath   = flag.String("json", "", "also write results as a JSON array to this path (e.g. BENCH_fig18.json)")
 	)
 	flag.Parse()
@@ -134,6 +141,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "bad -batch %d (batches must hold at least 1 key)\n", *batch)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *batch > 1 && *figure == 18 {
+		fmt.Fprintln(os.Stderr, "-batch applies to the point-op workloads (figures 12-17, table 1), not the scan workload (-figure 18)")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sink := &resultSink{path: *jsonPath}
 	// Deferred so cells measured before a mid-run panic (e.g. an unknown
@@ -158,7 +175,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed, sink)
+		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed, *batch, sink)
 	case *figure == 16:
 		records := uint64(1_000_000) // paper: 100M; scale with -keys
 		if *keys != 0 {
@@ -168,7 +185,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runYCSB(records, structs, threads, *duration, *seed, sink)
+		runYCSB(records, structs, threads, *duration, *seed, *batch, sink)
 	case *figure == 17:
 		keyRange := uint64(1_000_000)
 		if *keys != 0 {
@@ -178,7 +195,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runFig17(keyRange, structs, threads, *duration, *seed, sink)
+		runFig17(keyRange, structs, threads, *duration, *seed, *batch, sink)
 	case *figure == 18:
 		records := uint64(1_000_000)
 		if *keys != 0 {
@@ -200,7 +217,7 @@ func main() {
 		if *keys != 0 {
 			keyRange = *keys
 		}
-		runTable1(keyRange, threads, *duration, *seed, sink)
+		runTable1(keyRange, threads, *duration, *seed, *batch, sink)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -213,6 +230,15 @@ func scanModeName(snapshot bool) string {
 		return "snapshot"
 	}
 	return "weak"
+}
+
+// jsonBatch normalizes the -batch value for JSON rows: per-key runs
+// record 0 (omitted), so old and new series stay comparable.
+func jsonBatch(batch int) int {
+	if batch <= 1 {
+		return 0
+	}
+	return batch
 }
 
 func parseInts(csv string) []int {
@@ -233,11 +259,11 @@ func parseInts(csv string) []int {
 
 // runMicrobench regenerates one of Figures 12-15: the SetBench grid of
 // {update%} x {uniform, Zipf 1} x thread counts for each structure.
-func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64, sink *resultSink) {
+func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
 	fmt.Printf("# Figure %d: SetBench microbenchmark, %d keys (ops/us)\n", fig, keyRange)
 	fmt.Println("# (for Elim trees, an 'elim-rate' comment follows each row: the")
 	fmt.Println("#  fraction of completed ops that eliminated instead of writing)")
-	fmt.Println("figure\tupdates%\tzipf\tstructure\tthreads\tops_per_us")
+	fmt.Println("figure\tupdates%\tzipf\tstructure\tthreads\tbatch\tops_per_us")
 	for _, upd := range updates {
 		for _, zipf := range []float64{0, 1} {
 			for _, name := range structs {
@@ -245,16 +271,17 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 					dd := bench.NewDict(name, keyRange)
 					cfg := bench.Config{
 						Threads: th, KeyRange: keyRange, UpdatePct: upd,
-						ZipfS: zipf, Duration: d, Seed: seed,
+						ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
 					}
 					bench.Prefill(dd, cfg)
 					res, err := bench.Run(dd, cfg)
 					if err != nil {
 						sink.fatal("%s: %v", name, err)
 					}
-					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%.3f\n", fig, upd, zipf, name, th, res.OpsPerUsec)
+					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%d\t%.3f\n", fig, upd, zipf, name, th, max(batch, 1), res.OpsPerUsec)
 					sink.add(report.Row{Figure: fig, UpdatePct: upd, Zipf: zipf,
-						Structure: name, Threads: th, OpsPerUs: res.OpsPerUsec, Keys: keyRange})
+						Structure: name, Threads: th, Batch: jsonBatch(batch),
+						OpsPerUs: res.OpsPerUsec, Keys: keyRange})
 					if es, ok := dd.(dict.ElimStatser); ok {
 						ei, ed, eu := es.ElimStats()
 						if total := ei + ed + eu; total > 0 {
@@ -269,21 +296,22 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 }
 
 // runYCSB regenerates Figure 16: Workload A transactions/us.
-func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64, sink *resultSink) {
+func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
 	fmt.Printf("# Figure 16: YCSB Workload A, %d records, Zipf 0.5 (tx/us)\n", records)
-	fmt.Println("figure\tstructure\tthreads\ttx_per_us")
+	fmt.Println("figure\tstructure\tthreads\tbatch\ttx_per_us")
 	for _, name := range structs {
 		for _, th := range threads {
 			dd := bench.NewDict(name, records*2)
 			res, err := ycsb.Run(dd, ycsb.Config{
-				Threads: th, Records: records, ZipfS: 0.5, Duration: d, Seed: seed,
+				Threads: th, Records: records, ZipfS: 0.5, Batch: batch, Duration: d, Seed: seed,
 			})
 			if err != nil {
 				sink.fatal("%s: %v", name, err)
 			}
-			fmt.Printf("16\t%s\t%d\t%.3f\n", name, th, res.TxPerUsec)
+			fmt.Printf("16\t%s\t%d\t%d\t%.3f\n", name, th, max(batch, 1), res.TxPerUsec)
 			sink.add(report.Row{Figure: 16, UpdatePct: -1, Zipf: 0.5,
-				Structure: name, Threads: th, OpsPerUs: res.TxPerUsec, Keys: records})
+				Structure: name, Threads: th, Batch: jsonBatch(batch),
+				OpsPerUs: res.TxPerUsec, Keys: records})
 		}
 	}
 }
@@ -319,25 +347,26 @@ func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, 
 
 // runFig17 regenerates Figure 17: persistent trees, 1M keys, 50% updates,
 // uniform and Zipf 1.
-func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64, sink *resultSink) {
+func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
 	fmt.Printf("# Figure 17: persistent trees, %d keys, 50%% updates (ops/us)\n", keyRange)
-	fmt.Println("figure\tzipf\tstructure\tthreads\tops_per_us")
+	fmt.Println("figure\tzipf\tstructure\tthreads\tbatch\tops_per_us")
 	for _, zipf := range []float64{0, 1} {
 		for _, name := range structs {
 			for _, th := range threads {
 				dd := bench.NewDict(name, keyRange)
 				cfg := bench.Config{
 					Threads: th, KeyRange: keyRange, UpdatePct: 50,
-					ZipfS: zipf, Duration: d, Seed: seed,
+					ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
 				}
 				bench.Prefill(dd, cfg)
 				res, err := bench.Run(dd, cfg)
 				if err != nil {
 					sink.fatal("%s: %v", name, err)
 				}
-				fmt.Printf("17\t%.0f\t%s\t%d\t%.3f\n", zipf, name, th, res.OpsPerUsec)
+				fmt.Printf("17\t%.0f\t%s\t%d\t%d\t%.3f\n", zipf, name, th, max(batch, 1), res.OpsPerUsec)
 				sink.add(report.Row{Figure: 17, UpdatePct: -1, Zipf: zipf,
-					Structure: name, Threads: th, OpsPerUs: res.OpsPerUsec, Keys: keyRange})
+					Structure: name, Threads: th, Batch: jsonBatch(batch),
+					OpsPerUs: res.OpsPerUsec, Keys: keyRange})
 			}
 		}
 	}
@@ -345,10 +374,10 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 
 // runTable1 regenerates Table 1: throughput change from enabling
 // persistence, at update rates {100, 50, 10}, uniform and Zipf 1.
-func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, sink *resultSink) {
+func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
 	th := threads[len(threads)-1] // the paper uses the max thread count (96)
 	fmt.Printf("# Table 1: persistence overhead, %d keys, %d threads\n", keyRange, th)
-	fmt.Println("zipf\tupdates%\ttree\tvolatile_ops_us\tpersistent_ops_us\tchange%")
+	fmt.Println("zipf\tupdates%\tbatch\ttree\tvolatile_ops_us\tpersistent_ops_us\tchange%")
 	for _, zipf := range []float64{0, 1} {
 		for _, upd := range []int{100, 50, 10} {
 			for _, pair := range [][2]string{
@@ -357,16 +386,18 @@ func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, sin
 			} {
 				cfg := bench.Config{
 					Threads: th, KeyRange: keyRange, UpdatePct: upd,
-					ZipfS: zipf, Duration: d, Seed: seed,
+					ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
 				}
 				vol := measure(pair[0], cfg, sink)
 				per := measure(pair[1], cfg, sink)
-				fmt.Printf("%.0f\t%d\t%s\t%.3f\t%.3f\t%+.1f%%\n",
-					zipf, upd, pair[1], vol, per, 100*(per-vol)/vol)
+				fmt.Printf("%.0f\t%d\t%d\t%s\t%.3f\t%.3f\t%+.1f%%\n",
+					zipf, upd, max(batch, 1), pair[1], vol, per, 100*(per-vol)/vol)
 				sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
-					Structure: pair[0], Threads: th, OpsPerUs: vol, Keys: keyRange})
+					Structure: pair[0], Threads: th, Batch: jsonBatch(batch),
+					OpsPerUs: vol, Keys: keyRange})
 				sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
-					Structure: pair[1], Threads: th, OpsPerUs: per, Keys: keyRange})
+					Structure: pair[1], Threads: th, Batch: jsonBatch(batch),
+					OpsPerUs: per, Keys: keyRange})
 			}
 		}
 	}

@@ -6,9 +6,19 @@
 //
 //	abtree-bench -figure 12 > fig12.tsv
 //	abtree-report fig12.tsv fig14.tsv
+//
+// With -baseline it instead diffs JSON result series (abtree-bench
+// -json output) against a checked-in baseline: missing cells —
+// structures or workload columns that disappeared — are structural
+// regressions and exit non-zero; throughput deltas are reported but
+// never fail (CI machines are noisy):
+//
+//	abtree-bench -figure 12 ... -json fig12.json
+//	abtree-report -baseline BENCH_fig12.json fig12.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,19 +26,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	baseline := flag.String("baseline", "", "JSON baseline to diff the JSON result files against (instead of digesting TSVs)")
+	flag.Parse()
+	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: abtree-report <figure.tsv>...")
+		fmt.Fprintln(os.Stderr, "       abtree-report -baseline <baseline.json> <results.json>...")
 		os.Exit(2)
 	}
+	if *baseline != "" {
+		diffAgainstBaseline(*baseline, flag.Args())
+		return
+	}
 	var all []report.Row
-	for _, path := range os.Args[1:] {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		rows, err := report.Parse(f)
-		f.Close()
+	for _, path := range flag.Args() {
+		rows, err := parseTSV(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
@@ -36,4 +47,51 @@ func main() {
 		all = append(all, rows...)
 	}
 	fmt.Print(report.Markdown(report.Summarize(all)))
+}
+
+func parseTSV(path string) ([]report.Row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return report.Parse(f)
+}
+
+func readJSON(path string) []report.Row {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rows, err := report.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rows
+}
+
+// diffAgainstBaseline exits 1 when any baseline cell is missing from
+// the current series (structural regression); throughput deltas are
+// informational only.
+func diffAgainstBaseline(basePath string, resultPaths []string) {
+	base := readJSON(basePath)
+	var cur []report.Row
+	for _, path := range resultPaths {
+		cur = append(cur, readJSON(path)...)
+	}
+	missing, deltas := report.Diff(base, cur)
+	for _, d := range deltas {
+		fmt.Printf("delta %+6.1f%%  %s (%.3f -> %.3f ops/us)\n", d.Pct(), d.Cell, d.Base, d.Current)
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "MISSING: baseline cell absent from current results: %s\n", m)
+		}
+		fmt.Fprintf(os.Stderr, "%d structural regression(s) against %s\n", len(missing), basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("baseline %s: %d cells matched, no structural regressions\n", basePath, len(deltas))
 }

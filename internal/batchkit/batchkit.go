@@ -1,0 +1,107 @@
+// Package batchkit holds the structure-independent staging machinery
+// shared by every batched-point-operation implementation (core,
+// pabtree, shard): the staged-entry type, the stable sort that orders
+// a batch for run formation, and the run-boundary scan. The tree
+// packages deliberately do not depend on each other, so the one copy
+// of this code lives below all of them.
+package batchkit
+
+// Ent is one key of an in-flight batched operation: the key and its
+// index in the caller's slices (results — and, for inserts, the
+// payload value — are reached through the index, keeping the sorted
+// element at 16 bytes).
+type Ent struct {
+	K   uint64
+	Idx int
+}
+
+// sortSmall is a stable insertion sort for small batches (strictly
+// greater comparisons keep equal keys in input order).
+func sortSmall(ents []Ent) {
+	for i := 1; i < len(ents); i++ {
+		e := ents[i]
+		j := i - 1
+		for j >= 0 && ents[j].K > e.K {
+			ents[j+1] = ents[j]
+			j--
+		}
+		ents[j+1] = e
+	}
+}
+
+// radixCutoff is the batch size above which the LSD radix sort beats
+// the insertion sort's O(n^2) comparisons.
+const radixCutoff = 48
+
+// Sort sorts the staged batch by key, stably — equal keys keep their
+// input order, which is what makes batched results equal the per-key
+// loop's. Hand-rolled because the sort is on every batch's critical
+// path and a generic comparator sort profiles as a quarter of a batched
+// find: the LSD radix sort does one stable counting pass per byte that
+// actually varies across the batch (keys drawn from a bounded range
+// share their high bytes, so most of the 8 passes skip), ping-ponging
+// between ents and the caller's scratch buffer. It returns the sorted
+// slice and the other buffer; callers persist both for reuse, since
+// either buffer may end up holding the result.
+func Sort(ents, scratch []Ent) (sorted, spare []Ent) {
+	n := len(ents)
+	if n <= radixCutoff {
+		sortSmall(ents)
+		return ents, scratch
+	}
+	// Bytes where every key agrees (orK and andK share the byte) cannot
+	// reorder anything: skip their passes. The same sweep detects an
+	// already-sorted batch — free for the sharded compositions, whose
+	// per-shard sub-batches arrive sorted and would otherwise pay the
+	// counting passes again inside each shard's native batcher.
+	orK, andK := uint64(0), ^uint64(0)
+	inOrder := true
+	for i := range ents {
+		orK |= ents[i].K
+		andK &= ents[i].K
+		if i > 0 && ents[i-1].K > ents[i].K {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		return ents, scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]Ent, n)
+	}
+	scratch = scratch[:n]
+	a, b := ents, scratch
+	var counts [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		if byte(orK>>shift) == byte(andK>>shift) {
+			continue
+		}
+		counts = [256]int{}
+		for i := range a {
+			counts[byte(a[i].K>>shift)]++
+		}
+		sum := 0
+		for d := 0; d < 256; d++ {
+			c := counts[d]
+			counts[d] = sum
+			sum += c
+		}
+		for i := range a {
+			d := byte(a[i].K >> shift)
+			b[counts[d]] = a[i]
+			counts[d]++
+		}
+		a, b = b, a
+	}
+	return a, b
+}
+
+// RunEnd returns the end of the run starting at i: the first staged
+// key not covered by a leaf whose key range is bounded above by bound.
+func RunEnd(ents []Ent, i int, bound uint64, hasBound bool) int {
+	j := i + 1
+	for j < len(ents) && (!hasBound || ents[j].K < bound) {
+		j++
+	}
+	return j
+}

@@ -1,0 +1,82 @@
+package bench
+
+// Registry-wide batched-operation smoke: every registered structure —
+// native Batcher or treedict's per-key fallback — must serve the
+// batched workloads with per-key-loop semantics.
+
+import (
+	"testing"
+
+	"repro/internal/treedict"
+)
+
+func TestBatchRegistrySmoke(t *testing.T) {
+	const keyRange = 2000
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d := NewDict(name, keyRange)
+			b := treedict.BatcherFor(d.NewHandle())
+			const n = 300 // spans several shard boundaries of an 8-way split
+			keys := make([]uint64, n)
+			vals := make([]uint64, n)
+			res := make([]uint64, n)
+			ok := make([]bool, n)
+			for i := range keys {
+				keys[i] = uint64((i*7)%keyRange) + 1 // shuffled, distinct
+				vals[i] = keys[i] * 3
+			}
+			b.InsertBatch(keys, vals, res, ok)
+			var wantSum uint64
+			for i := range keys {
+				if !ok[i] {
+					t.Fatalf("insert of fresh key %d did not land", keys[i])
+				}
+				wantSum += keys[i]
+			}
+			if got := d.KeySum(); got != wantSum {
+				t.Fatalf("KeySum = %d after batch insert, want %d", got, wantSum)
+			}
+			b.FindBatch(keys, res, ok)
+			for i := range keys {
+				if !ok[i] || res[i] != vals[i] {
+					t.Fatalf("FindBatch key %d: got (%d,%v), want (%d,true)", keys[i], res[i], ok[i], vals[i])
+				}
+			}
+			// Re-inserting must report every key present, unchanged.
+			b.InsertBatch(keys, vals, res, ok)
+			for i := range keys {
+				if ok[i] || res[i] != vals[i] {
+					t.Fatalf("re-insert key %d: got (%d,%v), want (%d,false)", keys[i], res[i], ok[i], vals[i])
+				}
+			}
+			b.DeleteBatch(keys, res, ok)
+			for i := range keys {
+				if !ok[i] || res[i] != vals[i] {
+					t.Fatalf("DeleteBatch key %d: got (%d,%v), want (%d,true)", keys[i], res[i], ok[i], vals[i])
+				}
+			}
+			if got := d.KeySum(); got != 0 {
+				t.Fatalf("KeySum = %d after draining, want 0", got)
+			}
+		})
+	}
+}
+
+// TestBatchRunValidates drives the harness's batched mix end-to-end on
+// one native-batching structure and one fallback structure, letting
+// Run's key-sum validation cross-check the batched accounting.
+func TestBatchRunValidates(t *testing.T) {
+	for _, name := range []string{"OCC-ABtree", "shard4-occ-abtree", "CATree"} {
+		t.Run(name, func(t *testing.T) {
+			d := NewDict(name, 4000)
+			cfg := Config{
+				Threads: 2, KeyRange: 4000, UpdatePct: 40, Batch: 16,
+				Duration: 50_000_000, Seed: 7, // 50ms
+			}
+			Prefill(d, cfg)
+			if _, err := Run(d, cfg); err != nil {
+				t.Fatalf("batched Run failed validation: %v", err)
+			}
+		})
+	}
+}

@@ -18,9 +18,75 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/treedict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
 )
+
+// batchWorker is one worker's batched-mode plumbing (Config.Batch > 1):
+// the structure's Batcher — native, or treedict's per-key fallback — and
+// the key/result scratch reused across iterations. Point-op classes are
+// drawn per batch; every key of a batch counts as one op. Scans are
+// unaffected by batching.
+type batchWorker struct {
+	b    dict.Batcher
+	keys []uint64
+	vals []uint64
+	res  []uint64
+	ok   []bool
+}
+
+func newBatchWorker(h dict.Handle, n int) *batchWorker {
+	return &batchWorker{
+		b:    treedict.BatcherFor(h),
+		keys: make([]uint64, n),
+		vals: make([]uint64, n),
+		res:  make([]uint64, n),
+		ok:   make([]bool, n),
+	}
+}
+
+func (w *batchWorker) draw(z *zipfian.Zipf) {
+	for i := range w.keys {
+		w.keys[i] = z.Next()
+	}
+}
+
+// insertBatch inserts a fresh batch of keys (value = key), returning
+// the key-sum delta of the inserts that landed.
+func (w *batchWorker) insertBatch(z *zipfian.Zipf) int64 {
+	w.draw(z)
+	for i, k := range w.keys {
+		w.vals[i] = k
+	}
+	w.b.InsertBatch(w.keys, w.vals, w.res, w.ok)
+	var sum int64
+	for i, k := range w.keys {
+		if w.ok[i] {
+			sum += int64(k)
+		}
+	}
+	return sum
+}
+
+// deleteBatch deletes a fresh batch of keys, returning the key-sum
+// delta of the deletes that landed.
+func (w *batchWorker) deleteBatch(z *zipfian.Zipf) int64 {
+	w.draw(z)
+	w.b.DeleteBatch(w.keys, w.res, w.ok)
+	var sum int64
+	for i, k := range w.keys {
+		if w.ok[i] {
+			sum -= int64(k)
+		}
+	}
+	return sum
+}
+
+func (w *batchWorker) findBatch(z *zipfian.Zipf) {
+	w.draw(z)
+	w.b.FindBatch(w.keys, w.res, w.ok)
+}
 
 // Config describes one experiment cell.
 type Config struct {
@@ -31,6 +97,7 @@ type Config struct {
 	ScanLen   uint64  // keys per scan interval (default 100 when ScanPct > 0)
 	SnapScans bool    // scans use the linearizable RangeSnapshot instead of Range
 	ZipfS     float64 // 0 = uniform, 1 = paper's skewed setting
+	Batch     int     // point ops issued as sorted-run batches of this size (<=1: per-key)
 	Duration  time.Duration
 	Seed      uint64
 	NoValid   bool // skip key-sum validation (used by Table 1 overhead runs)
@@ -113,6 +180,10 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 			defer wg.Done()
 			h := d.NewHandle()
 			scan := dict.ScanFunc(h, cfg.SnapScans)
+			var bw *batchWorker
+			if cfg.Batch > 1 {
+				bw = newBatchWorker(h, cfg.Batch)
+			}
 			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
 			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
 			ready.Done()
@@ -120,6 +191,27 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 			var sum int64
 			var ops, scanned uint64
 			for !stop.Load() {
+				if bw != nil {
+					switch r := int(rng.Uint64n(200)); {
+					case r < cfg.UpdatePct:
+						sum += bw.insertBatch(z)
+						ops += uint64(cfg.Batch)
+					case r < 2*cfg.UpdatePct:
+						sum += bw.deleteBatch(z)
+						ops += uint64(cfg.Batch)
+					case r < 2*(cfg.UpdatePct+cfg.ScanPct):
+						k := z.Next()
+						scan(k, k+cfg.ScanLen-1, func(_, _ uint64) bool {
+							scanned++
+							return true
+						})
+						ops++
+					default:
+						bw.findBatch(z)
+						ops += uint64(cfg.Batch)
+					}
+					continue
+				}
 				k := z.Next()
 				switch r := int(rng.Uint64n(200)); {
 				case r < cfg.UpdatePct:
@@ -185,9 +277,27 @@ func RunOps(d dict.Dict, cfg Config, opsPerThread int) {
 			defer wg.Done()
 			h := d.NewHandle()
 			scan := dict.ScanFunc(h, cfg.SnapScans)
+			var bw *batchWorker
+			if cfg.Batch > 1 {
+				bw = newBatchWorker(h, cfg.Batch)
+			}
 			rng := xrand.New(cfg.Seed*7919 + uint64(w)*104729 + 3)
 			z := zipfian.New(xrand.New(cfg.Seed*31+uint64(w)*17+7), cfg.KeyRange, cfg.ZipfS)
 			for i := 0; i < opsPerThread; i++ {
+				if bw != nil {
+					switch r := int(rng.Uint64n(200)); {
+					case r < cfg.UpdatePct:
+						bw.insertBatch(z)
+					case r < 2*cfg.UpdatePct:
+						bw.deleteBatch(z)
+					case r < 2*(cfg.UpdatePct+cfg.ScanPct) && scan != nil:
+						k := z.Next()
+						scan(k, k+cfg.ScanLen-1, func(_, _ uint64) bool { return true })
+					default:
+						bw.findBatch(z)
+					}
+					continue
+				}
 				k := z.Next()
 				switch r := int(rng.Uint64n(200)); {
 				case r < cfg.UpdatePct:

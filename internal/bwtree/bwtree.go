@@ -459,6 +459,15 @@ func (t *Tree) leftmostLeaf() uint64 {
 // replay-and-flatten per visited leaf is the OpenBw-Tree's documented
 // scan cost profile and is kept as such.
 func (t *Tree) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	// Clamp to the benchmark key space [1, 2^64-2] like the other
+	// scan-capable structures, so an empty or inverted interval returns
+	// uniformly with no callbacks.
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == ^uint64(0) {
+		hi--
+	}
 	if hi < lo {
 		return
 	}

@@ -58,6 +58,37 @@ func TestAllocsScanFastPath(t *testing.T) {
 	_ = sink
 }
 
+// TestAllocsBatchOps: steady-state batched point operations (batch.go)
+// allocate nothing once the Thread's staging scratch is warm — the
+// sort, the run formation and the result scatter all live in
+// per-Thread/caller buffers. Keys are spread one per leaf (stride 50)
+// so the delete/insert cycle never splits or merges.
+func TestAllocsBatchOps(t *testing.T) {
+	_, th := allocGuardTree(t)
+	const n = 64
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	res := make([]uint64, n)
+	ok := make([]bool, n)
+	for i := range keys {
+		keys[i] = uint64(1000 + 50*i)
+		vals[i] = keys[i]
+	}
+	th.FindBatch(keys, res, ok) // warm the staging scratch
+	if avg := testing.AllocsPerRun(200, func() { th.FindBatch(keys, res, ok) }); avg != 0 {
+		t.Errorf("FindBatch allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { th.InsertBatch(keys, vals, res, ok) }); avg != 0 {
+		t.Errorf("present-key InsertBatch allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		th.DeleteBatch(keys, res, ok)
+		th.InsertBatch(keys, vals, res, ok)
+	}); avg != 0 {
+		t.Errorf("steady-state DeleteBatch+InsertBatch allocates %.2f/op, want 0", avg)
+	}
+}
+
 // TestAllocsWriteUnderScan: once the version pool is warm, a writer
 // preserving pre-write states for an in-flight scan recycles Version
 // nodes instead of allocating them.

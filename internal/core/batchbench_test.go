@@ -1,0 +1,106 @@
+package core
+
+// Benchmarks comparing batched point operations against the per-key
+// loop on uniform random keys (EXPERIMENTS.md "Batched point
+// operations" tracks these): one benchmark op = one batch of `size`
+// keys, so ns/op across loop and batch variants at the same size are
+// directly comparable.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const batchBenchKeys = 100_000
+
+func batchBenchTree(b *testing.B) *Thread {
+	b.Helper()
+	tr := New()
+	th := tr.NewThread()
+	for k := uint64(1); k <= batchBenchKeys; k++ {
+		th.Insert(k, k)
+	}
+	return th
+}
+
+// drawUniform refills keys with uniform random keys in [1, keyRange].
+func drawUniform(rng *rand.Rand, keys []uint64) {
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(batchBenchKeys)) + 1
+	}
+}
+
+func BenchmarkBatchFind(b *testing.B) {
+	for _, size := range []int{1, 8, 64, 512} {
+		keys := make([]uint64, size)
+		res := make([]uint64, size)
+		ok := make([]bool, size)
+		b.Run(sizeName("loop", size), func(b *testing.B) {
+			th := batchBenchTree(b)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drawUniform(rng, keys)
+				for _, k := range keys {
+					th.Find(k)
+				}
+			}
+		})
+		b.Run(sizeName("batch", size), func(b *testing.B) {
+			th := batchBenchTree(b)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drawUniform(rng, keys)
+				th.FindBatch(keys, res, ok)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchUpdate measures a delete+reinsert cycle of `size`
+// uniform keys — the steady-state update shape (tree size constant).
+func BenchmarkBatchUpdate(b *testing.B) {
+	for _, size := range []int{1, 8, 64, 512} {
+		keys := make([]uint64, size)
+		res := make([]uint64, size)
+		ok := make([]bool, size)
+		b.Run(sizeName("loop", size), func(b *testing.B) {
+			th := batchBenchTree(b)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drawUniform(rng, keys)
+				for _, k := range keys {
+					th.Delete(k)
+				}
+				for _, k := range keys {
+					th.Insert(k, k)
+				}
+			}
+		})
+		b.Run(sizeName("batch", size), func(b *testing.B) {
+			th := batchBenchTree(b)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drawUniform(rng, keys)
+				th.DeleteBatch(keys, res, ok)
+				th.InsertBatch(keys, keys, res, ok)
+			}
+		})
+	}
+}
+
+func sizeName(kind string, size int) string {
+	switch size {
+	case 1:
+		return kind + "-1"
+	case 8:
+		return kind + "-8"
+	case 64:
+		return kind + "-64"
+	default:
+		return kind + "-512"
+	}
+}

@@ -39,15 +39,23 @@ package core
 // correctly, they just bypass the cache.
 const maxScanDepth = 32
 
-// scanPath is a Thread's cached descent: the nodes root-to-leaf, each
-// with the key range [lo, hi) its subtree covered along this path
-// (hasHi false means unbounded above — the rightmost spine). Level 0 is
-// the entry sentinel; n[depth-1] is the leaf.
+// scanLevel is one level of a cached descent: the node and the key
+// range [lo, hi) its subtree covered along this path (hasHi false means
+// unbounded above — the rightmost spine). One struct per level keeps a
+// level's reads and writes inside one cache line; the batched point
+// operations (batch.go) made the previous four-parallel-arrays layout a
+// measurable cost.
+type scanLevel struct {
+	n     *node
+	lo    uint64
+	hi    uint64
+	hasHi bool
+}
+
+// scanPath is a Thread's cached descent, root-to-leaf. Level 0 is the
+// entry sentinel; lvl[depth-1] is the leaf.
 type scanPath struct {
-	n     [maxScanDepth]*node
-	lo    [maxScanDepth]uint64
-	hi    [maxScanDepth]uint64
-	hasHi [maxScanDepth]bool
+	lvl   [maxScanDepth]scanLevel
 	depth int // levels filled; 0 = empty
 }
 
@@ -61,7 +69,8 @@ func (p *scanPath) invalidate() { p.depth = 0 }
 // parent.
 func (p *scanPath) resumeLevel(key uint64) int {
 	for i := p.depth - 2; i > 0; i-- {
-		if key >= p.lo[i] && (!p.hasHi[i] || key < p.hi[i]) && !p.n[i].marked.Load() {
+		l := &p.lvl[i]
+		if key >= l.lo && (!l.hasHi || key < l.hi) && !l.n.marked.Load() {
 			return i
 		}
 	}
@@ -83,10 +92,7 @@ func (th *Thread) searchScan(key uint64) (leaf *node, bound uint64, hasBound boo
 		lvl = p.resumeLevel(key)
 	}
 	if lvl == 0 {
-		p.n[0] = th.t.entry
-		p.lo[0] = 0
-		p.hi[0] = 0
-		p.hasHi[0] = false
+		p.lvl[0] = scanLevel{n: th.t.entry}
 	}
 	return th.t.descendPath(p, lvl, key)
 }
@@ -95,22 +101,21 @@ func (th *Thread) searchScan(key uint64) (leaf *node, bound uint64, hasBound boo
 // the levels it visits. A tree deeper than maxScanDepth (unreachable
 // at sane degrees) stops recording and descends uncached.
 func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf *node, bound uint64, hasBound bool) {
-	n := p.n[lvl]
-	lo := p.lo[lvl]
-	bound, hasBound = p.hi[lvl], p.hasHi[lvl]
+	n := p.lvl[lvl].n
+	lo := p.lvl[lvl].lo
+	bound, hasBound = p.lvl[lvl].hi, p.lvl[lvl].hasHi
 	caching := true
 	for !n.isLeaf() {
 		nIdx := 0
 		rk := n.routingKeys()
-		for nIdx < rk && key >= n.keys[nIdx].Load() {
+		for nIdx < rk {
+			rkey := n.keys[nIdx].Load()
+			if key < rkey {
+				bound, hasBound = rkey, true
+				break
+			}
+			lo = rkey
 			nIdx++
-		}
-		if nIdx < rk {
-			bound = n.keys[nIdx].Load()
-			hasBound = true
-		}
-		if nIdx > 0 {
-			lo = n.keys[nIdx-1].Load()
 		}
 		n = n.ptrs[nIdx].Load()
 		if !caching {
@@ -122,10 +127,7 @@ func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf *node, bound 
 			continue
 		}
 		lvl++
-		p.n[lvl] = n
-		p.lo[lvl] = lo
-		p.hi[lvl] = bound
-		p.hasHi[lvl] = hasBound
+		p.lvl[lvl] = scanLevel{n: n, lo: lo, hi: bound, hasHi: hasBound}
 	}
 	if caching {
 		p.depth = lvl + 1
@@ -172,10 +174,17 @@ func (t *Tree) snapshotLeaf(buf []kv, l *node, lo, hi uint64) (items []kv, ok bo
 // this Thread but must not start another scan on it: scans reuse the
 // Thread's scratch buffers.
 func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	// Bounds are clamped to the representable key space [1, 2^64-2]
+	// (keys 0 and 2^64-1 are reserved); an empty or inverted interval
+	// returns before touching the tree, with no callbacks — uniform
+	// across every scan-capable structure (bench's cross-structure
+	// bounds test pins this).
 	if lo == emptyKey {
 		lo = 1
 	}
-	checkKey(lo)
+	if hi == ^uint64(0) {
+		hi--
+	}
 	if hi < lo {
 		return
 	}

@@ -300,12 +300,18 @@ func (t *Tree) merge(th *Thread, left, right, p, gp *node, lIdx, sepIdx, pIdx in
 	th.unlockAll()
 
 	// The merged node may still be underfull (total < 2a can be < a), and
-	// the shrunken parent may have dropped below a children.
-	if sizeOf(nn) < t.a {
-		th.fixUnderfull(nn)
-	}
+	// the shrunken parent may have dropped below a children. The parent
+	// MUST be repaired first: when it was left with a single child (pc
+	// was 2), fixUnderfull(nn) would find its parent with < 2 children
+	// and spin waiting for "its own fixUnderfull" — which would be this
+	// very thread, queued behind the spin. Per-key deletes rarely merge
+	// a pair whose total is below a, but batched deletes empty whole
+	// leaves in one lock hold and hit this self-wait readily.
 	if int(newParent.nchildren) < t.a {
 		th.fixUnderfull(newParent)
+	}
+	if sizeOf(nn) < t.a {
+		th.fixUnderfull(nn)
 	}
 }
 

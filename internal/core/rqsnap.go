@@ -133,10 +133,14 @@ func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 // this on each tree with one ts yields a single atomic snapshot across
 // all of them — internal/shard's cross-shard scan.
 func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) {
+	// Same bounds discipline as Range: clamp to [1, 2^64-2], return on
+	// an empty interval with no callbacks, never panic.
 	if lo == emptyKey {
 		lo = 1
 	}
-	checkKey(lo)
+	if hi == ^uint64(0) {
+		hi--
+	}
 	if hi < lo {
 		return
 	}

@@ -40,6 +40,12 @@ type Thread struct {
 	kvBuf       []kv
 	pairBuf     []rq.Pair
 	noScanCache bool
+
+	// batchBuf stages batched point operations sorted by key; batchTmp
+	// is the radix sort's ping-pong partner (batch.go). Both persist so
+	// steady-state FindBatch/InsertBatch/DeleteBatch allocate nothing.
+	batchBuf []batchEnt
+	batchTmp []batchEnt
 }
 
 // NewThread returns a new operation handle for t.

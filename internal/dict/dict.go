@@ -66,6 +66,42 @@ type SnapshotAtRanger interface {
 	RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool)
 }
 
+// Batcher is implemented by handles that support batched point
+// operations: MultiGet/MultiPut-style calls that amortize root-to-leaf
+// descents and lock/version acquisitions across many keys (the trees
+// sort each batch into per-leaf runs and apply a whole run under one
+// leaf acquisition). The contract, for all three methods:
+//
+//   - Every result slice must have the same length as keys; the
+//     implementations panic otherwise. Results land at the index of
+//     their key, i.e. in input order, regardless of how the batch was
+//     reordered internally.
+//   - Each key's operation is individually linearizable, with the same
+//     semantics as the corresponding Handle method. The batch as a
+//     whole is NOT atomic: concurrent operations may interleave between
+//     (and observe the effects of) any two keys of one batch.
+//   - Operations on distinct keys may apply in any order; operations on
+//     equal keys within one batch apply in input order, so a batch's
+//     results always equal some per-key loop execution of the same
+//     calls.
+//
+// Structures without a native implementation are served by the generic
+// per-key loop adapter in internal/treedict (BatcherFor), so batched
+// workloads run against every registry entry.
+type Batcher interface {
+	// FindBatch looks up keys[i] for every i, storing the value into
+	// vals[i] and its presence into found[i].
+	FindBatch(keys []uint64, vals []uint64, found []bool)
+	// InsertBatch inserts <keys[i], vals[i]> where keys[i] is absent
+	// (inserted[i] = true); where present, the structure is unchanged
+	// and prev[i] holds the existing value (inserted[i] = false).
+	InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool)
+	// DeleteBatch removes keys[i] where present, storing the removed
+	// value into prev[i] (deleted[i] = true); absent keys leave the
+	// structure unchanged (deleted[i] = false).
+	DeleteBatch(keys []uint64, prev []uint64, deleted []bool)
+}
+
 // RQClocked is implemented by dictionaries whose range-query subsystem
 // exposes its linearization clock. internal/shard requires it to
 // verify a shard is actually coupled to the partition's shared clock

@@ -55,6 +55,36 @@ func TestAllocsScanFastPath(t *testing.T) {
 	_ = sink
 }
 
+// TestAllocsBatchOps mirrors internal/core's guard: steady-state
+// batched point operations allocate nothing once the Thread's staging
+// scratch is warm. Keys are spread one per leaf (stride 50) so the
+// delete/insert cycle never splits or merges.
+func TestAllocsBatchOps(t *testing.T) {
+	_, th := allocGuardTree(t)
+	const n = 64
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	res := make([]uint64, n)
+	ok := make([]bool, n)
+	for i := range keys {
+		keys[i] = uint64(1000 + 50*i)
+		vals[i] = keys[i]
+	}
+	th.FindBatch(keys, res, ok) // warm the staging scratch
+	if avg := testing.AllocsPerRun(200, func() { th.FindBatch(keys, res, ok) }); avg != 0 {
+		t.Errorf("FindBatch allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { th.InsertBatch(keys, vals, res, ok) }); avg != 0 {
+		t.Errorf("present-key InsertBatch allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		th.DeleteBatch(keys, res, ok)
+		th.InsertBatch(keys, vals, res, ok)
+	}); avg != 0 {
+		t.Errorf("steady-state DeleteBatch+InsertBatch allocates %.2f/op, want 0", avg)
+	}
+}
+
 func TestAllocsWriteUnderScan(t *testing.T) {
 	tr, th := allocGuardTree(t)
 	sc := tr.rqp.Register()

@@ -1,0 +1,301 @@
+package pabtree
+
+// Differential tests for the persistent batched point operations,
+// mirroring internal/core/batch_test.go: batched results must equal the
+// per-key loop's — sequentially against a twin tree, and under
+// concurrent split/merge churn against a shadow map over keys the churn
+// never touches.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func TestBatchDifferentialSequential(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"occ", nil},
+		{"elim", []Option{WithElimination()}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			batched := New(pmem.New(1<<20), v.opts...)
+			looped := New(pmem.New(1<<20), v.opts...)
+			bth := batched.NewThread()
+			lth := looped.NewThread()
+			rng := rand.New(rand.NewSource(17))
+			for k := uint64(1); k <= 2000; k += 2 {
+				bth.Insert(k, k)
+				lth.Insert(k, k)
+			}
+			var keys, vals, prev, loopPrev []uint64
+			var ok, loopOK []bool
+			for i := 0; i < 200; i++ {
+				n := rng.Intn(100) + 1
+				keys = keys[:0]
+				vals = vals[:0]
+				for j := 0; j < n; j++ {
+					keys = append(keys, uint64(rng.Intn(3000))+1)
+					vals = append(vals, uint64(rng.Intn(3000))+1)
+				}
+				prev = append(prev[:0], make([]uint64, n)...)
+				loopPrev = append(loopPrev[:0], make([]uint64, n)...)
+				ok = append(ok[:0], make([]bool, n)...)
+				loopOK = append(loopOK[:0], make([]bool, n)...)
+				op := rng.Intn(3)
+				switch op {
+				case 0:
+					bth.InsertBatch(keys, vals, prev, ok)
+					for j, k := range keys {
+						loopPrev[j], loopOK[j] = lth.Insert(k, vals[j])
+					}
+				case 1:
+					bth.DeleteBatch(keys, prev, ok)
+					for j, k := range keys {
+						loopPrev[j], loopOK[j] = lth.Delete(k)
+					}
+				default:
+					bth.FindBatch(keys, prev, ok)
+					for j, k := range keys {
+						loopPrev[j], loopOK[j] = lth.Find(k)
+					}
+				}
+				for j := range keys {
+					if prev[j] != loopPrev[j] || ok[j] != loopOK[j] {
+						t.Fatalf("iter %d op %d key %d (#%d): batch (%d,%v), loop (%d,%v)",
+							i, op, keys[j], j, prev[j], ok[j], loopPrev[j], loopOK[j])
+					}
+				}
+			}
+			if bs, ls := batched.KeySum(), looped.KeySum(); bs != ls {
+				t.Fatalf("key-sums diverged: batched %d, per-key loop %d", bs, ls)
+			}
+		})
+	}
+}
+
+// TestBatchDifferentialUnderChurn pins batched results to a shadow map
+// while writers churn the tree shape on disjoint keys (keys ≡ 0 mod 3
+// belong to the batching thread alone).
+func TestBatchDifferentialUnderChurn(t *testing.T) {
+	const keyRange = 3000
+	tr := New(pmem.New(1 << 22))
+	loader := tr.NewThread()
+	shadow := make(map[uint64]uint64)
+	for k := uint64(3); k <= keyRange; k += 6 {
+		loader.Insert(k, k*7)
+		shadow[k] = k * 7
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			wth := tr.NewThread()
+			for !stop.Load() {
+				k := uint64(rng.Intn(keyRange)) + 1
+				if k%3 == 0 {
+					k++
+				}
+				if rng.Intn(2) == 0 {
+					wth.Delete(k)
+				} else {
+					wth.Insert(k, k)
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	th := tr.NewThread()
+	churn := tr.NewThread()
+	rng := rand.New(rand.NewSource(5))
+	iters := 300
+	if testing.Short() {
+		iters = 80
+	}
+	ownedKey := func() uint64 { return uint64(rng.Intn(keyRange/3))*3 + 3 }
+	var keys, vals, res []uint64
+	var ok []bool
+	for i := 0; i < iters && !t.Failed(); i++ {
+		for j := 0; j < 20; j++ {
+			k := uint64(rng.Intn(keyRange)) + 1
+			if k%3 == 0 {
+				k++
+			}
+			if rng.Intn(2) == 0 {
+				churn.Delete(k)
+			} else {
+				churn.Insert(k, k)
+			}
+		}
+		runtime.Gosched()
+		n := rng.Intn(128) + 1
+		keys = keys[:0]
+		vals = vals[:0]
+		for j := 0; j < n; j++ {
+			keys = append(keys, ownedKey())
+			vals = append(vals, uint64(rng.Intn(keyRange))+1)
+		}
+		res = append(res[:0], make([]uint64, n)...)
+		ok = append(ok[:0], make([]bool, n)...)
+		switch op := rng.Intn(3); op {
+		case 0:
+			th.InsertBatch(keys, vals, res, ok)
+			for j, k := range keys {
+				if v, present := shadow[k]; present {
+					if ok[j] || res[j] != v {
+						t.Errorf("iter %d InsertBatch key %d (#%d): got (%d,%v), shadow has %d", i, k, j, res[j], ok[j], v)
+					}
+				} else {
+					if !ok[j] {
+						t.Errorf("iter %d InsertBatch key %d (#%d): not inserted but absent from shadow", i, k, j)
+					}
+					shadow[k] = vals[j]
+				}
+			}
+		case 1:
+			th.DeleteBatch(keys, res, ok)
+			for j, k := range keys {
+				if v, present := shadow[k]; present {
+					if !ok[j] || res[j] != v {
+						t.Errorf("iter %d DeleteBatch key %d (#%d): got (%d,%v), shadow has %d", i, k, j, res[j], ok[j], v)
+					}
+					delete(shadow, k)
+				} else if ok[j] {
+					t.Errorf("iter %d DeleteBatch key %d (#%d): deleted %d but shadow has nothing", i, k, j, res[j])
+				}
+			}
+		default:
+			th.FindBatch(keys, res, ok)
+			for j, k := range keys {
+				v, present := shadow[k]
+				if ok[j] != present || (present && res[j] != v) {
+					t.Errorf("iter %d FindBatch key %d (#%d): got (%d,%v), shadow (%d,%v)", i, k, j, res[j], ok[j], v, present)
+				}
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for k := uint64(3); k <= keyRange; k += 3 {
+		v, ok := th.Find(k)
+		sv, sok := shadow[k]
+		if ok != sok || (ok && v != sv) {
+			t.Fatalf("final state: key %d tree (%d,%v), shadow (%d,%v)", k, v, ok, sv, sok)
+		}
+	}
+}
+
+// BenchmarkBatchUpdate: the persistent delete+reinsert cycle, batched
+// vs per-key loop (EXPERIMENTS.md tracks these).
+func BenchmarkBatchUpdate(b *testing.B) {
+	const benchKeys = 100_000
+	build := func(b *testing.B) *Thread {
+		b.Helper()
+		tr := New(pmem.New(1 << 23))
+		th := tr.NewThread()
+		for k := uint64(1); k <= benchKeys; k++ {
+			th.Insert(k, k)
+		}
+		return th
+	}
+	for _, size := range []int{8, 64, 512} {
+		keys := make([]uint64, size)
+		res := make([]uint64, size)
+		ok := make([]bool, size)
+		draw := func(rng *rand.Rand) {
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(benchKeys)) + 1
+			}
+		}
+		b.Run(benchSizeName("loop", size), func(b *testing.B) {
+			th := build(b)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				draw(rng)
+				for _, k := range keys {
+					th.Delete(k)
+				}
+				for _, k := range keys {
+					th.Insert(k, k)
+				}
+			}
+		})
+		b.Run(benchSizeName("batch", size), func(b *testing.B) {
+			th := build(b)
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				draw(rng)
+				th.DeleteBatch(keys, res, ok)
+				th.InsertBatch(keys, keys, res, ok)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchFind: persistent MultiGet, batched vs per-key loop.
+func BenchmarkBatchFind(b *testing.B) {
+	const benchKeys = 100_000
+	build := func(b *testing.B) *Thread {
+		b.Helper()
+		tr := New(pmem.New(1 << 23))
+		th := tr.NewThread()
+		for k := uint64(1); k <= benchKeys; k++ {
+			th.Insert(k, k)
+		}
+		return th
+	}
+	for _, size := range []int{8, 64, 512} {
+		keys := make([]uint64, size)
+		res := make([]uint64, size)
+		ok := make([]bool, size)
+		draw := func(rng *rand.Rand) {
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(benchKeys)) + 1
+			}
+		}
+		b.Run(benchSizeName("loop", size), func(b *testing.B) {
+			th := build(b)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				draw(rng)
+				for _, k := range keys {
+					th.Find(k)
+				}
+			}
+		})
+		b.Run(benchSizeName("batch", size), func(b *testing.B) {
+			th := build(b)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				draw(rng)
+				th.FindBatch(keys, res, ok)
+			}
+		})
+	}
+}
+
+func benchSizeName(kind string, size int) string {
+	switch size {
+	case 8:
+		return kind + "-8"
+	case 64:
+		return kind + "-64"
+	default:
+		return kind + "-512"
+	}
+}

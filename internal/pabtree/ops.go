@@ -118,45 +118,9 @@ func (th *Thread) Insert(key, val uint64) (uint64, bool) {
 			continue
 		}
 
-		emptyIdx := -1
-		dup := -1
-		for i := 0; i < t.b; i++ {
-			switch k := t.loadKeyWord(leaf, i); {
-			case k == key:
-				dup = i
-			case k == emptyKey && emptyIdx < 0:
-				emptyIdx = i
-			}
-			if dup >= 0 {
-				break
-			}
-		}
-		if dup >= 0 {
-			v := t.loadVal(leaf, dup)
+		if done, old, inserted := t.leafInsertLocked(leaf, key, val); done {
 			th.unlockAll()
-			return v, false
-		}
-
-		if emptyIdx >= 0 {
-			// Simple insert, persistent version (§5): flush the value,
-			// then the key. The insert is durable once the key line
-			// reaches PM; a crash in between leaves the slot logically
-			// empty (key still ⊥).
-			ver := lv.ver.Add(1)
-			t.rqStamp(leaf)
-			if t.elim {
-				lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recInsert})
-			}
-			valOff := leaf + valsBase + uint64(emptyIdx)
-			keyOff := leaf + keysBase + uint64(emptyIdx)
-			t.arena.Store(valOff, val)
-			t.arena.Flush(valOff)
-			t.arena.Store(keyOff, key)
-			t.arena.Flush(keyOff)
-			lv.size.Add(1)
-			lv.ver.Add(1)
-			th.unlockAll()
-			return 0, true
+			return old, inserted
 		}
 
 		// Splitting insert.
@@ -173,6 +137,81 @@ func (th *Thread) Insert(key, val uint64) (uint64, bool) {
 		}
 		return 0, true
 	}
+}
+
+// leafInsertLocked performs the locked phase of a simple insert: verify
+// key is absent, find an empty slot, and write the pair with the
+// persistent flush discipline (§5): flush the value, then the key — the
+// insert is durable once the key line reaches PM; a crash in between
+// leaves the slot logically empty (key still ⊥). done is false when the
+// leaf is full (splitting insert required). The caller holds the leaf's
+// lock and has verified it is unmarked.
+func (t *Tree) leafInsertLocked(leaf uint64, key, val uint64) (done bool, old uint64, inserted bool) {
+	lv := t.vn(leaf)
+	emptyIdx := -1
+	dup := -1
+	for i := 0; i < t.b; i++ {
+		switch k := t.loadKeyWord(leaf, i); {
+		case k == key:
+			dup = i
+		case k == emptyKey && emptyIdx < 0:
+			emptyIdx = i
+		}
+		if dup >= 0 {
+			break
+		}
+	}
+	if dup >= 0 {
+		return true, t.loadVal(leaf, dup), false
+	}
+	if emptyIdx < 0 {
+		return false, 0, false // full: splitting insert
+	}
+	ver := lv.ver.Add(1)
+	t.rqStamp(leaf)
+	if t.elim {
+		lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recInsert})
+	}
+	valOff := leaf + valsBase + uint64(emptyIdx)
+	keyOff := leaf + keysBase + uint64(emptyIdx)
+	t.arena.Store(valOff, val)
+	t.arena.Flush(valOff)
+	t.arena.Store(keyOff, key)
+	t.arena.Flush(keyOff)
+	lv.size.Add(1)
+	lv.ver.Add(1)
+	return true, 0, true
+}
+
+// leafDeleteLocked performs the locked phase of a delete: clear the
+// key's slot (durable once the ⊥ key reaches PM) and publish the
+// elimination record inside one version window. The caller holds the
+// leaf's lock and has verified it is unmarked; it is responsible for
+// fixUnderfull when newSize < a.
+func (t *Tree) leafDeleteLocked(leaf uint64, key uint64) (val uint64, found bool, newSize int64) {
+	lv := t.vn(leaf)
+	idx := -1
+	for i := 0; i < t.b; i++ {
+		if t.loadKeyWord(leaf, i) == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, false, lv.size.Load()
+	}
+	val = t.loadVal(leaf, idx)
+	ver := lv.ver.Add(1)
+	t.rqStamp(leaf)
+	if t.elim {
+		lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recDelete})
+	}
+	keyOff := leaf + keysBase + uint64(idx)
+	t.arena.Store(keyOff, emptyKey)
+	t.arena.Flush(keyOff)
+	newSize = lv.size.Add(-1)
+	lv.ver.Add(1)
+	return val, true, newSize
 }
 
 // splitInsert replaces the full leaf with a (usually tagged) two-leaf
@@ -249,31 +288,11 @@ func (th *Thread) Delete(key uint64) (uint64, bool) {
 			continue
 		}
 
-		idx := -1
-		for i := 0; i < t.b; i++ {
-			if t.loadKeyWord(leaf, i) == key {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			th.unlockAll()
+		val, found, newSize := t.leafDeleteLocked(leaf, key)
+		th.unlockAll()
+		if !found {
 			return 0, false
 		}
-
-		val := t.loadVal(leaf, idx)
-		ver := lv.ver.Add(1)
-		t.rqStamp(leaf)
-		if t.elim {
-			lv.rec.Store(&elimRecord{key: key, val: val, ver: ver, kind: recDelete})
-		}
-		keyOff := leaf + keysBase + uint64(idx)
-		t.arena.Store(keyOff, emptyKey)
-		t.arena.Flush(keyOff)
-		newSize := lv.size.Add(-1)
-		lv.ver.Add(1)
-		th.unlockAll()
-
 		if int(newSize) < t.a {
 			th.fixUnderfull(leaf)
 		}

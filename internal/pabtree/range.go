@@ -21,14 +21,21 @@ package pabtree
 // sane degrees) still scan correctly, bypassing the cache.
 const maxScanDepth = 32
 
-// scanPath is a Thread's cached descent: node offsets root-to-leaf,
-// each with the key range [lo, hi) its subtree covered along this path
-// (hasHi false = unbounded above). Level 0 is the entry sentinel.
+// scanLevel is one level of a cached descent: the node offset and the
+// key range [lo, hi) its subtree covered along this path (hasHi false =
+// unbounded above). One struct per level keeps a level's reads and
+// writes inside one cache line (mirrors internal/core/range.go).
+type scanLevel struct {
+	n     uint64
+	lo    uint64
+	hi    uint64
+	hasHi bool
+}
+
+// scanPath is a Thread's cached descent, root-to-leaf. Level 0 is the
+// entry sentinel.
 type scanPath struct {
-	n     [maxScanDepth]uint64
-	lo    [maxScanDepth]uint64
-	hi    [maxScanDepth]uint64
-	hasHi [maxScanDepth]bool
+	lvl   [maxScanDepth]scanLevel
 	depth int // levels filled; 0 = empty
 }
 
@@ -40,7 +47,8 @@ func (p *scanPath) invalidate() { p.depth = 0 }
 // (the entry) when nothing better is cached.
 func (t *Tree) resumeLevel(p *scanPath, key uint64) int {
 	for i := p.depth - 2; i > 0; i-- {
-		if key >= p.lo[i] && (!p.hasHi[i] || key < p.hi[i]) && !t.vn(p.n[i]).marked.Load() {
+		l := &p.lvl[i]
+		if key >= l.lo && (!l.hasHi || key < l.hi) && !t.vn(l.n).marked.Load() {
 			return i
 		}
 	}
@@ -63,10 +71,7 @@ func (th *Thread) searchScan(key uint64) (leaf uint64, bound uint64, hasBound bo
 		lvl = t.resumeLevel(p, key)
 	}
 	if lvl == 0 {
-		p.n[0] = t.entryOff
-		p.lo[0] = 0
-		p.hi[0] = 0
-		p.hasHi[0] = false
+		p.lvl[0] = scanLevel{n: t.entryOff}
 	}
 	return t.descendPath(p, lvl, key)
 }
@@ -75,9 +80,9 @@ func (th *Thread) searchScan(key uint64) (leaf uint64, bound uint64, hasBound bo
 // the levels it visits. A tree deeper than maxScanDepth (unreachable
 // at sane degrees) stops recording and descends uncached.
 func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf uint64, bound uint64, hasBound bool) {
-	n := p.n[lvl]
-	lo := p.lo[lvl]
-	bound, hasBound = p.hi[lvl], p.hasHi[lvl]
+	n := p.lvl[lvl].n
+	lo := p.lvl[lvl].lo
+	bound, hasBound = p.lvl[lvl].hi, p.lvl[lvl].hasHi
 	caching := true
 	for {
 		meta := t.meta(n)
@@ -89,15 +94,14 @@ func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf uint64, bound
 		}
 		nIdx := 0
 		rk := nchildrenOf(meta) - 1
-		for nIdx < rk && key >= t.loadKeyWord(n, nIdx) {
+		for nIdx < rk {
+			rkey := t.loadKeyWord(n, nIdx)
+			if key < rkey {
+				bound, hasBound = rkey, true
+				break
+			}
+			lo = rkey
 			nIdx++
-		}
-		if nIdx < rk {
-			bound = t.loadKeyWord(n, nIdx)
-			hasBound = true
-		}
-		if nIdx > 0 {
-			lo = t.loadKeyWord(n, nIdx-1)
 		}
 		n = t.loadChild(n, nIdx)
 		if !caching {
@@ -109,10 +113,7 @@ func (t *Tree) descendPath(p *scanPath, lvl int, key uint64) (leaf uint64, bound
 			continue
 		}
 		lvl++
-		p.n[lvl] = n
-		p.lo[lvl] = lo
-		p.hi[lvl] = bound
-		p.hasHi[lvl] = hasBound
+		p.lvl[lvl] = scanLevel{n: n, lo: lo, hi: bound, hasHi: hasBound}
 	}
 }
 
@@ -156,10 +157,16 @@ func (t *Tree) snapshotLeaf(buf []kvPair, off uint64, lo, hi uint64) (items []kv
 // not start another scan on it: scans reuse the Thread's scratch
 // buffers.
 func (th *Thread) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	// Bounds are clamped to the representable key space [1, 2^64-2]
+	// (keys 0 and 2^64-1 are reserved); an empty or inverted interval
+	// returns before touching the tree, with no callbacks — uniform
+	// across every scan-capable structure.
 	if lo == emptyKey {
 		lo = 1
 	}
-	checkKey(lo)
+	if hi == ^uint64(0) {
+		hi--
+	}
 	if hi < lo {
 		return
 	}

@@ -328,11 +328,15 @@ func (t *Tree) merge(th *Thread, left, right, p, gp uint64, lIdx, sepIdx, pIdx i
 	th.retire(p)
 	th.unlockAll()
 
-	if t.sizeOf(nn) < t.a {
-		th.fixUnderfull(nn)
-	}
+	// Parent first: a single-child parent would make fixUnderfull(nn)
+	// spin waiting for the parent's repair, which is this same thread's
+	// next call (see internal/core/rebalance.go merge for the full
+	// argument; batched deletes hit the self-wait readily).
 	if nchildrenOf(t.meta(newParent)) < t.a {
 		th.fixUnderfull(newParent)
+	}
+	if t.sizeOf(nn) < t.a {
+		th.fixUnderfull(nn)
 	}
 }
 

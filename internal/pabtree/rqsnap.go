@@ -119,10 +119,14 @@ func (th *Thread) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
 // several trees on one shared clock (WithRQClock), one ts across all of
 // them yields a single atomic cross-tree snapshot.
 func (th *Thread) RangeSnapshotAt(ts, lo, hi uint64, fn func(k, v uint64) bool) {
+	// Same bounds discipline as Range: clamp to [1, 2^64-2], return on
+	// an empty interval with no callbacks, never panic.
 	if lo == emptyKey {
 		lo = 1
 	}
-	checkKey(lo)
+	if hi == ^uint64(0) {
+		hi--
+	}
 	if hi < lo {
 		return
 	}

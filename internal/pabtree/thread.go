@@ -30,6 +30,12 @@ type Thread struct {
 	kvBuf       []kvPair
 	pairBuf     []rq.Pair
 	noScanCache bool
+
+	// batchBuf stages batched point operations sorted by key; batchTmp
+	// is the radix sort's ping-pong partner (batch.go). Both persist so
+	// steady-state FindBatch/InsertBatch/DeleteBatch allocate nothing.
+	batchBuf []batchEnt
+	batchTmp []batchEnt
 }
 
 // NewThread registers a new operation handle.

@@ -1,0 +1,67 @@
+package report
+
+// Baseline diffing for the BENCH_*.json trajectory: CI re-runs the
+// smoke benchmark with the same flags that produced the checked-in
+// baseline and diffs the two series. A cell that exists in the baseline
+// but not in the current run — a structure that disappeared from the
+// registry, a workload column that stopped being emitted — is a
+// structural regression and fails the build. Throughput changes are
+// expected (CI machines are noisy and shared) and only reported.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// cellKey identifies one measured cell independent of its throughput:
+// everything Row records except OpsPerUs.
+func (r Row) cellKey() string {
+	return fmt.Sprintf("fig%d tab%d u%d zipf%.2f %s t%d scan%d batch%d mode%q keys%d",
+		r.Figure, r.Table, r.UpdatePct, r.Zipf, r.Structure, r.Threads,
+		r.ScanLen, r.Batch, r.ScanMode, r.Keys)
+}
+
+// Delta is one cell's throughput change against the baseline.
+type Delta struct {
+	Cell    string
+	Base    float64
+	Current float64
+}
+
+// Pct returns the relative change in percent (positive = faster).
+func (d Delta) Pct() float64 {
+	if d.Base == 0 {
+		return 0
+	}
+	return 100 * (d.Current - d.Base) / d.Base
+}
+
+// Diff compares a current result series against a baseline produced
+// with the same benchmark flags. missing lists baseline cells absent
+// from the current run (structural regressions: the caller should fail
+// on any); deltas reports the throughput change of every cell present
+// in both (informational). Cells only in the current run are ignored —
+// growing the series is not a regression.
+func Diff(baseline, current []Row) (missing []string, deltas []Delta) {
+	cur := make(map[string]float64, len(current))
+	for _, r := range current {
+		cur[r.cellKey()] = r.OpsPerUs
+	}
+	seen := make(map[string]bool, len(baseline))
+	for _, r := range baseline {
+		key := r.cellKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ops, ok := cur[key]
+		if !ok {
+			missing = append(missing, key)
+			continue
+		}
+		deltas = append(deltas, Delta{Cell: key, Base: r.OpsPerUs, Current: ops})
+	}
+	sort.Strings(missing)
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Cell < deltas[j].Cell })
+	return missing, deltas
+}

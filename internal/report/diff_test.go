@@ -1,0 +1,67 @@
+package report
+
+import "testing"
+
+func TestDiff(t *testing.T) {
+	base := []Row{
+		{Figure: 12, UpdatePct: 50, Zipf: 0, Structure: "OCC-ABtree", Threads: 2, OpsPerUs: 10, Keys: 10000},
+		{Figure: 12, UpdatePct: 50, Zipf: 0, Structure: "Elim-ABtree", Threads: 2, OpsPerUs: 12, Keys: 10000},
+		{Figure: 18, UpdatePct: -1, Zipf: 0.5, Structure: "OCC-ABtree", Threads: 2, ScanLen: 100, ScanMode: "snapshot", OpsPerUs: 3, Keys: 10000},
+	}
+	t.Run("identical-structure", func(t *testing.T) {
+		cur := make([]Row, len(base))
+		copy(cur, base)
+		cur[0].OpsPerUs = 20 // throughput change is not structural
+		missing, deltas := Diff(base, cur)
+		if len(missing) != 0 {
+			t.Fatalf("missing = %v, want none", missing)
+		}
+		if len(deltas) != 3 {
+			t.Fatalf("got %d deltas, want 3", len(deltas))
+		}
+		var doubled bool
+		for _, d := range deltas {
+			if d.Base == 10 && d.Current == 20 {
+				doubled = true
+				if pct := d.Pct(); pct != 100 {
+					t.Fatalf("Pct() = %v, want 100", pct)
+				}
+			}
+		}
+		if !doubled {
+			t.Fatal("the changed cell's delta was not reported")
+		}
+	})
+	t.Run("missing-structure", func(t *testing.T) {
+		missing, _ := Diff(base, base[1:]) // OCC-ABtree fig12 cell dropped
+		if len(missing) != 1 {
+			t.Fatalf("missing = %v, want exactly the dropped cell", missing)
+		}
+	})
+	t.Run("missing-column", func(t *testing.T) {
+		// A run that stopped recording scanmode produces a different
+		// cell key: structural regression.
+		cur := make([]Row, len(base))
+		copy(cur, base)
+		cur[2].ScanMode = ""
+		missing, _ := Diff(base, cur)
+		if len(missing) != 1 {
+			t.Fatalf("missing = %v, want the scanmode cell", missing)
+		}
+	})
+	t.Run("extra-cells-ok", func(t *testing.T) {
+		cur := append([]Row{{Figure: 12, UpdatePct: 50, Zipf: 0, Structure: "New-Tree", Threads: 2, OpsPerUs: 9, Keys: 10000}}, base...)
+		missing, deltas := Diff(base, cur)
+		if len(missing) != 0 || len(deltas) != 3 {
+			t.Fatalf("growing the series flagged a regression: missing=%v deltas=%d", missing, len(deltas))
+		}
+	})
+	t.Run("batch-cell", func(t *testing.T) {
+		b := []Row{{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, Batch: 64, OpsPerUs: 5}}
+		cur := []Row{{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, OpsPerUs: 5}}
+		missing, _ := Diff(b, cur)
+		if len(missing) != 1 {
+			t.Fatal("dropping the batch column must read as a structural regression")
+		}
+	})
+}

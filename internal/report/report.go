@@ -26,6 +26,7 @@ type Row struct {
 	Structure string  `json:"structure"`
 	Threads   int     `json:"threads"`
 	ScanLen   int     `json:"scanlen,omitempty"` // figure 18 (Workload E) only; 0 otherwise
+	Batch     int     `json:"batch,omitempty"`   // point-op batch size (0 or 1 = per-key)
 	OpsPerUs  float64 `json:"ops_per_us"`
 
 	// JSON-only provenance (not TSV columns): without them, runs with
@@ -92,6 +93,11 @@ func Parse(r io.Reader) ([]Row, error) {
 				row.Threads, err = strconv.Atoi(v)
 			case "scanlen":
 				row.ScanLen, err = strconv.Atoi(v)
+			case "batch":
+				row.Batch, err = strconv.Atoi(v)
+				if row.Batch <= 1 {
+					row.Batch = 0 // per-key: normalized so old and new series compare
+				}
 			case "ops_per_us", "tx_per_us":
 				row.OpsPerUs, err = strconv.ParseFloat(v, 64)
 			}
@@ -105,13 +111,15 @@ func Parse(r io.Reader) ([]Row, error) {
 }
 
 // Workload identifies one cell group (figure, update mix, distribution,
-// thread count, and — for the Workload E extension — scan length).
+// thread count, and — for the extensions — scan length and point-op
+// batch size).
 type Workload struct {
 	Figure    int
 	UpdatePct int
 	Zipf      float64
 	Threads   int
 	ScanLen   int
+	Batch     int
 }
 
 func (w Workload) String() string {
@@ -122,6 +130,9 @@ func (w Workload) String() string {
 	s += fmt.Sprintf(" zipf%.1f t%d", w.Zipf, w.Threads)
 	if w.ScanLen > 0 {
 		s += fmt.Sprintf(" scan%d", w.ScanLen)
+	}
+	if w.Batch > 1 {
+		s += fmt.Sprintf(" batch%d", w.Batch)
 	}
 	return s
 }
@@ -168,7 +179,7 @@ func isOurs(name string) bool {
 func Summarize(rows []Row) []Summary {
 	groups := make(map[Workload][]Row)
 	for _, r := range rows {
-		w := Workload{r.Figure, r.UpdatePct, r.Zipf, r.Threads, r.ScanLen}
+		w := Workload{r.Figure, r.UpdatePct, r.Zipf, r.Threads, r.ScanLen, r.Batch}
 		groups[w] = append(groups[w], r)
 	}
 	var out []Summary
@@ -210,7 +221,10 @@ func Summarize(rows []Row) []Summary {
 		if a.Zipf != b.Zipf {
 			return a.Zipf < b.Zipf
 		}
-		return a.Threads < b.Threads
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.Batch < b.Batch
 	})
 	return out
 }

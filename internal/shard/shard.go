@@ -148,10 +148,14 @@ func (d *Dict) highOf(i int) uint64 {
 // exactly the scan capabilities every shard supports.
 func (d *Dict) NewHandle() dict.Handle {
 	hs := make([]dict.Handle, len(d.shards))
+	bt := make([]dict.Batcher, len(d.shards))
 	for i, s := range d.shards {
 		hs[i] = s.NewHandle()
+		if b, ok := hs[i].(dict.Batcher); ok {
+			bt[i] = b
+		}
 	}
-	base := handle{d: d, hs: hs}
+	base := handle{d: d, hs: hs, batchers: bt}
 	if !d.canRange {
 		return &base
 	}
@@ -209,10 +213,15 @@ func (d *Dict) RQStats() (scans, versions uint64) {
 	return scans, versions
 }
 
-// handle routes point operations to the owning shard.
+// handle routes point operations to the owning shard. It also
+// implements dict.Batcher (batch.go): batched operations split into one
+// sorted sub-batch per shard, served natively where the shard handle
+// batches (batchers[i] non-nil) and by per-key loop otherwise.
 type handle struct {
-	d  *Dict
-	hs []dict.Handle
+	d        *Dict
+	hs       []dict.Handle
+	batchers []dict.Batcher // batchers[i] is hs[i]'s native Batcher, nil if none
+	bs       batchState
 }
 
 func (h *handle) Find(key uint64) (uint64, bool) {

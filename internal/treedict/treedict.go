@@ -4,7 +4,10 @@
 // internal/bench's registry, the public sharded API and the shard
 // tests all build on these instead of hand-rolling copies, so a
 // capability added here (RQStats, RQClock, ...) reaches every layer —
-// in particular internal/shard's capability probe — at once.
+// in particular internal/shard's capability probe — at once. It also
+// hosts BatcherFor, the generic per-key fallback for dict.Batcher, so
+// batched workloads can be driven against structures without native
+// batching.
 package treedict
 
 import (
@@ -36,3 +39,46 @@ func (d Pab) ElimStats() (inserts, deletes, upserts uint64) {
 }
 func (d Pab) RQStats() (scans, versions uint64) { return d.T.RQStats() }
 func (d Pab) RQClock() *rq.Clock                { return d.T.RQClock() }
+
+// BatcherFor returns h's native dict.Batcher when it has one (the
+// ABtree Threads and the shard handles batch natively), or a generic
+// per-key loop adapter otherwise — same results, no descent sharing —
+// so batched workloads run against every registry structure.
+func BatcherFor(h dict.Handle) dict.Batcher {
+	if b, ok := h.(dict.Batcher); ok {
+		return b
+	}
+	return loopBatcher{h}
+}
+
+// loopBatcher is the generic fallback implementation of dict.Batcher:
+// each batched call devolves to the per-key loop it is specified
+// against.
+type loopBatcher struct{ h dict.Handle }
+
+func (b loopBatcher) FindBatch(keys, vals []uint64, found []bool) {
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		panic("treedict: FindBatch result slices must match len(keys)")
+	}
+	for i, k := range keys {
+		vals[i], found[i] = b.h.Find(k)
+	}
+}
+
+func (b loopBatcher) InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool) {
+	if len(vals) != len(keys) || len(prev) != len(keys) || len(inserted) != len(keys) {
+		panic("treedict: InsertBatch result slices must match len(keys)")
+	}
+	for i, k := range keys {
+		prev[i], inserted[i] = b.h.Insert(k, vals[i])
+	}
+}
+
+func (b loopBatcher) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
+	if len(prev) != len(keys) || len(deleted) != len(keys) {
+		panic("treedict: DeleteBatch result slices must match len(keys)")
+	}
+	for i, k := range keys {
+		prev[i], deleted[i] = b.h.Delete(k)
+	}
+}

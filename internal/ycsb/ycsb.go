@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/treedict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
 )
@@ -39,6 +40,7 @@ type Config struct {
 	Threads  int
 	Records  uint64  // initial table size (the paper used 100M; scale down)
 	ZipfS    float64 // request-key skew (Workload A uses 0.5)
+	Batch    int     // index lookups issued as MultiGet batches of this size (<=1: per-key)
 	Duration time.Duration
 	Seed     uint64
 }
@@ -119,6 +121,34 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 			z := zipfian.New(xrand.New(cfg.Seed*13+uint64(w)), cfg.Records, cfg.ZipfS)
 			ready.Done()
 			<-start
+			if cfg.Batch > 1 {
+				// Batched variant: the index sees MultiGet batches (one
+				// sorted-run batch per iteration) instead of per-key
+				// lookups; row reads/updates stay per-row, as in the
+				// paper's transaction model.
+				bt := treedict.BatcherFor(h)
+				bkeys := make([]uint64, cfg.Batch)
+				brows := make([]uint64, cfg.Batch)
+				bok := make([]bool, cfg.Batch)
+				for !stop.Load() {
+					for i := range bkeys {
+						bkeys[i] = z.Next()
+					}
+					bt.FindBatch(bkeys, brows, bok)
+					for i, k := range bkeys {
+						counts[w]++
+						if !bok[i] {
+							misses[w]++
+							continue
+						}
+						if rng.Uint64n(2) == 0 {
+							rows[brows[i]].doUpdate(k)
+							updates[w]++
+						}
+					}
+				}
+				return
+			}
 			for !stop.Load() {
 				k := z.Next()
 				rowID, ok := h.Find(k)

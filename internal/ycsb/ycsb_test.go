@@ -37,6 +37,38 @@ func TestWorkloadARuns(t *testing.T) {
 	}
 }
 
+// TestWorkloadABatched: the MultiGet variant must behave like per-key
+// Workload A — zero index misses, ~50% row updates — on a native
+// batcher, a sharded composition, and a loop-fallback structure.
+func TestWorkloadABatched(t *testing.T) {
+	for _, name := range []string{"OCC-ABtree", "shard4-occ-abtree", "CATree"} {
+		t.Run(name, func(t *testing.T) {
+			d := bench.NewDict(name, 20000)
+			res, err := Run(d, Config{
+				Threads:  2,
+				Records:  10000,
+				ZipfS:    0.5,
+				Batch:    32,
+				Duration: 100 * time.Millisecond,
+				Seed:     3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no transactions completed")
+			}
+			if res.IndexMiss != 0 {
+				t.Fatalf("%d index misses", res.IndexMiss)
+			}
+			frac := float64(res.RowsUpdate) / float64(res.Ops)
+			if frac < 0.4 || frac > 0.6 {
+				t.Fatalf("update fraction %.2f, want ~0.5", frac)
+			}
+		})
+	}
+}
+
 func TestWorkloadAIndexUnchanged(t *testing.T) {
 	// YCSB writes must not modify the index: after the run the index
 	// contains exactly the loaded records.

@@ -88,6 +88,25 @@ func (h *PersistentHandle) Delete(key uint64) (uint64, bool) { return h.th.Delet
 // Upsert sets key's value to val, inserting if absent; durable on return.
 func (h *PersistentHandle) Upsert(key, val uint64) { h.th.Upsert(key, val) }
 
+// FindBatch looks up every keys[i] (see Handle.FindBatch for the
+// batched-operation contract).
+func (h *PersistentHandle) FindBatch(keys, vals []uint64, found []bool) {
+	h.th.FindBatch(keys, vals, found)
+}
+
+// InsertBatch inserts every absent keys[i] under shared per-leaf lock
+// acquisitions (see Handle.InsertBatch). Each insert is individually
+// durable when the batch returns, with the per-key flush discipline.
+func (h *PersistentHandle) InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool) {
+	h.th.InsertBatch(keys, vals, prev, inserted)
+}
+
+// DeleteBatch removes every present keys[i] (see Handle.DeleteBatch);
+// each delete is individually durable when the batch returns.
+func (h *PersistentHandle) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
+	h.th.DeleteBatch(keys, prev, deleted)
+}
+
 // Range calls fn for each pair with lo <= key <= hi in ascending order,
 // stopping early if fn returns false. Per-leaf atomic (see Handle.Range).
 func (h *PersistentHandle) Range(lo, hi uint64, fn func(k, v uint64) bool) {

@@ -28,6 +28,7 @@ type ShardedHandle struct {
 	h dict.Handle
 	r dict.Ranger
 	s dict.SnapshotRanger
+	b dict.Batcher
 }
 
 // NewSharded returns an n-way range partition of OCC-ABtrees over
@@ -62,7 +63,7 @@ func newSharded(n int, keyRange uint64, elim bool, opts []Option) *ShardedTree {
 // NewHandle returns a new per-goroutine accessor.
 func (t *ShardedTree) NewHandle() *ShardedHandle {
 	h := t.d.NewHandle()
-	return &ShardedHandle{h: h, r: h.(dict.Ranger), s: h.(dict.SnapshotRanger)}
+	return &ShardedHandle{h: h, r: h.(dict.Ranger), s: h.(dict.SnapshotRanger), b: h.(dict.Batcher)}
 }
 
 // Shards returns the number of shards.
@@ -92,6 +93,25 @@ func (h *ShardedHandle) Insert(key, val uint64) (uint64, bool) { return h.h.Inse
 
 // Delete removes key if present, returning its value and true.
 func (h *ShardedHandle) Delete(key uint64) (uint64, bool) { return h.h.Delete(key) }
+
+// FindBatch looks up every keys[i] (see Handle.FindBatch): the batch
+// splits into one sorted sub-batch per shard, each served by the
+// shard's own batched fast path; results land in input order.
+func (h *ShardedHandle) FindBatch(keys, vals []uint64, found []bool) {
+	h.b.FindBatch(keys, vals, found)
+}
+
+// InsertBatch inserts every absent keys[i] (see Handle.InsertBatch),
+// routed as one sorted sub-batch per shard.
+func (h *ShardedHandle) InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool) {
+	h.b.InsertBatch(keys, vals, prev, inserted)
+}
+
+// DeleteBatch removes every present keys[i] (see Handle.DeleteBatch),
+// routed as one sorted sub-batch per shard.
+func (h *ShardedHandle) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
+	h.b.DeleteBatch(keys, prev, deleted)
+}
 
 // Range calls fn for each pair with lo <= key <= hi in ascending key
 // order, stopping early if fn returns false. Each shard's contribution
