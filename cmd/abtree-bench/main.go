@@ -29,6 +29,17 @@
 //
 //	abtree-bench -figure 18 -json BENCH_fig18.json
 //
+// With -remote the whole suite becomes a distributed load generator:
+// every cell runs over the internal/wire TCP protocol against an
+// abtree-server, which re-hosts the requested structure per cell (the
+// OPEN operation), so the same figures measure the network service
+// layer instead of the in-process trees:
+//
+//	abtree-server -addr :7471 &
+//	abtree-bench -remote 127.0.0.1:7471 -figure 12 -structures shard8-occ-abtree
+//	abtree-bench -remote 127.0.0.1:7471 -figure 12 -batch 64   # MGET/MPUT frames
+//	abtree-bench -remote 127.0.0.1:7471 -figure 18             # SNAPSHOT_SCAN streams
+//
 // The defaults are laptop-scale (short durations, thread counts up to
 // GOMAXPROCS); the paper's absolute numbers came from a 144-thread Xeon,
 // so shapes — who wins, by what factor, where lines cross — are the
@@ -45,10 +56,46 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/client"
 	"repro/internal/dict"
 	"repro/internal/report"
 	"repro/internal/ycsb"
 )
+
+// newDict builds the dictionary one experiment cell runs against:
+// bench.NewDict in-process by default; in -remote mode it dials the
+// server, re-opens the requested structure there (a fresh instance per
+// cell, like a local run gets), and returns the wire client — which
+// implements dict.Dict, so the rest of the harness cannot tell the
+// difference. The previous cell's client (and its per-handle
+// connections) is closed first.
+var newDict = bench.NewDict
+
+var remoteClient *client.Client
+
+func remoteFactory(addr string) func(name string, keyRange uint64) dict.Dict {
+	return func(name string, keyRange uint64) dict.Dict {
+		closeRemote()
+		c, err := client.Dial(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remote %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		if err := c.Open(name, keyRange); err != nil {
+			fmt.Fprintf(os.Stderr, "remote %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		remoteClient = c
+		return c
+	}
+}
+
+func closeRemote() {
+	if remoteClient != nil {
+		remoteClient.Close()
+		remoteClient = nil
+	}
+}
 
 // resultSink accumulates every measured cell for -json output (written
 // to path; empty = no JSON); the TSV on stdout is unchanged. A nil
@@ -108,8 +155,14 @@ func main() {
 		scanMode   = flag.String("scanmode", "snapshot", "figure 18: \"snapshot\" (linearizable RangeSnapshot) or \"weak\" (Range)")
 		batch      = flag.Int("batch", 1, "issue point operations as sorted-run batches of this size (figures 12-17, table 1; 1 = per-key)")
 		jsonPath   = flag.String("json", "", "also write results as a JSON array to this path (e.g. BENCH_fig18.json)")
+		remote     = flag.String("remote", "", "run every cell against an abtree-server at this address instead of in-process")
 	)
 	flag.Parse()
+	if *remote != "" {
+		newDict = remoteFactory(*remote)
+		defer closeRemote()
+		fmt.Printf("# remote: %s (each cell re-opened on the server)\n", *remote)
+	}
 
 	// Validate the scan flags up front, for every figure: an unknown
 	// -scanmode (or a zero -scanlen) is a usage error, never a silent
@@ -268,7 +321,7 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 		for _, zipf := range []float64{0, 1} {
 			for _, name := range structs {
 				for _, th := range threads {
-					dd := bench.NewDict(name, keyRange)
+					dd := newDict(name, keyRange)
 					cfg := bench.Config{
 						Threads: th, KeyRange: keyRange, UpdatePct: upd,
 						ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
@@ -301,7 +354,7 @@ func runYCSB(records uint64, structs []string, threads []int, d time.Duration, s
 	fmt.Println("figure\tstructure\tthreads\tbatch\ttx_per_us")
 	for _, name := range structs {
 		for _, th := range threads {
-			dd := bench.NewDict(name, records*2)
+			dd := newDict(name, records*2)
 			res, err := ycsb.Run(dd, ycsb.Config{
 				Threads: th, Records: records, ZipfS: 0.5, Batch: batch, Duration: d, Seed: seed,
 			})
@@ -327,7 +380,7 @@ func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, 
 	fmt.Println("figure\tstructure\tthreads\tscanlen\ttx_per_us")
 	for _, name := range structs {
 		for _, th := range threads {
-			dd := bench.NewDict(name, records*2)
+			dd := newDict(name, records*2)
 			res, err := ycsb.RunE(dd, ycsb.EConfig{
 				Threads: th, Records: records, ZipfS: 0.5, ScanLen: scanLen,
 				Snapshot: snapshot, Duration: d, Seed: seed,
@@ -353,7 +406,7 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 	for _, zipf := range []float64{0, 1} {
 		for _, name := range structs {
 			for _, th := range threads {
-				dd := bench.NewDict(name, keyRange)
+				dd := newDict(name, keyRange)
 				cfg := bench.Config{
 					Threads: th, KeyRange: keyRange, UpdatePct: 50,
 					ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
@@ -404,7 +457,7 @@ func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, bat
 }
 
 func measure(name string, cfg bench.Config, sink *resultSink) float64 {
-	dd := bench.NewDict(name, cfg.KeyRange)
+	dd := newDict(name, cfg.KeyRange)
 	bench.Prefill(dd, cfg)
 	res, err := bench.Run(dd, cfg)
 	if err != nil {

@@ -1,0 +1,55 @@
+// Command abtree-server hosts any registry structure — sharded entries
+// included — behind the internal/wire TCP protocol, turning the
+// in-process trees into a network KV/scan service the remote workload
+// driver (abtree-bench -remote) and the Go client (internal/client) can
+// load from other processes or machines.
+//
+// Usage:
+//
+//	abtree-server -addr :7471 -structure shard8-occ-abtree -keys 1000000
+//	abtree-server -addr 127.0.0.1:7471 -structure OCC-ABtree -workers 8
+//
+// The server hosts one structure at a time. Clients may replace it with
+// the protocol's OPEN operation (the remote bench driver opens a fresh
+// structure per experiment cell), so treat the server as a benchmarking
+// and integration endpoint, not a durable multi-tenant store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7471", "TCP listen address")
+		structure = flag.String("structure", "OCC-ABtree", "registry structure to host initially (see abtree-bench)")
+		keys      = flag.Uint64("keys", 1_000_000, "key range the hosted structure is sized for")
+		workers   = flag.Int("workers", 0, "handle-owning worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	s, err := server.New(bench.NewDict, *structure, *keys, server.Config{Workers: *workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)
+		os.Exit(1)
+	}
+	bound, err := s.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("abtree-server: hosting %s (keys %d) on %s\n", *structure, *keys, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("abtree-server: shutting down")
+	s.Close()
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/bcco10"
 	"repro/internal/bwtree"
 	"repro/internal/catree"
 	"repro/internal/cbtree"
 	"repro/internal/cist"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dict"
 	"repro/internal/efrbbst"
@@ -187,7 +189,25 @@ var RangeStructures = append(append([]string{}, ScanStructures...),
 
 // NewDict constructs a registered structure sized for keyRange. It panics
 // on an unknown name (Names lists the registry).
+//
+// The special form "remote:<addr>" dials an abtree-server at addr
+// (internal/client) and returns its client as the dictionary: every
+// workload then runs over the wire against whatever structure the
+// server hosts, keyRange included (size the server's structure with
+// abtree-server -keys or client.Open). The hosted instance is reused
+// across cells — state carries over, and a re-Prefill of an already
+// loaded instance tops it up toward full (bounded, see Prefill) rather
+// than recreating steady state. cmd/abtree-bench's -remote mode is the
+// multi-cell driver: the same client, but the requested structure is
+// re-opened fresh per experiment cell.
 func NewDict(name string, keyRange uint64) dict.Dict {
+	if addr, ok := strings.CutPrefix(name, "remote:"); ok {
+		c, err := client.Dial(addr)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		return c
+	}
 	build, ok := registry[name]
 	if !ok {
 		panic(fmt.Sprintf("bench: unknown structure %q (known: %v)", name, Names()))

@@ -1,0 +1,527 @@
+// Package client is the Go client for internal/server: a connection-
+// pooled, pipelined implementation of dict.Dict + dict.Batcher over the
+// internal/wire protocol, so the entire in-process workload harness
+// (bench, ycsb, the linearizability recorder) runs unmodified against a
+// remote server.
+//
+// Shape: a Client owns the pool of TCP connections to one server.
+// NewHandle dials a dedicated connection per handle — handles are
+// thread-bound by the dict contract, so per-handle connections give
+// each worker goroutine a private, lock-free wire path (the server
+// multiplexes all of them onto its fixed worker pool). Batched
+// operations larger than wire.MaxBatch are pipelined: every chunk frame
+// is written back-to-back before the first response is read, and the
+// echoed request ids reassemble the results in input order.
+//
+// Scan responses are buffered per handle before the callback runs (the
+// stream is fully drained first), so dict.Ranger's "fn may run point
+// operations on the same handle" contract holds over the wire too.
+//
+// Allocation discipline: request frames, response payloads and scan
+// pair buffers are per-handle scratch, reused across calls — a warmed-up
+// remote point operation allocates nothing on either endpoint (see
+// internal/server's TestAllocsRemotePointOps).
+//
+// Error model: Dial, Open, Stats and Close return errors; the
+// dict.Dict/Handle methods cannot (the interfaces have no error
+// results), so a wire or protocol failure there panics with a
+// descriptive message. The client is a workload driver and test asset —
+// a broken server connection mid-benchmark is fatal by design.
+package client
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dict"
+	"repro/internal/wire"
+)
+
+// Client is a connection pool to one abtree server. It implements
+// dict.Dict (plus dict.RQStatser and dict.ElimStatser, served by the
+// remote STATS operation), so bench.NewDict can hand it to every
+// workload unchanged.
+type Client struct {
+	addr string
+
+	mu    sync.Mutex
+	conns []net.Conn // every dialed connection, for Close
+	ctrl  *handle    // lazily dialed control handle (STATS/OPEN/KeySum)
+	caps  wire.Stats // hosted structure info from the last STATS/OPEN
+	open  bool
+}
+
+// Dial connects to an abtree server and fetches the hosted structure's
+// capabilities (which scan kinds its handles will offer).
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr, open: true}
+	if _, err := c.Stats(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Name returns the hosted structure's registry name (as of the last
+// STATS or OPEN).
+func (c *Client) Name() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caps.Name
+}
+
+// Stats fetches the server's STATS snapshot (key sum, rq/elimination
+// counters, hosted name/keyRange/generation, scan capabilities) and
+// refreshes the cached capabilities.
+func (c *Client) Stats() (wire.Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, err := c.ctrlHandle()
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	st, err := h.rpcStats()
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	c.caps = st
+	return st, nil
+}
+
+// Open asks the server to host a fresh instance of the named registry
+// structure sized for keyRange (the remote analogue of bench.NewDict),
+// then refreshes the cached capabilities. Handles created before Open
+// keep operating on the old generation's semantics until their next
+// operation, which lands on the new structure.
+func (c *Client) Open(name string, keyRange uint64) error {
+	c.mu.Lock()
+	h, err := c.ctrlHandle()
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if err := h.rpcOpen(name, keyRange); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	st, err := h.rpcStats()
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.caps = st
+	c.mu.Unlock()
+	return nil
+}
+
+// Close closes every connection the client dialed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.open = false
+	var first error
+	for _, nc := range c.conns {
+		if err := nc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.conns = nil
+	c.ctrl = nil
+	return first
+}
+
+// NewHandle dials a dedicated connection and returns a per-goroutine
+// accessor whose dynamic type exposes exactly the scan capabilities the
+// hosted structure reported (mirroring internal/shard's composed
+// handles). It panics if the dial fails — dict.Dict.NewHandle has no
+// error result.
+func (c *Client) NewHandle() dict.Handle {
+	h, err := c.newHandle()
+	if err != nil {
+		panic(fmt.Sprintf("client: NewHandle: %v", err))
+	}
+	c.mu.Lock()
+	caps := c.caps
+	c.mu.Unlock()
+	if !caps.CanRange {
+		return h
+	}
+	rh := &rangeHandle{h}
+	if !caps.CanSnap {
+		return rh
+	}
+	return &snapHandle{rangeHandle{h}}
+}
+
+// KeySum returns the hosted structure's wrapping key sum via STATS
+// (quiescent only, like every KeySum in this repository). It panics on
+// a wire failure — dict.Dict.KeySum has no error result.
+func (c *Client) KeySum() uint64 {
+	st, err := c.Stats()
+	if err != nil {
+		panic(fmt.Sprintf("client: KeySum: %v", err))
+	}
+	return st.KeySum
+}
+
+// RQStats reports the hosted structure's range-query counters
+// (dict.RQStatser over the wire; zeros if the structure has none).
+func (c *Client) RQStats() (scans, versions uint64) {
+	st, err := c.Stats()
+	if err != nil {
+		panic(fmt.Sprintf("client: RQStats: %v", err))
+	}
+	return st.Scans, st.Versions
+}
+
+// ElimStats reports the hosted structure's publishing-elimination
+// counters (dict.ElimStatser over the wire; zeros if none).
+func (c *Client) ElimStats() (inserts, deletes, upserts uint64) {
+	st, err := c.Stats()
+	if err != nil {
+		panic(fmt.Sprintf("client: ElimStats: %v", err))
+	}
+	return st.ElimInserts, st.ElimDeletes, st.ElimUpserts
+}
+
+func (c *Client) ctrlHandle() (*handle, error) {
+	if c.ctrl == nil {
+		h, err := c.newHandleLocked()
+		if err != nil {
+			return nil, err
+		}
+		c.ctrl = h
+	}
+	return c.ctrl, nil
+}
+
+func (c *Client) newHandle() (*handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.newHandleLocked()
+}
+
+func (c *Client) newHandleLocked() (*handle, error) {
+	if !c.open {
+		return nil, fmt.Errorf("client is closed")
+	}
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conns = append(c.conns, nc)
+	return &handle{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}, nil
+}
+
+// handle is a per-goroutine wire accessor over its own connection. Not
+// safe for concurrent use, like every dict.Handle.
+type handle struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	id uint64
+
+	hdr   [wire.HeaderLen]byte
+	out   []byte // request frame scratch
+	in    []byte // response payload scratch
+	pairs []byte // scan pair buffer (packed 16-byte pairs)
+}
+
+func (h *handle) nextID() uint64 {
+	h.id++
+	return h.id
+}
+
+// writeFrames flushes h.out (one or more frames) to the server.
+func (h *handle) writeFrames() error {
+	if _, err := h.bw.Write(h.out); err != nil {
+		return err
+	}
+	return h.bw.Flush()
+}
+
+// readFrame reads one response frame, leaving the payload in h.in.
+func (h *handle) readFrame() (id uint64, op byte, payload []byte, err error) {
+	if _, err = io.ReadFull(h.br, h.hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(h.hdr[:4])
+	if length < wire.HeaderLen-4 || length > wire.MaxFrame {
+		return 0, 0, nil, fmt.Errorf("bad response frame length %d", length)
+	}
+	id = binary.LittleEndian.Uint64(h.hdr[4:12])
+	op = h.hdr[12]
+	n := int(length) - (wire.HeaderLen - 4)
+	if cap(h.in) < n {
+		h.in = make([]byte, n)
+	}
+	h.in = h.in[:n]
+	if _, err = io.ReadFull(h.br, h.in); err != nil {
+		return 0, 0, nil, err
+	}
+	return id, op, h.in, nil
+}
+
+// expect validates a response's id and opcode, surfacing RespError
+// payloads as errors.
+func expect(gotID, wantID uint64, gotOp, wantOp byte, payload []byte) error {
+	if gotOp == wire.RespError {
+		return fmt.Errorf("server error: %s", payload)
+	}
+	if gotID != wantID || gotOp != wantOp {
+		return fmt.Errorf("response mismatch: got id=%d op=%#x, want id=%d op=%#x", gotID, gotOp, wantID, wantOp)
+	}
+	return nil
+}
+
+func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
+	id := h.nextID()
+	h.out = wire.AppendPoint(h.out[:0], id, op, key, val)
+	if err := h.writeFrames(); err != nil {
+		return 0, false, err
+	}
+	rid, rop, payload, err := h.readFrame()
+	if err != nil {
+		return 0, false, err
+	}
+	if err := expect(rid, id, rop, wire.RespPoint, payload); err != nil {
+		return 0, false, err
+	}
+	return wire.DecodePoint(payload)
+}
+
+func (h *handle) point(op byte, key, val uint64) (uint64, bool) {
+	v, ok, err := h.rpcPoint(op, key, val)
+	if err != nil {
+		panic(fmt.Sprintf("client: point op %#x: %v", op, err))
+	}
+	return v, ok
+}
+
+// Find looks up key on the remote structure.
+func (h *handle) Find(key uint64) (uint64, bool) { return h.point(wire.OpGet, key, 0) }
+
+// Insert inserts <key, val> if absent (dict.Handle.Insert semantics).
+func (h *handle) Insert(key, val uint64) (uint64, bool) { return h.point(wire.OpPut, key, val) }
+
+// Delete removes key if present.
+func (h *handle) Delete(key uint64) (uint64, bool) { return h.point(wire.OpDelete, key, 0) }
+
+// maxOutstanding caps a batched operation's pipelined frames in
+// flight. It must stay comfortably under the server's per-connection
+// request-slot bound: with the window full the client is always in a
+// read, so the server can land every outstanding response and the
+// write-all/read-all deadlock (client's send buffer full while the
+// server's response queue is full) cannot form.
+const maxOutstanding = 8
+
+// batch drives one batched operation, splitting into wire.MaxBatch
+// chunk frames. Frames are pipelined through a bounded window (written
+// back-to-back, responses consumed as the window fills; echoed ids land
+// each response chunk at its input offset regardless of the completion
+// order the server's workers produced). Mutating batches whose equal
+// keys straddle a frame boundary degrade to one-frame-at-a-time round
+// trips: the server serves concurrent frames on different workers, so
+// only full serialization preserves dict.Batcher's equal-keys-apply-in-
+// input-order contract across frames (within one frame the trees'
+// native batch path preserves it).
+func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	window := maxOutstanding
+	if op != wire.OpMGet && len(keys) > wire.MaxBatch && crossFrameDup(keys) {
+		window = 1
+	}
+	base := h.id + 1
+	written, read := 0, 0
+	readOne := func() error {
+		rid, rop, payload, err := h.readFrame()
+		if err != nil {
+			return err
+		}
+		if rop == wire.RespError {
+			return fmt.Errorf("server error: %s", payload)
+		}
+		idx := rid - base
+		if rop != wire.RespBatch || idx >= uint64(written) {
+			return fmt.Errorf("batch response mismatch: id=%d op=%#x (want ids %d..%d)", rid, rop, base, base+uint64(written)-1)
+		}
+		off := int(idx) * wire.MaxBatch
+		end := min(off+wire.MaxBatch, len(keys))
+		if err := wire.DecodeBatch(payload, ovals[off:end], oks[off:end]); err != nil {
+			return err
+		}
+		read++
+		return nil
+	}
+	for off := 0; off < len(keys); off += wire.MaxBatch {
+		end := min(off+wire.MaxBatch, len(keys))
+		var vs []uint64
+		if op == wire.OpMPut {
+			vs = ivals[off:end]
+		}
+		h.out = wire.AppendBatch(h.out[:0], h.nextID(), op, keys[off:end], vs)
+		if _, err := h.bw.Write(h.out); err != nil {
+			return err
+		}
+		written++
+		for written-read >= window {
+			if err := h.bw.Flush(); err != nil {
+				return err
+			}
+			if err := readOne(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := h.bw.Flush(); err != nil {
+		return err
+	}
+	for read < written {
+		if err := readOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crossFrameDup reports whether any key occurs in two different
+// wire.MaxBatch frames of the batch. Only called for mutating batches
+// big enough to split (a rare path), so the map allocation is fine.
+func crossFrameDup(keys []uint64) bool {
+	firstFrame := make(map[uint64]int, len(keys))
+	for i, k := range keys {
+		frame := i / wire.MaxBatch
+		if f, seen := firstFrame[k]; seen {
+			if f != frame {
+				return true
+			}
+		} else {
+			firstFrame[k] = frame
+		}
+	}
+	return false
+}
+
+func (h *handle) runBatch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool) {
+	if len(ovals) != len(keys) || len(oks) != len(keys) || (op == wire.OpMPut && len(ivals) != len(keys)) {
+		panic("client: batch result slices must match len(keys)")
+	}
+	if err := h.batch(op, keys, ivals, ovals, oks); err != nil {
+		panic(fmt.Sprintf("client: batch op %#x: %v", op, err))
+	}
+}
+
+// FindBatch looks up keys[i] for every i (dict.Batcher, remoted as one
+// or more pipelined MGET frames).
+func (h *handle) FindBatch(keys, vals []uint64, found []bool) {
+	h.runBatch(wire.OpMGet, keys, nil, vals, found)
+}
+
+// InsertBatch inserts <keys[i], vals[i]> where absent (dict.Batcher,
+// remoted as pipelined MPUT frames).
+func (h *handle) InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool) {
+	h.runBatch(wire.OpMPut, keys, vals, prev, inserted)
+}
+
+// DeleteBatch removes keys[i] where present (dict.Batcher, remoted as
+// pipelined MDELETE frames).
+func (h *handle) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
+	h.runBatch(wire.OpMDelete, keys, nil, prev, deleted)
+}
+
+// scan drives one remote scan: request, drain every chunk into the
+// handle's pair buffer, then replay the pairs through fn. Draining
+// before the callback keeps the connection free of in-flight state
+// while fn runs, so fn may issue point operations on this same handle
+// (the dict.Ranger contract).
+func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
+	id := h.nextID()
+	h.out = wire.AppendScan(h.out[:0], id, snapshot, lo, hi)
+	if err := h.writeFrames(); err != nil {
+		panic(fmt.Sprintf("client: scan: %v", err))
+	}
+	h.pairs = h.pairs[:0]
+	for {
+		rid, rop, payload, err := h.readFrame()
+		if err != nil {
+			panic(fmt.Sprintf("client: scan: %v", err))
+		}
+		if err := expect(rid, id, rop, wire.RespScanChunk, payload); err != nil {
+			panic(fmt.Sprintf("client: scan: %v", err))
+		}
+		last, pb, err := wire.DecodeChunk(payload)
+		if err != nil {
+			panic(fmt.Sprintf("client: scan: %v", err))
+		}
+		h.pairs = append(h.pairs, pb...)
+		if last {
+			break
+		}
+	}
+	for i, n := 0, len(h.pairs)/16; i < n; i++ {
+		k, v := wire.PairAt(h.pairs, i)
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func (h *handle) rpcStats() (wire.Stats, error) {
+	id := h.nextID()
+	h.out = wire.AppendStats(h.out[:0], id)
+	if err := h.writeFrames(); err != nil {
+		return wire.Stats{}, err
+	}
+	rid, rop, payload, err := h.readFrame()
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if err := expect(rid, id, rop, wire.RespStats, payload); err != nil {
+		return wire.Stats{}, err
+	}
+	return wire.DecodeStats(payload)
+}
+
+func (h *handle) rpcOpen(name string, keyRange uint64) error {
+	id := h.nextID()
+	h.out = wire.AppendOpen(h.out[:0], id, keyRange, name)
+	if err := h.writeFrames(); err != nil {
+		return err
+	}
+	rid, rop, payload, err := h.readFrame()
+	if err != nil {
+		return err
+	}
+	return expect(rid, id, rop, wire.RespOK, payload)
+}
+
+// rangeHandle adds remote weak scans (the hosted structure's handles
+// implement dict.Ranger).
+type rangeHandle struct{ *handle }
+
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, with whatever atomicity the hosted structure's Range has.
+func (h *rangeHandle) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.scan(false, lo, hi, fn)
+}
+
+// snapHandle adds remote linearizable scans.
+type snapHandle struct{ rangeHandle }
+
+// RangeSnapshot calls fn for each pair of one atomic snapshot of
+// [lo, hi] — the snapshot the hosted structure's RangeSnapshot took,
+// cross-shard linearizable when the server hosts a shared-clock
+// partition.
+func (h *snapHandle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.scan(true, lo, hi, fn)
+}

@@ -1,0 +1,646 @@
+// Package server hosts any dict.Dict — single trees and internal/shard
+// partitions alike — behind a concurrent TCP endpoint speaking the
+// internal/wire protocol: GET/PUT/DELETE, batched MGET/MPUT/MDELETE
+// routed straight to dict.Batcher, streamed SCAN/SNAPSHOT_SCAN, and
+// STATS/OPEN control operations.
+//
+// Concurrency model: dict.Handle is thread-bound (one handle per
+// goroutine, never shared), so connections must not call the hosted
+// structure directly. Instead the server runs a fixed pool of worker
+// goroutines, each owning its own handle (plus its Batcher and scan
+// entry points), and every connection's reader multiplexes decoded
+// requests onto the shared work queue. Responses carry the request's id
+// and flow back through the connection's writer goroutine in completion
+// order, so one connection can pipeline many requests and have them
+// served by many workers concurrently.
+//
+// Allocation discipline (the PR 3 scratch-buffer rules, extended across
+// the wire): request structs and response buffers are pooled per
+// connection, payloads decode into per-request scratch, batch results
+// land in per-worker scratch, and scan responses stream through reused
+// chunk buffers — so the warmed-up point-operation path allocates
+// nothing end to end (enforced by TestAllocsRemotePointOps).
+//
+// Flow control: each connection owns a fixed set of request slots; its
+// reader blocks once all of them are in flight, bounding per-connection
+// memory and work-queue pressure. A worker publishing a response
+// selects on the connection's teardown signal, so a dead connection can
+// never strand a worker (the robustness tests abuse this path) — and a
+// live connection whose peer stopped reading is turned into a dead one
+// by the writer's per-write deadline (Config.WriteTimeout), so a
+// stalled peer cannot pin a worker either.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/treedict"
+	"repro/internal/wire"
+)
+
+// Builder constructs a named structure sized for keyRange — the
+// server-side registry hook (cmd/abtree-server passes internal/bench's
+// registry). A Builder may panic on unknown names; the server converts
+// the panic into a clean OPEN error response.
+type Builder func(name string, keyRange uint64) dict.Dict
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the size of the handle-owning worker pool (default
+	// GOMAXPROCS). It caps the server's operation concurrency the same
+	// way thread counts cap the in-process harness.
+	Workers int
+	// WriteTimeout bounds how long a connection's writer may sit in one
+	// socket write without progress (default 1 minute; < 0 disables).
+	// It is the stalled-peer backstop: a worker publishing a response
+	// blocks on the connection's write queue, which is fine while the
+	// peer consumes, but a peer that stops reading mid-stream would
+	// otherwise pin that worker forever. The deadline turns a stalled
+	// connection into a dead one, and teardown frees the worker.
+	WriteTimeout time.Duration
+}
+
+// reqSlots bounds the requests one connection may have in flight; its
+// reader blocks until a slot frees up. Response buffers are sized to
+// cover every slot plus in-flight scan chunks.
+const reqSlots = 32
+
+// hosted is one generation of the served dictionary. OPEN installs a
+// fresh generation; workers lazily re-attach (new handle, new Batcher,
+// new scan entry points) when they observe the pointer changed, and
+// in-flight operations on the old generation finish on the old handles.
+type hosted struct {
+	d        dict.Dict
+	name     string
+	keyRange uint64
+	gen      uint64
+	canRange bool
+	canSnap  bool
+}
+
+// Server serves one dictionary over TCP.
+type Server struct {
+	build        Builder
+	workers      int
+	writeTimeout time.Duration
+
+	cur  atomic.Pointer[hosted]
+	gen  atomic.Uint64
+	work chan *request
+	quit chan struct{}
+
+	openMu sync.Mutex // serializes OPEN rebuilds
+
+	mu     sync.Mutex
+	l      net.Listener
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a server hosting build(name, keyRange) and starts its
+// worker pool (the network listener starts with Start).
+func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	wt := cfg.WriteTimeout
+	if wt == 0 {
+		wt = time.Minute
+	}
+	s := &Server{
+		build:        build,
+		workers:      workers,
+		writeTimeout: wt,
+		work:         make(chan *request, workers*4),
+		quit:         make(chan struct{}),
+		conns:        make(map[*srvConn]struct{}),
+	}
+	if err := s.host(name, keyRange); err != nil {
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	return s, nil
+}
+
+// Start begins accepting connections on addr (e.g. "127.0.0.1:0" for an
+// ephemeral test port) and returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil, fmt.Errorf("server: already closed")
+	}
+	s.l = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+// Close stops the listener, tears down every connection and stops the
+// worker pool.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.l
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	close(s.quit)
+	for _, c := range conns {
+		c.teardown()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Hosted returns the current structure's registry name, key range and
+// hosting generation.
+func (s *Server) Hosted() (name string, keyRange, gen uint64) {
+	h := s.cur.Load()
+	return h.name, h.keyRange, h.gen
+}
+
+// host builds and installs a fresh hosted generation. A Builder panic
+// (e.g. bench.NewDict on an unknown name) is converted into an error.
+func (s *Server) host(name string, keyRange uint64) (err error) {
+	s.openMu.Lock()
+	defer s.openMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("open %q: %v", name, r)
+		}
+	}()
+	d := s.build(name, keyRange)
+	if d == nil {
+		return fmt.Errorf("open %q: builder returned no dictionary", name)
+	}
+	h := d.NewHandle()
+	s.cur.Store(&hosted{
+		d:        d,
+		name:     name,
+		keyRange: keyRange,
+		gen:      s.gen.Add(1),
+		canRange: dict.ScanFunc(h, false) != nil,
+		canSnap:  dict.ScanFunc(h, true) != nil,
+	})
+	return nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := s.newConn(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.reader()
+		go c.writer()
+	}
+}
+
+// request is one in-flight request: the decoded frame (with its reused
+// key/value scratch) plus the connection to respond on.
+type request struct {
+	c *srvConn
+	wire.Request
+}
+
+// outBuf is one pooled response buffer.
+type outBuf struct{ b []byte }
+
+// srvConn is one accepted connection: a reader goroutine decoding
+// frames into pooled request structs, and a writer goroutine flushing
+// pooled response buffers. done closes exactly once, on teardown; every
+// blocking hand-off (worker publishing a response, reader waiting for a
+// free request slot) selects on it.
+type srvConn struct {
+	s         *Server
+	nc        net.Conn
+	br        *bufio.Reader
+	done      chan struct{}
+	drain     chan struct{}
+	once      sync.Once
+	drainOnce sync.Once
+
+	writeq  chan *outBuf
+	reqPool chan *request
+	outPool chan *outBuf
+
+	payload []byte // reader's frame payload scratch
+}
+
+func (s *Server) newConn(nc net.Conn) *srvConn {
+	c := &srvConn{
+		s:       s,
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		done:    make(chan struct{}),
+		drain:   make(chan struct{}),
+		writeq:  make(chan *outBuf, 2*reqSlots),
+		reqPool: make(chan *request, reqSlots),
+		outPool: make(chan *outBuf, 2*reqSlots),
+	}
+	for i := 0; i < reqSlots; i++ {
+		c.reqPool <- &request{c: c}
+	}
+	return c
+}
+
+// shutdown asks the writer to drain the queued responses, flush and
+// tear the connection down — the reader's exit path, so responses
+// already produced (including its own error frames) reach the peer
+// before the socket closes.
+func (c *srvConn) shutdown() {
+	c.drainOnce.Do(func() { close(c.drain) })
+}
+
+// teardown closes the connection exactly once: readers and writers
+// unblock via nc.Close and done; workers holding responses for this
+// connection drop them via done.
+func (c *srvConn) teardown() {
+	c.once.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		c.s.mu.Lock()
+		delete(c.s.conns, c)
+		c.s.mu.Unlock()
+	})
+}
+
+// getOut fetches a pooled response buffer (allocating only while the
+// pool is still warming up).
+func (c *srvConn) getOut() *outBuf {
+	select {
+	case ob := <-c.outPool:
+		return ob
+	default:
+		return &outBuf{}
+	}
+}
+
+func (c *srvConn) putOut(ob *outBuf) {
+	if cap(ob.b) > wire.MaxFrame {
+		return // oversized one-off (large batch response): let it go
+	}
+	select {
+	case c.outPool <- ob:
+	default:
+	}
+}
+
+func (c *srvConn) putReq(req *request) {
+	select {
+	case c.reqPool <- req:
+	default:
+	}
+}
+
+// send publishes a sealed response buffer to the writer, abandoning it
+// if the connection tears down first — the worker never blocks on a
+// dead connection. It reports whether the buffer was accepted.
+func (c *srvConn) send(ob *outBuf) bool {
+	select {
+	case c.writeq <- ob:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+func (c *srvConn) sendPoint(id uint64, val uint64, ok bool) {
+	ob := c.getOut()
+	ob.b = wire.AppendRespPoint(ob.b[:0], id, val, ok)
+	c.send(ob)
+}
+
+func (c *srvConn) sendErr(id uint64, msg string) {
+	ob := c.getOut()
+	ob.b = wire.AppendRespError(ob.b[:0], id, msg)
+	c.send(ob)
+}
+
+// reader decodes frames and multiplexes them onto the server's work
+// queue. Framing violations (short/oversized lengths, short reads)
+// close the connection; malformed-but-delimited frames (unknown opcode,
+// wrong payload size) produce a RespError and the stream continues —
+// the length prefix keeps it aligned either way.
+func (c *srvConn) reader() {
+	defer c.shutdown()
+	var hdr [wire.HeaderLen]byte
+	for {
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			return
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		if length < wire.HeaderLen-4 || length > wire.MaxFrame {
+			id := binary.LittleEndian.Uint64(hdr[4:12])
+			c.sendErr(id, fmt.Sprintf("bad frame length %d (want 9..%d)", length, wire.MaxFrame))
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[4:12])
+		op := hdr[12]
+		n := int(length) - (wire.HeaderLen - 4)
+		if cap(c.payload) < n {
+			c.payload = make([]byte, n)
+		}
+		c.payload = c.payload[:n]
+		if _, err := io.ReadFull(c.br, c.payload); err != nil {
+			return
+		}
+		var req *request
+		select {
+		case req = <-c.reqPool:
+		case <-c.done:
+			return
+		}
+		if err := wire.DecodeRequest(id, op, c.payload, &req.Request); err != nil {
+			c.sendErr(id, err.Error())
+			c.putReq(req)
+			continue
+		}
+		if msg := validateKeys(&req.Request); msg != "" {
+			c.sendErr(id, msg)
+			c.putReq(req)
+			continue
+		}
+		select {
+		case c.s.work <- req:
+		case <-c.done:
+			return
+		case <-c.s.quit:
+			return
+		}
+	}
+}
+
+// validateKeys enforces the dictionaries' key domain at the protocol
+// boundary: keys 0 and 2^64-1 are reserved sentinels every tree panics
+// on, so an untrusted frame carrying one must turn into a clean error
+// response before it ever reaches a worker's handle. Scan bounds are
+// exempt — every Range/RangeSnapshot entry point clamps reserved
+// bounds (the PR 4 uniform bound validation).
+func validateKeys(r *wire.Request) string {
+	switch r.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete:
+		if reservedKey(r.Key) {
+			return "reserved key (0 and 2^64-1 are sentinels)"
+		}
+	case wire.OpMGet, wire.OpMPut, wire.OpMDelete:
+		for _, k := range r.Keys {
+			if reservedKey(k) {
+				return "reserved key in batch (0 and 2^64-1 are sentinels)"
+			}
+		}
+	}
+	return ""
+}
+
+func reservedKey(k uint64) bool { return k == 0 || k == ^uint64(0) }
+
+// writer flushes sealed response buffers, batching flushes while the
+// queue is non-empty (pipelined responses coalesce into one syscall).
+// On shutdown (the reader's exit) it drains what is already queued,
+// flushes, and performs the final teardown, so a framing-violation
+// error frame — or the tail of a pipelined burst — reaches the peer
+// before the socket closes.
+func (c *srvConn) writer() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	// Each socket write gets a fresh deadline: steady progress never
+	// trips it, a peer that stopped reading does, and the resulting
+	// write error tears the connection down (see Config.WriteTimeout).
+	deadline := func() {
+		if c.s.writeTimeout > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(c.s.writeTimeout))
+		}
+	}
+	write := func(ob *outBuf) bool {
+		deadline()
+		if _, err := bw.Write(ob.b); err != nil {
+			c.teardown()
+			return false
+		}
+		c.putOut(ob)
+		return true
+	}
+	for {
+		select {
+		case ob := <-c.writeq:
+			if !write(ob) {
+				return
+			}
+			if len(c.writeq) == 0 {
+				deadline()
+				if err := bw.Flush(); err != nil {
+					c.teardown()
+					return
+				}
+			}
+		case <-c.drain:
+			for {
+				select {
+				case ob := <-c.writeq:
+					if !write(ob) {
+						return
+					}
+				default:
+					deadline()
+					bw.Flush()
+					c.teardown()
+					return
+				}
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// worker is one pool goroutine and its per-generation attachment to the
+// hosted dictionary: its own thread-bound handle, the handle's Batcher
+// (native or treedict's per-key fallback) and scan entry points, plus
+// batch-result and scan-chunk scratch.
+type worker struct {
+	s    *Server
+	cur  *hosted
+	h    dict.Handle
+	bat  dict.Batcher
+	weak func(lo, hi uint64, fn func(k, v uint64) bool)
+	snap func(lo, hi uint64, fn func(k, v uint64) bool)
+
+	vals []uint64
+	oks  []bool
+
+	// Scan-in-flight state for the bound relay callback (one scan at a
+	// time per worker, so worker fields — not a per-scan closure).
+	sc struct {
+		c    *srvConn
+		id   uint64
+		ob   *outBuf
+		dead bool // connection tore down mid-scan
+	}
+	relay func(k, v uint64) bool
+}
+
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	w := &worker{s: s}
+	w.relay = w.scanRelay
+	for {
+		select {
+		case req := <-s.work:
+			w.serve(req)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (w *worker) attach(h *hosted) {
+	w.cur = h
+	w.h = h.d.NewHandle()
+	w.bat = treedict.BatcherFor(w.h)
+	w.weak = dict.ScanFunc(w.h, false)
+	w.snap = dict.ScanFunc(w.h, true)
+}
+
+func (w *worker) serve(req *request) {
+	if h := w.s.cur.Load(); w.cur != h {
+		w.attach(h)
+	}
+	c := req.c
+	switch req.Op {
+	case wire.OpGet:
+		v, ok := w.h.Find(req.Key)
+		c.sendPoint(req.ID, v, ok)
+	case wire.OpPut:
+		v, ok := w.h.Insert(req.Key, req.Val)
+		c.sendPoint(req.ID, v, ok)
+	case wire.OpDelete:
+		v, ok := w.h.Delete(req.Key)
+		c.sendPoint(req.ID, v, ok)
+	case wire.OpMGet, wire.OpMPut, wire.OpMDelete:
+		n := len(req.Keys)
+		if cap(w.vals) < n {
+			w.vals = make([]uint64, n)
+			w.oks = make([]bool, n)
+		}
+		vals, oks := w.vals[:n], w.oks[:n]
+		switch req.Op {
+		case wire.OpMGet:
+			w.bat.FindBatch(req.Keys, vals, oks)
+		case wire.OpMPut:
+			w.bat.InsertBatch(req.Keys, req.Vals, vals, oks)
+		case wire.OpMDelete:
+			w.bat.DeleteBatch(req.Keys, vals, oks)
+		}
+		ob := c.getOut()
+		ob.b = wire.AppendRespBatch(ob.b[:0], req.ID, vals, oks)
+		c.send(ob)
+	case wire.OpScan, wire.OpSnapScan:
+		scan := w.weak
+		if req.Op == wire.OpSnapScan {
+			scan = w.snap
+		}
+		if scan == nil {
+			c.sendErr(req.ID, "hosted structure does not support the requested scan kind")
+			break
+		}
+		w.sc.c, w.sc.id, w.sc.dead = c, req.ID, false
+		w.sc.ob = c.getOut()
+		w.sc.ob.b = wire.BeginChunk(w.sc.ob.b[:0], req.ID)
+		scan(req.Key, req.Val, w.relay)
+		if !w.sc.dead {
+			w.sc.ob.b = wire.FinishChunk(w.sc.ob.b, 0, true)
+			c.send(w.sc.ob)
+		}
+		w.sc.c, w.sc.ob = nil, nil
+	case wire.OpStats:
+		host := w.cur
+		st := wire.Stats{
+			KeySum:   host.d.KeySum(), // quiescent contract, like every KeySum here
+			KeyRange: host.keyRange,
+			Gen:      host.gen,
+			CanRange: host.canRange,
+			CanSnap:  host.canSnap,
+			Name:     host.name,
+		}
+		if rs, ok := host.d.(dict.RQStatser); ok {
+			st.Scans, st.Versions = rs.RQStats()
+		}
+		if es, ok := host.d.(dict.ElimStatser); ok {
+			st.ElimInserts, st.ElimDeletes, st.ElimUpserts = es.ElimStats()
+		}
+		ob := c.getOut()
+		ob.b = wire.AppendRespStats(ob.b[:0], req.ID, st)
+		c.send(ob)
+	case wire.OpOpen:
+		if err := w.s.host(string(req.Name), req.Key); err != nil {
+			c.sendErr(req.ID, err.Error())
+		} else {
+			ob := c.getOut()
+			ob.b = wire.AppendRespOK(ob.b[:0], req.ID)
+			c.send(ob)
+		}
+	default:
+		// DecodeRequest rejects unknown opcodes; this is unreachable but
+		// cheap insurance against a decoder/server skew.
+		c.sendErr(req.ID, "unhandled opcode")
+	}
+	c.putReq(req)
+}
+
+// scanRelay is the worker's bound scan callback: it packs pairs into
+// the open chunk and ships full chunks mid-scan, stopping the scan if
+// the connection died.
+func (w *worker) scanRelay(k, v uint64) bool {
+	w.sc.ob.b = wire.AppendPair(w.sc.ob.b, k, v)
+	if wire.ChunkPairs(w.sc.ob.b, 0) >= wire.MaxChunkPairs {
+		w.sc.ob.b = wire.FinishChunk(w.sc.ob.b, 0, false)
+		if !w.sc.c.send(w.sc.ob) {
+			w.sc.ob = nil
+			w.sc.dead = true
+			return false
+		}
+		w.sc.ob = w.sc.c.getOut()
+		w.sc.ob.b = wire.BeginChunk(w.sc.ob.b[:0], w.sc.id)
+	}
+	return true
+}

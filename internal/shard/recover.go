@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"repro/internal/dict"
+	"repro/internal/pabtree"
+	"repro/internal/pmem"
+	"repro/internal/rq"
+	"repro/internal/treedict"
+)
+
+// NewPab builds an n-way range partition of persistent p-ABtrees, one
+// per arena, all coupled to the partition's shared linearization clock
+// (the registry's shard8-p-occ-abtree shape, with caller-owned arenas
+// so the partition can later be crash-simulated and recovered with
+// RecoverSharded). opts apply to every shard; WithRQClock is supplied
+// by the partition and must not be passed.
+func NewPab(keyRange uint64, arenas []*pmem.Arena, opts ...pabtree.Option) (*Dict, []*pabtree.Tree) {
+	return pabPartition(keyRange, arenas, opts, pabtree.New)
+}
+
+// RecoverSharded rebuilds a range-partitioned persistent dictionary
+// from its shards' post-crash arenas: every shard runs the paper's
+// pabtree.Recover procedure and — closing the gap the ROADMAP notes,
+// that WithRQClock must be re-passed manually on Recover — is
+// reattached to ONE fresh shared rq.Clock, so the recovered partition
+// serves cross-shard linearizable RangeSnapshot again instead of
+// silently degrading to per-shard clocks (which the capability probe in
+// New would reject, losing snapshot scans altogether).
+//
+// The arenas must be the same slice (same order, hence same key slices)
+// the partition was built over, each after pmem.Arena.Crash or
+// quiescent; opts must be the per-shard options the trees were built
+// with, without WithRQClock. The recovered per-shard trees are returned
+// alongside the composed dictionary so callers can run
+// pabtree.Tree.Validate on each.
+func RecoverSharded(keyRange uint64, arenas []*pmem.Arena, opts ...pabtree.Option) (*Dict, []*pabtree.Tree) {
+	return pabPartition(keyRange, arenas, opts, pabtree.Recover)
+}
+
+// pabPartition is the shared build/recover shape: one tree per arena
+// via mk (pabtree.New or pabtree.Recover), every shard coupled to the
+// partition's shared clock by appending WithRQClock to the caller's
+// per-shard options.
+func pabPartition(keyRange uint64, arenas []*pmem.Arena, opts []pabtree.Option, mk func(*pmem.Arena, ...pabtree.Option) *pabtree.Tree) (*Dict, []*pabtree.Tree) {
+	trees := make([]*pabtree.Tree, len(arenas))
+	d := New(len(arenas), keyRange, func(i int, c *rq.Clock) dict.Dict {
+		per := append(append([]pabtree.Option{}, opts...), pabtree.WithRQClock(c))
+		trees[i] = mk(arenas[i], per...)
+		return treedict.Pab{T: trees[i]}
+	})
+	return d, trees
+}

@@ -82,13 +82,23 @@ func load(d dict.Dict, records uint64, threads int, seed uint64) {
 		go func(w int) {
 			defer wg.Done()
 			h := d.NewHandle()
+			bt := treedict.BatcherFor(h)
 			lo := w * per
 			hi := lo + per
 			if w == workers-1 {
 				hi = len(order)
 			}
-			for _, k := range order[lo:hi] {
-				h.Insert(k, k) // value = row id
+			// Load in InsertBatch chunks (value = row id = key): the keys
+			// are disjoint across workers and fresh, so the batch results
+			// need no inspection; remote dictionaries load in one round
+			// trip per chunk instead of per row.
+			const chunk = 256
+			var prev [chunk]uint64
+			var ok [chunk]bool
+			for off := lo; off < hi; off += chunk {
+				end := min(off+chunk, hi)
+				keys := order[off:end]
+				bt.InsertBatch(keys, keys, prev[:len(keys)], ok[:len(keys)])
 			}
 		}(w)
 	}
