@@ -154,6 +154,7 @@ func main() {
 		scanLen    = flag.Uint64("scanlen", 100, "figure 18: maximum scan length")
 		scanMode   = flag.String("scanmode", "snapshot", "figure 18: \"snapshot\" (linearizable RangeSnapshot) or \"weak\" (Range)")
 		batch      = flag.Int("batch", 1, "issue point operations as sorted-run batches of this size (figures 12-17, table 1; 1 = per-key)")
+		latEvery   = flag.Int("latevery", 8, "sample whole-call latency every Nth op per worker, reported as p50/p99/p999 columns (0 = off)")
 		jsonPath   = flag.String("json", "", "also write results as a JSON array to this path (e.g. BENCH_fig18.json)")
 		remote     = flag.String("remote", "", "run every cell against an abtree-server at this address instead of in-process")
 	)
@@ -199,6 +200,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *latEvery < 0 {
+		fmt.Fprintf(os.Stderr, "bad -latevery %d (want 0 to disable, or a positive sampling stride)\n", *latEvery)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *batch > 1 && *figure == 18 {
 		fmt.Fprintln(os.Stderr, "-batch applies to the point-op workloads (figures 12-17, table 1), not the scan workload (-figure 18)")
 		flag.Usage()
@@ -228,7 +234,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed, *batch, sink)
+		runMicrobench(*figure, keyRange, structs, threads, updates, *duration, *seed, *batch, *latEvery, sink)
 	case *figure == 16:
 		records := uint64(1_000_000) // paper: 100M; scale with -keys
 		if *keys != 0 {
@@ -238,7 +244,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runYCSB(records, structs, threads, *duration, *seed, *batch, sink)
+		runYCSB(records, structs, threads, *duration, *seed, *batch, *latEvery, sink)
 	case *figure == 17:
 		keyRange := uint64(1_000_000)
 		if *keys != 0 {
@@ -248,7 +254,7 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runFig17(keyRange, structs, threads, *duration, *seed, *batch, sink)
+		runFig17(keyRange, structs, threads, *duration, *seed, *batch, *latEvery, sink)
 	case *figure == 18:
 		records := uint64(1_000_000)
 		if *keys != 0 {
@@ -264,13 +270,13 @@ func main() {
 		if *structures != "" {
 			structs = strings.Split(*structures, ",")
 		}
-		runYCSBE(records, structs, threads, *duration, *seed, *scanLen, snapshot, sink)
+		runYCSBE(records, structs, threads, *duration, *seed, *scanLen, snapshot, *latEvery, sink)
 	case *table == 1:
 		keyRange := uint64(1_000_000)
 		if *keys != 0 {
 			keyRange = *keys
 		}
-		runTable1(keyRange, threads, *duration, *seed, *batch, sink)
+		runTable1(keyRange, threads, *duration, *seed, *batch, *latEvery, sink)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -312,11 +318,11 @@ func parseInts(csv string) []int {
 
 // runMicrobench regenerates one of Figures 12-15: the SetBench grid of
 // {update%} x {uniform, Zipf 1} x thread counts for each structure.
-func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
+func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates []int, d time.Duration, seed uint64, batch, latEvery int, sink *resultSink) {
 	fmt.Printf("# Figure %d: SetBench microbenchmark, %d keys (ops/us)\n", fig, keyRange)
 	fmt.Println("# (for Elim trees, an 'elim-rate' comment follows each row: the")
 	fmt.Println("#  fraction of completed ops that eliminated instead of writing)")
-	fmt.Println("figure\tupdates%\tzipf\tstructure\tthreads\tbatch\tops_per_us")
+	fmt.Println("figure\tupdates%\tzipf\tstructure\tthreads\tbatch\tops_per_us\tp50_us\tp99_us\tp999_us")
 	for _, upd := range updates {
 		for _, zipf := range []float64{0, 1} {
 			for _, name := range structs {
@@ -325,16 +331,20 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 					cfg := bench.Config{
 						Threads: th, KeyRange: keyRange, UpdatePct: upd,
 						ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
+						LatEvery: latEvery,
 					}
 					bench.Prefill(dd, cfg)
 					res, err := bench.Run(dd, cfg)
 					if err != nil {
 						sink.fatal("%s: %v", name, err)
 					}
-					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%d\t%.3f\n", fig, upd, zipf, name, th, max(batch, 1), res.OpsPerUsec)
+					p50, p99, p999 := res.LatPcts()
+					fmt.Printf("%d\t%d\t%.0f\t%s\t%d\t%d\t%.3f\t%.2f\t%.2f\t%.2f\n",
+						fig, upd, zipf, name, th, max(batch, 1), res.OpsPerUsec, p50, p99, p999)
 					sink.add(report.Row{Figure: fig, UpdatePct: upd, Zipf: zipf,
 						Structure: name, Threads: th, Batch: jsonBatch(batch),
-						OpsPerUs: res.OpsPerUsec, Keys: keyRange})
+						OpsPerUs: res.OpsPerUsec, Keys: keyRange,
+						P50us: p50, P99us: p99, P999us: p999})
 					if es, ok := dd.(dict.ElimStatser); ok {
 						ei, ed, eu := es.ElimStats()
 						if total := ei + ed + eu; total > 0 {
@@ -349,49 +359,56 @@ func runMicrobench(fig int, keyRange uint64, structs []string, threads, updates 
 }
 
 // runYCSB regenerates Figure 16: Workload A transactions/us.
-func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
+func runYCSB(records uint64, structs []string, threads []int, d time.Duration, seed uint64, batch, latEvery int, sink *resultSink) {
 	fmt.Printf("# Figure 16: YCSB Workload A, %d records, Zipf 0.5 (tx/us)\n", records)
-	fmt.Println("figure\tstructure\tthreads\tbatch\ttx_per_us")
+	fmt.Println("figure\tstructure\tthreads\tbatch\ttx_per_us\tp50_us\tp99_us\tp999_us")
 	for _, name := range structs {
 		for _, th := range threads {
 			dd := newDict(name, records*2)
 			res, err := ycsb.Run(dd, ycsb.Config{
 				Threads: th, Records: records, ZipfS: 0.5, Batch: batch, Duration: d, Seed: seed,
+				LatEvery: latEvery,
 			})
 			if err != nil {
 				sink.fatal("%s: %v", name, err)
 			}
-			fmt.Printf("16\t%s\t%d\t%d\t%.3f\n", name, th, max(batch, 1), res.TxPerUsec)
+			p50, p99, p999 := bench.LatUs(res.Lat)
+			fmt.Printf("16\t%s\t%d\t%d\t%.3f\t%.2f\t%.2f\t%.2f\n",
+				name, th, max(batch, 1), res.TxPerUsec, p50, p99, p999)
 			sink.add(report.Row{Figure: 16, UpdatePct: -1, Zipf: 0.5,
 				Structure: name, Threads: th, Batch: jsonBatch(batch),
-				OpsPerUs: res.TxPerUsec, Keys: records})
+				OpsPerUs: res.TxPerUsec, Keys: records,
+				P50us: p50, P99us: p99, P999us: p999})
 		}
 	}
 }
 
 // runYCSBE runs the Workload E extension ("figure 18"): 95% short scans
 // / 5% inserts over the scan-capable structures.
-func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, seed, scanLen uint64, snapshot bool, sink *resultSink) {
+func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, seed, scanLen uint64, snapshot bool, latEvery int, sink *resultSink) {
 	mode := "weak (per-leaf-atomic Range)"
 	if snapshot {
 		mode = "snapshot (linearizable RangeSnapshot)"
 	}
 	fmt.Printf("# Figure 18 (extension): YCSB Workload E, %d records, Zipf 0.5, scans %s (tx/us)\n", records, mode)
-	fmt.Println("figure\tstructure\tthreads\tscanlen\ttx_per_us")
+	fmt.Println("figure\tstructure\tthreads\tscanlen\ttx_per_us\tp50_us\tp99_us\tp999_us")
 	for _, name := range structs {
 		for _, th := range threads {
 			dd := newDict(name, records*2)
 			res, err := ycsb.RunE(dd, ycsb.EConfig{
 				Threads: th, Records: records, ZipfS: 0.5, ScanLen: scanLen,
-				Snapshot: snapshot, Duration: d, Seed: seed,
+				Snapshot: snapshot, Duration: d, Seed: seed, LatEvery: latEvery,
 			})
 			if err != nil {
 				sink.fatal("%s: %v", name, err)
 			}
-			fmt.Printf("18\t%s\t%d\t%d\t%.3f\n", name, th, scanLen, res.TxPerUsec)
+			p50, p99, p999 := bench.LatUs(res.Lat)
+			fmt.Printf("18\t%s\t%d\t%d\t%.3f\t%.2f\t%.2f\t%.2f\n",
+				name, th, scanLen, res.TxPerUsec, p50, p99, p999)
 			sink.add(report.Row{Figure: 18, UpdatePct: -1, Zipf: 0.5,
 				Structure: name, Threads: th, ScanLen: int(scanLen), OpsPerUs: res.TxPerUsec,
-				ScanMode: scanModeName(snapshot), Keys: records})
+				ScanMode: scanModeName(snapshot), Keys: records,
+				P50us: p50, P99us: p99, P999us: p999})
 			fmt.Printf("# scan-detail %s t%d: %d scans, %.1f pairs/scan, %d inserts\n",
 				name, th, res.Scans, float64(res.Pairs)/float64(max(res.Scans, 1)), res.Inserts)
 		}
@@ -400,9 +417,9 @@ func runYCSBE(records uint64, structs []string, threads []int, d time.Duration, 
 
 // runFig17 regenerates Figure 17: persistent trees, 1M keys, 50% updates,
 // uniform and Zipf 1.
-func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
+func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration, seed uint64, batch, latEvery int, sink *resultSink) {
 	fmt.Printf("# Figure 17: persistent trees, %d keys, 50%% updates (ops/us)\n", keyRange)
-	fmt.Println("figure\tzipf\tstructure\tthreads\tbatch\tops_per_us")
+	fmt.Println("figure\tzipf\tstructure\tthreads\tbatch\tops_per_us\tp50_us\tp99_us\tp999_us")
 	for _, zipf := range []float64{0, 1} {
 		for _, name := range structs {
 			for _, th := range threads {
@@ -410,16 +427,20 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 				cfg := bench.Config{
 					Threads: th, KeyRange: keyRange, UpdatePct: 50,
 					ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
+					LatEvery: latEvery,
 				}
 				bench.Prefill(dd, cfg)
 				res, err := bench.Run(dd, cfg)
 				if err != nil {
 					sink.fatal("%s: %v", name, err)
 				}
-				fmt.Printf("17\t%.0f\t%s\t%d\t%d\t%.3f\n", zipf, name, th, max(batch, 1), res.OpsPerUsec)
+				p50, p99, p999 := res.LatPcts()
+				fmt.Printf("17\t%.0f\t%s\t%d\t%d\t%.3f\t%.2f\t%.2f\t%.2f\n",
+					zipf, name, th, max(batch, 1), res.OpsPerUsec, p50, p99, p999)
 				sink.add(report.Row{Figure: 17, UpdatePct: -1, Zipf: zipf,
 					Structure: name, Threads: th, Batch: jsonBatch(batch),
-					OpsPerUs: res.OpsPerUsec, Keys: keyRange})
+					OpsPerUs: res.OpsPerUsec, Keys: keyRange,
+					P50us: p50, P99us: p99, P999us: p999})
 			}
 		}
 	}
@@ -427,7 +448,7 @@ func runFig17(keyRange uint64, structs []string, threads []int, d time.Duration,
 
 // runTable1 regenerates Table 1: throughput change from enabling
 // persistence, at update rates {100, 50, 10}, uniform and Zipf 1.
-func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, batch int, sink *resultSink) {
+func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, batch, latEvery int, sink *resultSink) {
 	th := threads[len(threads)-1] // the paper uses the max thread count (96)
 	fmt.Printf("# Table 1: persistence overhead, %d keys, %d threads\n", keyRange, th)
 	fmt.Println("zipf\tupdates%\tbatch\ttree\tvolatile_ops_us\tpersistent_ops_us\tchange%")
@@ -440,28 +461,31 @@ func runTable1(keyRange uint64, threads []int, d time.Duration, seed uint64, bat
 				cfg := bench.Config{
 					Threads: th, KeyRange: keyRange, UpdatePct: upd,
 					ZipfS: zipf, Batch: batch, Duration: d, Seed: seed,
+					LatEvery: latEvery,
 				}
 				vol := measure(pair[0], cfg, sink)
 				per := measure(pair[1], cfg, sink)
 				fmt.Printf("%.0f\t%d\t%d\t%s\t%.3f\t%.3f\t%+.1f%%\n",
-					zipf, upd, max(batch, 1), pair[1], vol, per, 100*(per-vol)/vol)
-				sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
-					Structure: pair[0], Threads: th, Batch: jsonBatch(batch),
-					OpsPerUs: vol, Keys: keyRange})
-				sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
-					Structure: pair[1], Threads: th, Batch: jsonBatch(batch),
-					OpsPerUs: per, Keys: keyRange})
+					zipf, upd, max(batch, 1), pair[1], vol.OpsPerUsec, per.OpsPerUsec,
+					100*(per.OpsPerUsec-vol.OpsPerUsec)/vol.OpsPerUsec)
+				for i, res := range []bench.Result{vol, per} {
+					p50, p99, p999 := res.LatPcts()
+					sink.add(report.Row{Table: 1, UpdatePct: upd, Zipf: zipf,
+						Structure: pair[i], Threads: th, Batch: jsonBatch(batch),
+						OpsPerUs: res.OpsPerUsec, Keys: keyRange,
+						P50us: p50, P99us: p99, P999us: p999})
+				}
 			}
 		}
 	}
 }
 
-func measure(name string, cfg bench.Config, sink *resultSink) float64 {
+func measure(name string, cfg bench.Config, sink *resultSink) bench.Result {
 	dd := newDict(name, cfg.KeyRange)
 	bench.Prefill(dd, cfg)
 	res, err := bench.Run(dd, cfg)
 	if err != nil {
 		sink.fatal("%s: %v", name, err)
 	}
-	return res.OpsPerUsec
+	return res
 }

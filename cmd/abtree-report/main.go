@@ -84,7 +84,11 @@ func diffAgainstBaseline(basePath string, resultPaths []string) {
 	}
 	missing, deltas := report.Diff(base, cur)
 	for _, d := range deltas {
-		fmt.Printf("delta %+6.1f%%  %s (%.3f -> %.3f ops/us)\n", d.Pct(), d.Cell, d.Base, d.Current)
+		lat := ""
+		if d.HasP99() {
+			lat = fmt.Sprintf("  p99 %+6.1f%% (%.2f -> %.2f us)", d.P99Pct(), d.BaseP99, d.CurrentP99)
+		}
+		fmt.Printf("delta %+6.1f%%  %s (%.3f -> %.3f ops/us)%s\n", d.Pct(), d.Cell, d.Base, d.Current, lat)
 	}
 	if len(missing) > 0 {
 		for _, m := range missing {

@@ -9,6 +9,14 @@
 //	abtree-server -addr :7471 -structure shard8-occ-abtree -keys 1000000
 //	abtree-server -addr 127.0.0.1:7471 -structure OCC-ABtree -workers 8
 //
+// Observability: the server keeps per-opcode latency histograms,
+// queue-wait times, connection/worker gauges and error counters (see
+// internal/metrics), reachable three ways:
+//
+//	abtree-server -debug 127.0.0.1:6060      # HTTP: /debug/metrics JSON + net/http/pprof
+//	abtree-server -trace-slow 10ms           # log ops slower than 10ms
+//	(any client)                             # the wire METRICS operation
+//
 // The server hosts one structure at a time. Clients may replace it with
 // the protocol's OPEN operation (the remote bench driver opens a fresh
 // structure per experiment cell), so treat the server as a benchmarking
@@ -16,11 +24,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/server"
@@ -32,10 +45,16 @@ func main() {
 		structure = flag.String("structure", "OCC-ABtree", "registry structure to host initially (see abtree-bench)")
 		keys      = flag.Uint64("keys", 1_000_000, "key range the hosted structure is sized for")
 		workers   = flag.Int("workers", 0, "handle-owning worker goroutines (0 = GOMAXPROCS)")
+		debugAddr = flag.String("debug", "", "HTTP listen address for /debug/metrics (JSON instrument dump) and /debug/pprof (empty = off)")
+		traceSlow = flag.Duration("trace-slow", 0, "log any operation whose service time reaches this (0 = off)")
 	)
 	flag.Parse()
 
-	s, err := server.New(bench.NewDict, *structure, *keys, server.Config{Workers: *workers})
+	s, err := server.New(bench.NewDict, *structure, *keys, server.Config{
+		Workers:   *workers,
+		Logf:      log.Printf,
+		TraceSlow: *traceSlow,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)
 		os.Exit(1)
@@ -47,9 +66,39 @@ func main() {
 	}
 	fmt.Printf("abtree-server: hosting %s (keys %d) on %s\n", *structure, *keys, bound)
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, s)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("abtree-server: shutting down")
 	s.Close()
+}
+
+// serveDebug runs the operator HTTP listener: an expvar-style JSON dump
+// of every server instrument at /debug/metrics, plus the standard pprof
+// handlers. A dedicated mux (not http.DefaultServeMux) keeps the
+// surface explicit.
+func serveDebug(addr string, s *server.Server) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.MetricsDump()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("abtree-server: debug endpoint on http://%s/debug/metrics\n", addr)
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "abtree-server: debug listener: %v\n", err)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/metrics"
 	"repro/internal/treedict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
@@ -101,6 +102,12 @@ type Config struct {
 	Duration  time.Duration
 	Seed      uint64
 	NoValid   bool // skip key-sum validation (used by Table 1 overhead runs)
+	// LatEvery samples whole-call latency on every Nth operation of each
+	// worker, uniformly across op kinds (0 disables). Sampling keeps the
+	// clock-read overhead (~2 time.Now per sample) off most iterations so
+	// throughput figures stay honest; a batched call counts as one sample
+	// covering the whole batch.
+	LatEvery int
 }
 
 // Result is one experiment cell's outcome.
@@ -110,6 +117,25 @@ type Result struct {
 	ScanPairs  uint64 // pairs reported by range scans
 	Elapsed    time.Duration
 	OpsPerUsec float64
+	// Lat holds the sampled whole-call latency distribution when
+	// Config.LatEvery > 0 (nil otherwise). Quantiles are in nanoseconds.
+	Lat *metrics.Snapshot
+}
+
+// LatPcts returns the sampled p50/p99/p999 in microseconds, or zeros if
+// latency sampling was off.
+func (r *Result) LatPcts() (p50, p99, p999 float64) {
+	return LatUs(r.Lat)
+}
+
+// LatUs extracts p50/p99/p999 from a latency snapshot in microseconds
+// (zeros for nil or empty) — the unit the TSV/JSON outputs use.
+func LatUs(s *metrics.Snapshot) (p50, p99, p999 float64) {
+	if s == nil || s.Count == 0 {
+		return 0, 0, 0
+	}
+	const us = 1e3
+	return float64(s.Quantile(0.50)) / us, float64(s.Quantile(0.99)) / us, float64(s.Quantile(0.999)) / us
 }
 
 // Prefill inserts uniformly random keys from [1, cfg.KeyRange] until the
@@ -212,6 +238,10 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 	sums := make([]int64, cfg.Threads)
 	counts := make([]uint64, cfg.Threads)
 	pairs := make([]uint64, cfg.Threads)
+	var lat *metrics.Histogram
+	if cfg.LatEvery > 0 {
+		lat = new(metrics.Histogram)
+	}
 	var stop atomic.Bool
 	var ready, wg sync.WaitGroup
 	start := make(chan struct{})
@@ -231,8 +261,17 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 			ready.Done()
 			<-start
 			var sum int64
-			var ops, scanned uint64
+			var ops, scanned, tick uint64
+			var t0 time.Time
 			for !stop.Load() {
+				// Deterministic 1-in-LatEvery sampling, uniform across op
+				// kinds: the tick advances per call, so batch and scan
+				// calls are sampled at the same rate as point ops.
+				tick++
+				timed := lat != nil && tick%uint64(cfg.LatEvery) == 0
+				if timed {
+					t0 = time.Now()
+				}
 				if bw != nil {
 					switch r := int(rng.Uint64n(200)); {
 					case r < cfg.UpdatePct:
@@ -252,27 +291,30 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 						bw.findBatch(z)
 						ops += uint64(cfg.Batch)
 					}
-					continue
-				}
-				k := z.Next()
-				switch r := int(rng.Uint64n(200)); {
-				case r < cfg.UpdatePct:
-					if _, ok := h.Insert(k, k); ok {
-						sum += int64(k)
+				} else {
+					k := z.Next()
+					switch r := int(rng.Uint64n(200)); {
+					case r < cfg.UpdatePct:
+						if _, ok := h.Insert(k, k); ok {
+							sum += int64(k)
+						}
+					case r < 2*cfg.UpdatePct:
+						if _, ok := h.Delete(k); ok {
+							sum -= int64(k)
+						}
+					case r < 2*(cfg.UpdatePct+cfg.ScanPct):
+						scan(k, k+cfg.ScanLen-1, func(_, _ uint64) bool {
+							scanned++
+							return true
+						})
+					default:
+						h.Find(k)
 					}
-				case r < 2*cfg.UpdatePct:
-					if _, ok := h.Delete(k); ok {
-						sum -= int64(k)
-					}
-				case r < 2*(cfg.UpdatePct+cfg.ScanPct):
-					scan(k, k+cfg.ScanLen-1, func(_, _ uint64) bool {
-						scanned++
-						return true
-					})
-				default:
-					h.Find(k)
+					ops++
 				}
-				ops++
+				if timed {
+					lat.Record(w, uint64(time.Since(t0)))
+				}
 			}
 			sums[w] = sum
 			counts[w] = ops
@@ -295,6 +337,10 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 		total += sums[w]
 	}
 	res.OpsPerUsec = float64(res.Ops) / float64(elapsed.Microseconds())
+	if lat != nil {
+		res.Lat = new(metrics.Snapshot)
+		lat.Snapshot(res.Lat)
+	}
 
 	if !cfg.NoValid {
 		want := baseline + uint64(total) // wrapping arithmetic matches KeySum

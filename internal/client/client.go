@@ -36,6 +36,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/dict"
 	"repro/internal/wire"
@@ -48,11 +49,14 @@ import (
 type Client struct {
 	addr string
 
-	mu    sync.Mutex
-	conns []net.Conn // every dialed connection, for Close
-	ctrl  *handle    // lazily dialed control handle (STATS/OPEN/KeySum)
-	caps  wire.Stats // hosted structure info from the last STATS/OPEN
-	open  bool
+	mu     sync.Mutex
+	conns  []net.Conn // every dialed connection, for Close
+	ctrl   *handle    // lazily dialed control handle (STATS/OPEN/KeySum)
+	caps   wire.Stats // hosted structure info from the last STATS/OPEN
+	open   bool
+	nhands int // handles dialed, for RTT shard hints
+
+	rtt rttHists // client-side per-op round-trip histograms
 }
 
 // Dial connects to an abtree server and fetches the hosted structure's
@@ -214,20 +218,25 @@ func (c *Client) newHandleLocked() (*handle, error) {
 		return nil, err
 	}
 	c.conns = append(c.conns, nc)
+	c.nhands++
 	return &handle{
-		nc: nc,
-		br: bufio.NewReaderSize(nc, 64<<10),
-		bw: bufio.NewWriterSize(nc, 64<<10),
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 64<<10),
+		bw:   bufio.NewWriterSize(nc, 64<<10),
+		rtt:  &c.rtt,
+		hint: c.nhands,
 	}, nil
 }
 
 // handle is a per-goroutine wire accessor over its own connection. Not
 // safe for concurrent use, like every dict.Handle.
 type handle struct {
-	nc net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
-	id uint64
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	id   uint64
+	rtt  *rttHists // shared per-op RTT histograms (see metrics.go)
+	hint int       // this handle's histogram stripe
 
 	hdr   [wire.HeaderLen]byte
 	out   []byte // request frame scratch
@@ -299,10 +308,12 @@ func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
 }
 
 func (h *handle) point(op byte, key, val uint64) (uint64, bool) {
+	t0 := time.Now()
 	v, ok, err := h.rpcPoint(op, key, val)
 	if err != nil {
 		panic(fmt.Sprintf("client: point op %#x: %v", op, err))
 	}
+	h.observe(copFor(op), t0)
 	return v, ok
 }
 
@@ -416,9 +427,11 @@ func (h *handle) runBatch(op byte, keys, ivals []uint64, ovals []uint64, oks []b
 	if len(ovals) != len(keys) || len(oks) != len(keys) || (op == wire.OpMPut && len(ivals) != len(keys)) {
 		panic("client: batch result slices must match len(keys)")
 	}
+	t0 := time.Now()
 	if err := h.batch(op, keys, ivals, ovals, oks); err != nil {
 		panic(fmt.Sprintf("client: batch op %#x: %v", op, err))
 	}
+	h.observe(copFor(op), t0) // whole-call RTT, all pipelined frames
 }
 
 // FindBatch looks up keys[i] for every i (dict.Batcher, remoted as one
@@ -445,6 +458,11 @@ func (h *handle) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
 // while fn runs, so fn may issue point operations on this same handle
 // (the dict.Ranger contract).
 func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
+	t0 := time.Now()
+	slot := copScan
+	if snapshot {
+		slot = copSnapScan
+	}
 	id := h.nextID()
 	h.out = wire.AppendScan(h.out[:0], id, snapshot, lo, hi)
 	if err := h.writeFrames(); err != nil {
@@ -468,6 +486,7 @@ func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
 			break
 		}
 	}
+	h.observe(slot, t0) // stream fully drained; excludes fn replay
 	for i, n := 0, len(h.pairs)/16; i < n; i++ {
 		k, v := wire.PairAt(h.pairs, i)
 		if !fn(k, v) {

@@ -1,0 +1,51 @@
+package metrics
+
+// TestAllocsMetrics is the hot-path gate (the PR 3-5 TestAllocs*
+// discipline): recording into any instrument, and snapshotting into
+// caller-owned scratch, must allocate nothing. The server threads these
+// calls through its 0-alloc point path, so a single allocation here
+// would fail TestAllocsRemotePointOps too — this gate localizes the
+// regression.
+
+import "testing"
+
+func TestAllocsMetrics(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	v := uint64(12345)
+	if avg := testing.AllocsPerRun(1000, func() { h.Record(3, v); v += 7919 }); avg != 0 {
+		t.Errorf("Histogram.Record allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { c.Inc(3) }); avg != 0 {
+		t.Errorf("Counter.Inc allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { c.Add(3, 9) }); avg != 0 {
+		t.Errorf("Counter.Add allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { g.Add(3, 1); g.Add(3, -1) }); avg != 0 {
+		t.Errorf("Gauge.Add allocates %.2f/op, want 0", avg)
+	}
+	var s Snapshot
+	if avg := testing.AllocsPerRun(100, func() { h.Snapshot(&s) }); avg != 0 {
+		t.Errorf("Histogram.Snapshot allocates %.2f/op, want 0", avg)
+	}
+	var s2 Snapshot
+	if avg := testing.AllocsPerRun(100, func() { s2.Merge(&s); _ = s2.Quantile(0.99) }); avg != 0 {
+		t.Errorf("Snapshot.Merge+Quantile allocates %.2f/op, want 0", avg)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(1, uint64(i)*31)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc(1)
+	}
+}

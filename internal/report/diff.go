@@ -21,11 +21,16 @@ func (r Row) cellKey() string {
 		r.ScanLen, r.Batch, r.ScanMode, r.Keys)
 }
 
-// Delta is one cell's throughput change against the baseline.
+// Delta is one cell's throughput (and, when both series carry it,
+// latency) change against the baseline.
 type Delta struct {
 	Cell    string
 	Base    float64
 	Current float64
+	// p99 latency in µs; zeros mean the series predates latency
+	// sampling or ran with it off (see Row.P99us).
+	BaseP99    float64
+	CurrentP99 float64
 }
 
 // Pct returns the relative change in percent (positive = faster).
@@ -36,6 +41,19 @@ func (d Delta) Pct() float64 {
 	return 100 * (d.Current - d.Base) / d.Base
 }
 
+// HasP99 reports whether both series carry a p99 for this cell, i.e.
+// P99Pct is meaningful.
+func (d Delta) HasP99() bool { return d.BaseP99 > 0 && d.CurrentP99 > 0 }
+
+// P99Pct returns the relative p99 latency change in percent (positive =
+// slower tail), or 0 when either series lacks the percentile.
+func (d Delta) P99Pct() float64 {
+	if !d.HasP99() {
+		return 0
+	}
+	return 100 * (d.CurrentP99 - d.BaseP99) / d.BaseP99
+}
+
 // Diff compares a current result series against a baseline produced
 // with the same benchmark flags. missing lists baseline cells absent
 // from the current run (structural regressions: the caller should fail
@@ -43,9 +61,9 @@ func (d Delta) Pct() float64 {
 // in both (informational). Cells only in the current run are ignored —
 // growing the series is not a regression.
 func Diff(baseline, current []Row) (missing []string, deltas []Delta) {
-	cur := make(map[string]float64, len(current))
+	cur := make(map[string]Row, len(current))
 	for _, r := range current {
-		cur[r.cellKey()] = r.OpsPerUs
+		cur[r.cellKey()] = r
 	}
 	seen := make(map[string]bool, len(baseline))
 	for _, r := range baseline {
@@ -54,12 +72,16 @@ func Diff(baseline, current []Row) (missing []string, deltas []Delta) {
 			continue
 		}
 		seen[key] = true
-		ops, ok := cur[key]
+		c, ok := cur[key]
 		if !ok {
 			missing = append(missing, key)
 			continue
 		}
-		deltas = append(deltas, Delta{Cell: key, Base: r.OpsPerUs, Current: ops})
+		deltas = append(deltas, Delta{
+			Cell: key,
+			Base: r.OpsPerUs, Current: c.OpsPerUs,
+			BaseP99: r.P99us, CurrentP99: c.P99us,
+		})
 	}
 	sort.Strings(missing)
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Cell < deltas[j].Cell })

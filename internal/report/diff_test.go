@@ -56,6 +56,29 @@ func TestDiff(t *testing.T) {
 			t.Fatalf("growing the series flagged a regression: missing=%v deltas=%d", missing, len(deltas))
 		}
 	})
+	t.Run("p99-delta", func(t *testing.T) {
+		b := []Row{{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, OpsPerUs: 10, P99us: 2.0}}
+		cur := []Row{{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, OpsPerUs: 10, P99us: 3.0}}
+		_, deltas := Diff(b, cur)
+		if len(deltas) != 1 {
+			t.Fatalf("got %d deltas", len(deltas))
+		}
+		d := deltas[0]
+		if !d.HasP99() || d.P99Pct() != 50 {
+			t.Fatalf("p99 delta = %+v (pct %v), want +50%%", d, d.P99Pct())
+		}
+		// Percentiles are measurements, not cell identity: a baseline
+		// without them still matches structurally, and the delta reports
+		// no latency comparison.
+		b[0].P99us = 0
+		missing, deltas := Diff(b, cur)
+		if len(missing) != 0 {
+			t.Fatalf("latency-less baseline read as structural regression: %v", missing)
+		}
+		if deltas[0].HasP99() || deltas[0].P99Pct() != 0 {
+			t.Fatalf("one-sided p99 compared: %+v", deltas[0])
+		}
+	})
 	t.Run("batch-cell", func(t *testing.T) {
 		b := []Row{{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, Batch: 64, OpsPerUs: 5}}
 		cur := []Row{{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, OpsPerUs: 5}}

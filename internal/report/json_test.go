@@ -18,6 +18,10 @@ func TestJSONRoundTrip(t *testing.T) {
 		Figure: 18, UpdatePct: -1, Zipf: 0.5, Structure: "shard8-occ-abtree",
 		Threads: 8, ScanLen: 100, OpsPerUs: 0.266,
 		ScanMode: "snapshot", Keys: 1_000_000,
+	}, Row{
+		Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree",
+		Threads: 4, OpsPerUs: 14.5,
+		P50us: 0.21, P99us: 1.73, P999us: 6.02, Keys: 10_000,
 	})
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, rows); err != nil {
@@ -38,10 +42,20 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	// The field names are the TSV headers, so downstream tooling can
 	// match columns by name.
-	for _, want := range []string{`"figure"`, `"structure"`, `"threads"`, `"scanlen"`, `"ops_per_us"`, `"scanmode"`, `"keys"`} {
+	for _, want := range []string{`"figure"`, `"structure"`, `"threads"`, `"scanlen"`, `"ops_per_us"`, `"scanmode"`, `"keys"`, `"p50_us"`, `"p99_us"`, `"p999_us"`} {
 		if !strings.Contains(doc, want) {
 			t.Fatalf("JSON output missing %s field:\n%s", want, doc)
 		}
+	}
+	// Rows without sampled latency omit the percentile fields entirely,
+	// so pre-observability baselines and latency-off runs stay identical
+	// on disk.
+	var solo bytes.Buffer
+	if err := WriteJSON(&solo, rows[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(solo.String(), "p99_us") {
+		t.Fatalf("latency-off row emitted percentile fields:\n%s", solo.String())
 	}
 }
 

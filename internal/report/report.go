@@ -29,6 +29,13 @@ type Row struct {
 	Batch     int     `json:"batch,omitempty"`   // point-op batch size (0 or 1 = per-key)
 	OpsPerUs  float64 `json:"ops_per_us"`
 
+	// Sampled whole-call latency percentiles in microseconds (0 = the
+	// run had latency sampling off; pre-observability series omit them,
+	// so every consumer treats 0 as "absent").
+	P50us  float64 `json:"p50_us,omitempty"`
+	P99us  float64 `json:"p99_us,omitempty"`
+	P999us float64 `json:"p999_us,omitempty"`
+
 	// JSON-only provenance (not TSV columns): without them, runs with
 	// different scan modes or key counts would be indistinguishable in
 	// the BENCH_*.json trajectory and diffs would compare incomparable
@@ -100,6 +107,12 @@ func Parse(r io.Reader) ([]Row, error) {
 				}
 			case "ops_per_us", "tx_per_us":
 				row.OpsPerUs, err = strconv.ParseFloat(v, 64)
+			case "p50_us":
+				row.P50us, err = strconv.ParseFloat(v, 64)
+			case "p99_us":
+				row.P99us, err = strconv.ParseFloat(v, 64)
+			case "p999_us":
+				row.P999us, err = strconv.ParseFloat(v, 64)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("report: bad %s value %q: %w", col, v, err)
@@ -158,6 +171,12 @@ type Summary struct {
 	// OursVsBestComparison is the same ratio over comparison-based
 	// competitors only.
 	OursVsBestComparison float64
+	// OursP50us/P99us/P999us are the sampled latency percentiles (µs) of
+	// the fastest ours row in the cell; zeros when the run had latency
+	// sampling off.
+	OursP50us  float64
+	OursP99us  float64
+	OursP999us float64
 }
 
 // comparisonBased reports whether a structure is a comparison-based
@@ -185,9 +204,14 @@ func Summarize(rows []Row) []Summary {
 	var out []Summary
 	for w, rs := range groups {
 		s := Summary{Workload: w}
+		var bestOurs float64
 		for _, r := range rs {
 			if r.OpsPerUs > s.BestOps {
 				s.Best, s.BestOps = r.Structure, r.OpsPerUs
+			}
+			if isOurs(r.Structure) && r.OpsPerUs > bestOurs {
+				bestOurs = r.OpsPerUs
+				s.OursP50us, s.OursP99us, s.OursP999us = r.P50us, r.P99us, r.P999us
 			}
 			switch r.Structure {
 			case "OCC-ABtree", "p-OCC-ABtree":
@@ -232,13 +256,17 @@ func Summarize(rows []Row) []Summary {
 // Markdown renders summaries as the EXPERIMENTS.md table body.
 func Markdown(sums []Summary) string {
 	var b strings.Builder
-	b.WriteString("| workload | winner | ours (ops/µs) | best competitor | ratio | best comparison-based | ratio |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| workload | winner | ours (ops/µs) | best competitor | ratio | best comparison-based | ratio | ours p50/p99/p999 (µs) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, s := range sums {
 		ours := max(s.OCC, s.Elim)
-		fmt.Fprintf(&b, "| %s | %s | %.2f | %s %.2f | %.2fx | %s %.2f | %.2fx |\n",
+		lat := "-"
+		if s.OursP99us > 0 {
+			lat = fmt.Sprintf("%.2f/%.2f/%.2f", s.OursP50us, s.OursP99us, s.OursP999us)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %s %.2f | %.2fx | %s %.2f | %.2fx | %s |\n",
 			s.Workload, s.Best, ours, s.BestCompetitor, s.CompetitorOps, s.OursVsBestCompetitor,
-			s.BestComparison, s.ComparisonOps, s.OursVsBestComparison)
+			s.BestComparison, s.ComparisonOps, s.OursVsBestComparison, lat)
 	}
 	return b.String()
 }

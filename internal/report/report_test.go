@@ -79,6 +79,36 @@ func TestParseFig16Format(t *testing.T) {
 	}
 }
 
+func TestParseLatencyColumns(t *testing.T) {
+	in := "figure\tupdates%\tzipf\tstructure\tthreads\tops_per_us\tp50_us\tp99_us\tp999_us\n" +
+		"12\t50\t0\tOCC-ABtree\t2\t8.12\t0.23\t1.91\t7.40\n"
+	rows, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.P50us != 0.23 || r.P99us != 1.91 || r.P999us != 7.40 {
+		t.Fatalf("latency columns = %+v", r)
+	}
+}
+
+func TestMarkdownLatencyColumn(t *testing.T) {
+	rows := []Row{
+		{Figure: 12, UpdatePct: 50, Structure: "OCC-ABtree", Threads: 2, OpsPerUs: 8, P50us: 0.2, P99us: 1.9, P999us: 7.4},
+		{Figure: 12, UpdatePct: 50, Structure: "CATree", Threads: 2, OpsPerUs: 5},
+	}
+	md := Markdown(Summarize(rows))
+	if !strings.Contains(md, "0.20/1.90/7.40") {
+		t.Fatalf("markdown missing the latency column:\n%s", md)
+	}
+	// Latency-off rows render a dash, not zeros.
+	rows[0].P50us, rows[0].P99us, rows[0].P999us = 0, 0, 0
+	md = Markdown(Summarize(rows))
+	if !strings.Contains(md, "| - |") {
+		t.Fatalf("latency-off markdown should dash the column:\n%s", md)
+	}
+}
+
 func TestComparisonBasedColumn(t *testing.T) {
 	rows := []Row{
 		{Figure: 12, UpdatePct: 100, Zipf: 0, Structure: "OCC-ABtree", Threads: 4, OpsPerUs: 5},

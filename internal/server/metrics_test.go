@@ -1,0 +1,264 @@
+package server
+
+// Observability tests: the remote METRICS smoke test (real TCP loopback
+// through internal/client, like every test here), teardown-cause
+// counting and logging, the slow-op trace hook, and the MetricsDump
+// debug view.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// waitCond polls f for up to a second — teardown accounting runs on the
+// connection's writer goroutine, so tests must tolerate a short lag.
+func waitCond(t *testing.T, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if f() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRemoteMetrics is the loopback smoke test: run a mixed workload,
+// fetch METRICS through the client, and check the counters, gauges and
+// per-op histograms line up with the traffic.
+func TestRemoteMetrics(t *testing.T) {
+	s, c := startServer(t, "occ", 1<<16, 2)
+	h := c.NewHandle()
+	const ops = 200
+	for i := uint64(1); i <= ops; i++ {
+		h.Insert(i, i*10)
+	}
+	for i := uint64(1); i <= ops; i++ {
+		if v, ok := h.Find(i); !ok || v != i*10 {
+			t.Fatalf("Find(%d) = %d,%v", i, v, ok)
+		}
+	}
+	keys := []uint64{1, 2, 3, 4, 5}
+	vals := make([]uint64, len(keys))
+	oks := make([]bool, len(keys))
+	h.(interface {
+		FindBatch(keys, vals []uint64, found []bool)
+	}).FindBatch(keys, vals, oks)
+
+	sm, err := c.ServerMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.Hists["op_put_ns"].Count; got != ops {
+		t.Errorf("op_put_ns count = %d, want %d", got, ops)
+	}
+	if got := sm.Hists["op_get_ns"].Count; got != ops {
+		t.Errorf("op_get_ns count = %d, want %d", got, ops)
+	}
+	if got := sm.Hists["op_mget_ns"].Count; got != 1 {
+		t.Errorf("op_mget_ns count = %d, want 1", got)
+	}
+	qw := sm.Hists["queue_wait_ns"]
+	if qw == nil || qw.Count < 2*ops {
+		t.Errorf("queue_wait_ns = %+v, want count >= %d", qw, 2*ops)
+	}
+	if p99 := sm.Hists["op_get_ns"].Quantile(0.99); p99 == 0 {
+		t.Error("op_get_ns p99 = 0")
+	}
+	if got := sm.Gauges["workers"]; got != 2 {
+		t.Errorf("workers gauge = %d, want 2", got)
+	}
+	// ctrl handle + point handle at least; STATS from Dial already ran.
+	if got := sm.Counters["accepted_conns_total"]; got < 2 {
+		t.Errorf("accepted_conns_total = %d, want >= 2", got)
+	}
+	if got := sm.Gauges["open_conns"]; got < 2 {
+		t.Errorf("open_conns = %d, want >= 2", got)
+	}
+	if got := sm.Counters["shed_responses_total"]; got != 0 {
+		t.Errorf("shed_responses_total = %d, want 0", got)
+	}
+
+	// The client recorded matching RTT histograms.
+	rtt := c.RTT()
+	if got := rtt["rtt_put_ns"].Count; got != ops {
+		t.Errorf("rtt_put_ns count = %d, want %d", got, ops)
+	}
+	if rtt["rtt_get_ns"].Quantile(0.5) == 0 {
+		t.Error("rtt_get_ns p50 = 0")
+	}
+	if _, ok := rtt["rtt_delete_ns"]; ok {
+		t.Error("rtt_delete_ns present though no deletes ran")
+	}
+
+	// MetricsDump (the -debug endpoint's payload) agrees and marshals.
+	d := s.MetricsDump()
+	if d.Hosted != "occ" {
+		t.Errorf("dump hosted %q", d.Hosted)
+	}
+	if d.Histograms["op_put_ns"].Count != ops {
+		t.Errorf("dump op_put_ns count = %d", d.Histograms["op_put_ns"].Count)
+	}
+	if d.Histograms["op_get_ns"].P99Ns == 0 || d.Histograms["op_get_ns"].MeanNs == 0 {
+		t.Error("dump op_get_ns percentiles empty")
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"op_get_ns"`, `"p99_ns"`, `"accepted_conns_total"`, `"open_conns"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("dump JSON missing %s", want)
+		}
+	}
+}
+
+// logSink collects Config.Logf lines for assertions.
+type logSink struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logSink) logf(format string, args ...any) {
+	l.mu.Lock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+func (l *logSink) find(sub string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.lines {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTeardownCauses: a cleanly-closed peer counts as peer_closed, a
+// framing violation counts as framing, and each teardown logs one
+// structured line with its cause.
+func TestTeardownCauses(t *testing.T) {
+	var logs logSink
+	s, err := New(testBuilder, "occ", 1<<16, Config{Workers: 1, Logf: logs.logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	// Clean close.
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+	waitCond(t, "peer_closed teardown", func() bool {
+		return s.MetricsDump().Counters["teardown_peer_closed_total"] == 1
+	})
+	if !logs.find("cause=peer_closed") {
+		t.Error("no structured log line for peer_closed teardown")
+	}
+
+	// Framing violation: an oversized frame length. The server answers
+	// with an error frame, then closes.
+	nc, err = net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [wire.HeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], wire.MaxFrame+1)
+	binary.LittleEndian.PutUint64(hdr[4:12], 77)
+	hdr[12] = wire.OpGet
+	if _, err := nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "framing teardown", func() bool {
+		return s.MetricsDump().Counters["teardown_framing_total"] == 1
+	})
+	nc.Close()
+	if !logs.find("cause=framing") {
+		t.Error("no structured log line for framing teardown")
+	}
+
+	d := s.MetricsDump()
+	if got := d.Counters["accepted_conns_total"]; got != 2 {
+		t.Errorf("accepted_conns_total = %d, want 2", got)
+	}
+	waitCond(t, "conns gauge drain", func() bool {
+		return s.MetricsDump().Gauges["open_conns"] == 0
+	})
+}
+
+// TestDecodeErrorCounter: malformed-but-delimited frames keep the
+// connection alive and bump decode_errors_total; reserved keys bump
+// key_rejects_total.
+func TestDecodeErrorCounter(t *testing.T) {
+	s, c := startServer(t, "occ", 1<<16, 1)
+	nc, err := net.Dial("tcp", s.l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Unknown opcode: delimited, so answered with RespError in-stream.
+	frame := make([]byte, wire.HeaderLen)
+	binary.LittleEndian.PutUint32(frame[:4], wire.HeaderLen-4)
+	binary.LittleEndian.PutUint64(frame[4:12], 9)
+	frame[12] = 0x7F
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "decode error counter", func() bool {
+		return s.MetricsDump().Counters["decode_errors_total"] == 1
+	})
+
+	// Reserved key via the real client: panics client-side, counted
+	// server-side.
+	h := c.NewHandle()
+	func() {
+		defer func() { recover() }()
+		h.Find(0)
+	}()
+	waitCond(t, "key reject counter", func() bool {
+		return s.MetricsDump().Counters["key_rejects_total"] == 1
+	})
+}
+
+// TestSlowOpTrace: with TraceSlow set to one nanosecond every op is
+// slow, so a point op must produce a trace line naming its opcode.
+func TestSlowOpTrace(t *testing.T) {
+	var logs logSink
+	s, err := New(testBuilder, "occ", 1<<16, Config{Workers: 1, Logf: logs.logf, TraceSlow: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	h := c.NewHandle()
+	h.Insert(42, 1)
+	waitCond(t, "slow-op trace line", func() bool {
+		return logs.find("slow-op op=put")
+	})
+}

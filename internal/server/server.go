@@ -34,6 +34,7 @@ package server
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/metrics"
 	"repro/internal/treedict"
 	"repro/internal/wire"
 )
@@ -67,6 +69,13 @@ type Config struct {
 	// otherwise pin that worker forever. The deadline turns a stalled
 	// connection into a dead one, and teardown frees the worker.
 	WriteTimeout time.Duration
+	// Logf, when set, receives one structured line per connection
+	// teardown (remote address + cause) and per slow operation (see
+	// TraceSlow). Nil keeps the server silent, as before.
+	Logf func(format string, args ...any)
+	// TraceSlow, when positive, logs any operation whose service time
+	// reaches it through Logf — the slow-op trace hook.
+	TraceSlow time.Duration
 }
 
 // reqSlots bounds the requests one connection may have in flight; its
@@ -92,6 +101,10 @@ type Server struct {
 	build        Builder
 	workers      int
 	writeTimeout time.Duration
+	logf         func(format string, args ...any)
+	traceSlow    time.Duration
+
+	metrics srvMetrics
 
 	cur  atomic.Pointer[hosted]
 	gen  atomic.Uint64
@@ -122,6 +135,8 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 		build:        build,
 		workers:      workers,
 		writeTimeout: wt,
+		logf:         cfg.Logf,
+		traceSlow:    cfg.TraceSlow,
 		work:         make(chan *request, workers*4),
 		quit:         make(chan struct{}),
 		conns:        make(map[*srvConn]struct{}),
@@ -129,9 +144,10 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 	if err := s.host(name, keyRange); err != nil {
 		return nil, err
 	}
+	s.metrics.workers.Add(0, int64(workers))
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
-		go s.workerLoop()
+		go s.workerLoop(i)
 	}
 	return s, nil
 }
@@ -176,7 +192,7 @@ func (s *Server) Close() error {
 	}
 	close(s.quit)
 	for _, c := range conns {
-		c.teardown()
+		c.teardown(causeServerClosed)
 	}
 	s.wg.Wait()
 	return nil
@@ -231,15 +247,19 @@ func (s *Server) acceptLoop(l net.Listener) {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
+		s.metrics.accepted.Inc(0)
+		s.metrics.conns.Add(0, 1)
 		go c.reader()
 		go c.writer()
 	}
 }
 
 // request is one in-flight request: the decoded frame (with its reused
-// key/value scratch) plus the connection to respond on.
+// key/value scratch), the connection to respond on, and the reader's
+// enqueue stamp (queue-wait = worker dequeue time minus enq).
 type request struct {
-	c *srvConn
+	c   *srvConn
+	enq time.Time
 	wire.Request
 }
 
@@ -255,10 +275,17 @@ type srvConn struct {
 	s         *Server
 	nc        net.Conn
 	br        *bufio.Reader
+	remote    string // peer address, captured once for log lines
 	done      chan struct{}
 	drain     chan struct{}
 	once      sync.Once
 	drainOnce sync.Once
+
+	// readCause is the teardown cause the reader observed before asking
+	// for shutdown; the writer's drain path passes it to teardown.
+	// Written only by the reader before close(drain), read after the
+	// drain channel fires, so the close is the happens-before edge.
+	readCause int
 
 	writeq  chan *outBuf
 	reqPool chan *request
@@ -272,6 +299,7 @@ func (s *Server) newConn(nc net.Conn) *srvConn {
 		s:       s,
 		nc:      nc,
 		br:      bufio.NewReaderSize(nc, 64<<10),
+		remote:  nc.RemoteAddr().String(),
 		done:    make(chan struct{}),
 		drain:   make(chan struct{}),
 		writeq:  make(chan *outBuf, 2*reqSlots),
@@ -294,14 +322,23 @@ func (c *srvConn) shutdown() {
 
 // teardown closes the connection exactly once: readers and writers
 // unblock via nc.Close and done; workers holding responses for this
-// connection drop them via done.
-func (c *srvConn) teardown() {
+// connection drop them via done. The first caller's cause wins; it is
+// counted per cause and, when Config.Logf is set, logged as one
+// structured line — write-deadline expiries and framing violations
+// included, which used to vanish silently.
+func (c *srvConn) teardown(cause int) {
 	c.once.Do(func() {
 		close(c.done)
 		c.nc.Close()
-		c.s.mu.Lock()
-		delete(c.s.conns, c)
-		c.s.mu.Unlock()
+		s := c.s
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.metrics.conns.Add(0, -1)
+		s.metrics.teardowns[cause].Inc(0)
+		if s.logf != nil {
+			s.logf("server: conn closed remote=%s cause=%s", c.remote, causeNames[cause])
+		}
 	})
 }
 
@@ -341,6 +378,7 @@ func (c *srvConn) send(ob *outBuf) bool {
 	case c.writeq <- ob:
 		return true
 	case <-c.done:
+		c.s.metrics.shed.Inc(0)
 		return false
 	}
 }
@@ -364,15 +402,22 @@ func (c *srvConn) sendErr(id uint64, msg string) {
 // the length prefix keeps it aligned either way.
 func (c *srvConn) reader() {
 	defer c.shutdown()
+	m := &c.s.metrics
 	var hdr [wire.HeaderLen]byte
 	for {
 		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			if err == io.EOF {
+				c.readCause = causePeerClosed
+			} else {
+				c.readCause = causeReadError
+			}
 			return
 		}
 		length := binary.LittleEndian.Uint32(hdr[:4])
 		if length < wire.HeaderLen-4 || length > wire.MaxFrame {
 			id := binary.LittleEndian.Uint64(hdr[4:12])
 			c.sendErr(id, fmt.Sprintf("bad frame length %d (want 9..%d)", length, wire.MaxFrame))
+			c.readCause = causeFraming
 			return
 		}
 		id := binary.LittleEndian.Uint64(hdr[4:12])
@@ -383,6 +428,7 @@ func (c *srvConn) reader() {
 		}
 		c.payload = c.payload[:n]
 		if _, err := io.ReadFull(c.br, c.payload); err != nil {
+			c.readCause = causeReadError
 			return
 		}
 		var req *request
@@ -392,20 +438,24 @@ func (c *srvConn) reader() {
 			return
 		}
 		if err := wire.DecodeRequest(id, op, c.payload, &req.Request); err != nil {
+			m.decodeErrs.Inc(0)
 			c.sendErr(id, err.Error())
 			c.putReq(req)
 			continue
 		}
 		if msg := validateKeys(&req.Request); msg != "" {
+			m.keyRejects.Inc(0)
 			c.sendErr(id, msg)
 			c.putReq(req)
 			continue
 		}
+		req.enq = time.Now()
 		select {
 		case c.s.work <- req:
 		case <-c.done:
 			return
 		case <-c.s.quit:
+			c.readCause = causeServerClosed
 			return
 		}
 	}
@@ -451,10 +501,20 @@ func (c *srvConn) writer() {
 			c.nc.SetWriteDeadline(time.Now().Add(c.s.writeTimeout))
 		}
 	}
+	// writeCause classifies a socket-write failure: a deadline expiry
+	// (the stalled-peer backstop firing) is its own teardown cause so
+	// operators can tell slow consumers from broken pipes.
+	writeCause := func(err error) int {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return causeWriteTimeout
+		}
+		return causeWriteError
+	}
 	write := func(ob *outBuf) bool {
 		deadline()
 		if _, err := bw.Write(ob.b); err != nil {
-			c.teardown()
+			c.teardown(writeCause(err))
 			return false
 		}
 		c.putOut(ob)
@@ -469,7 +529,7 @@ func (c *srvConn) writer() {
 			if len(c.writeq) == 0 {
 				deadline()
 				if err := bw.Flush(); err != nil {
-					c.teardown()
+					c.teardown(writeCause(err))
 					return
 				}
 			}
@@ -482,8 +542,11 @@ func (c *srvConn) writer() {
 					}
 				default:
 					deadline()
-					bw.Flush()
-					c.teardown()
+					if err := bw.Flush(); err != nil {
+						c.teardown(writeCause(err))
+						return
+					}
+					c.teardown(c.readCause)
 					return
 				}
 			}
@@ -499,14 +562,16 @@ func (c *srvConn) writer() {
 // batch-result and scan-chunk scratch.
 type worker struct {
 	s    *Server
+	idx  int // pool index, the worker's metrics shard hint
 	cur  *hosted
 	h    dict.Handle
 	bat  dict.Batcher
 	weak func(lo, hi uint64, fn func(k, v uint64) bool)
 	snap func(lo, hi uint64, fn func(k, v uint64) bool)
 
-	vals []uint64
-	oks  []bool
+	vals  []uint64
+	oks   []bool
+	msnap metrics.Snapshot // METRICS streaming scratch
 
 	// Scan-in-flight state for the bound relay callback (one scan at a
 	// time per worker, so worker fields — not a per-scan closure).
@@ -519,9 +584,9 @@ type worker struct {
 	relay func(k, v uint64) bool
 }
 
-func (s *Server) workerLoop() {
+func (s *Server) workerLoop(idx int) {
 	defer s.wg.Done()
-	w := &worker{s: s}
+	w := &worker{s: s, idx: idx & (metrics.NumShards - 1)}
 	w.relay = w.scanRelay
 	for {
 		select {
@@ -545,6 +610,8 @@ func (w *worker) serve(req *request) {
 	if h := w.s.cur.Load(); w.cur != h {
 		w.attach(h)
 	}
+	now := time.Now()
+	w.s.metrics.inFlight.Add(w.idx, 1)
 	c := req.c
 	switch req.Op {
 	case wire.OpGet:
@@ -619,11 +686,15 @@ func (w *worker) serve(req *request) {
 			ob.b = wire.AppendRespOK(ob.b[:0], req.ID)
 			c.send(ob)
 		}
+	case wire.OpMetrics:
+		w.serveMetrics(c, req.ID)
 	default:
 		// DecodeRequest rejects unknown opcodes; this is unreachable but
 		// cheap insurance against a decoder/server skew.
 		c.sendErr(req.ID, "unhandled opcode")
 	}
+	w.s.metrics.inFlight.Add(w.idx, -1)
+	w.observe(req, now)
 	c.putReq(req)
 }
 

@@ -1,0 +1,212 @@
+package wire
+
+// The METRICS operation: a client asks the server for its full
+// observability snapshot — every counter, gauge and latency histogram
+// internal/server maintains — and the server streams it back as a
+// sequence of RespMetrics frames, one instrument per frame (histograms
+// are too big to guarantee a whole set fits under MaxFrame; streaming
+// them item-at-a-time mirrors how scan responses chunk). The final
+// frame sets MetricsLast.
+//
+// Request payload (OpMetrics): empty, like STATS.
+//
+// RespMetrics payload:
+//
+//	flags u8                      bit0 = MetricsLast
+//	kind  u8                      0 counter, 1 gauge, 2 histogram
+//	nameLen u8, name bytes
+//	counter: value u64
+//	gauge:   value i64 (two's complement in a u64)
+//	histogram: count u64, sum u64, n u32, n*(bucket u32, count u64)
+//
+// Histogram buckets ship sparse (only occupied buckets), in strictly
+// ascending bucket order, and the decoder re-validates everything an
+// untrusted peer could fake: sizes are exact, bucket indexes are in
+// range and ascending, and the bucket counts sum to the claimed total.
+// FuzzDecodeMetrics drives arbitrary bytes through it.
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Metrics item kinds (the RespMetrics kind byte).
+const (
+	MetricCounter   = 0
+	MetricGauge     = 1
+	MetricHistogram = 2
+)
+
+// MetricsLast marks the final RespMetrics frame of a METRICS response.
+const MetricsLast = 0x01
+
+// AppendMetricsReq appends a METRICS request frame.
+func AppendMetricsReq(b []byte, id uint64) []byte {
+	start := len(b)
+	b = beginFrame(b, id, OpMetrics)
+	return finishFrame(b, start)
+}
+
+func beginMetricsItem(b []byte, id uint64, kind byte, name string, last bool) []byte {
+	if len(name) > 255 {
+		panic(fmt.Sprintf("wire: metric name %q exceeds 255 bytes", name))
+	}
+	b = beginFrame(b, id, RespMetrics)
+	var flags byte
+	if last {
+		flags = MetricsLast
+	}
+	b = append(b, flags, kind, byte(len(name)))
+	return append(b, name...)
+}
+
+// AppendMetricsCounter appends one counter item frame.
+func AppendMetricsCounter(b []byte, id uint64, name string, v uint64, last bool) []byte {
+	start := len(b)
+	b = beginMetricsItem(b, id, MetricCounter, name, last)
+	b = le.AppendUint64(b, v)
+	return finishFrame(b, start)
+}
+
+// AppendMetricsGauge appends one gauge item frame.
+func AppendMetricsGauge(b []byte, id uint64, name string, v int64, last bool) []byte {
+	start := len(b)
+	b = beginMetricsItem(b, id, MetricGauge, name, last)
+	b = le.AppendUint64(b, uint64(v))
+	return finishFrame(b, start)
+}
+
+// AppendMetricsHist appends one histogram item frame carrying s's
+// occupied buckets sparsely.
+func AppendMetricsHist(b []byte, id uint64, name string, s *metrics.Snapshot, last bool) []byte {
+	start := len(b)
+	b = beginMetricsItem(b, id, MetricHistogram, name, last)
+	b = le.AppendUint64(b, s.Count)
+	b = le.AppendUint64(b, s.Sum)
+	nOff := len(b)
+	b = le.AppendUint32(b, 0)
+	var n uint32
+	for i, c := range s.Buckets {
+		if c != 0 {
+			b = le.AppendUint32(b, uint32(i))
+			b = le.AppendUint64(b, c)
+			n++
+		}
+	}
+	le.PutUint32(b[nOff:], n)
+	return finishFrame(b, start)
+}
+
+// MetricsItem is one decoded RespMetrics frame. Name and Hist are
+// scratch reused across DecodeMetricsItem calls on the same item.
+type MetricsItem struct {
+	Kind  byte
+	Name  []byte
+	Value uint64 // counter value / gauge bits (int64(Value) for gauges)
+	Hist  metrics.Snapshot
+}
+
+// Gauge returns the item's gauge value.
+func (it *MetricsItem) Gauge() int64 { return int64(it.Value) }
+
+// DecodeMetricsItem parses a RespMetrics payload into it, returning
+// whether the frame is the stream's last. Validation is exhaustive —
+// size mismatches, out-of-range or out-of-order buckets, and count
+// totals that do not match the buckets are errors, never panics — so
+// untrusted server bytes are safe to feed it (FuzzDecodeMetrics does).
+func DecodeMetricsItem(payload []byte, it *MetricsItem) (last bool, err error) {
+	if len(payload) < 3 {
+		return false, fmt.Errorf("wire: metrics item wants flags+kind+nameLen, got %d bytes", len(payload))
+	}
+	flags, kind, nameLen := payload[0], payload[1], int(payload[2])
+	if flags&^byte(MetricsLast) != 0 {
+		return false, fmt.Errorf("wire: metrics item has unknown flags %#x", flags)
+	}
+	if len(payload) < 3+nameLen {
+		return false, fmt.Errorf("wire: metrics item claims %d name bytes in %d payload bytes", nameLen, len(payload))
+	}
+	it.Kind = kind
+	it.Name = append(it.Name[:0], payload[3:3+nameLen]...)
+	body := payload[3+nameLen:]
+	last = flags&MetricsLast != 0
+	switch kind {
+	case MetricCounter, MetricGauge:
+		if len(body) != 8 {
+			return false, fmt.Errorf("wire: counter/gauge item wants 8 value bytes, got %d", len(body))
+		}
+		it.Value = le.Uint64(body)
+	case MetricHistogram:
+		if len(body) < 20 {
+			return false, fmt.Errorf("wire: histogram item wants count+sum+n, got %d bytes", len(body))
+		}
+		it.Hist.Reset()
+		it.Hist.Count = le.Uint64(body)
+		it.Hist.Sum = le.Uint64(body[8:])
+		n := int(le.Uint32(body[16:]))
+		if n > metrics.NumBuckets {
+			return false, fmt.Errorf("wire: histogram item claims %d buckets > %d", n, metrics.NumBuckets)
+		}
+		if len(body) != 20+12*n {
+			return false, fmt.Errorf("wire: histogram item with %d buckets wants %d payload bytes, got %d", n, 20+12*n, len(body))
+		}
+		prev := -1
+		var total uint64
+		for i := 0; i < n; i++ {
+			idx := int(le.Uint32(body[20+12*i:]))
+			c := le.Uint64(body[20+12*i+4:])
+			if idx >= metrics.NumBuckets {
+				return false, fmt.Errorf("wire: histogram bucket %d out of range", idx)
+			}
+			if idx <= prev {
+				return false, fmt.Errorf("wire: histogram buckets out of order (%d after %d)", idx, prev)
+			}
+			if c == 0 {
+				return false, fmt.Errorf("wire: histogram carries an empty bucket %d", idx)
+			}
+			prev = idx
+			it.Hist.Buckets[idx] = c
+			nt := total + c
+			if nt < total {
+				return false, fmt.Errorf("wire: histogram bucket counts overflow")
+			}
+			total = nt
+		}
+		if total != it.Hist.Count {
+			return false, fmt.Errorf("wire: histogram buckets sum to %d, claimed count %d", total, it.Hist.Count)
+		}
+	default:
+		return false, fmt.Errorf("wire: unknown metrics item kind %d", kind)
+	}
+	return last, nil
+}
+
+// OpName returns the human-readable name of a request opcode — the
+// vocabulary metrics, slow-op traces and teardown logs share.
+func OpName(op byte) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpMGet:
+		return "mget"
+	case OpMPut:
+		return "mput"
+	case OpMDelete:
+		return "mdelete"
+	case OpScan:
+		return "scan"
+	case OpSnapScan:
+		return "snapscan"
+	case OpStats:
+		return "stats"
+	case OpOpen:
+		return "open"
+	case OpMetrics:
+		return "metrics"
+	}
+	return "unknown"
+}

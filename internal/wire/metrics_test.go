@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestMetricsItemRoundTrip: every item kind encodes and decodes back
+// unchanged, including a histogram's sparse bucket set.
+func TestMetricsItemRoundTrip(t *testing.T) {
+	var it MetricsItem
+
+	_, op, payload := splitFrame(t, AppendMetricsCounter(nil, 1, "accepted_conns_total", 42, false))
+	if op != RespMetrics {
+		t.Fatalf("op %#x", op)
+	}
+	last, err := DecodeMetricsItem(payload, &it)
+	if err != nil || last {
+		t.Fatalf("counter: last=%v err=%v", last, err)
+	}
+	if it.Kind != MetricCounter || string(it.Name) != "accepted_conns_total" || it.Value != 42 {
+		t.Fatalf("counter item %+v", it)
+	}
+
+	_, _, payload = splitFrame(t, AppendMetricsGauge(nil, 2, "inflight_ops", -3, false))
+	if _, err := DecodeMetricsItem(payload, &it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Kind != MetricGauge || it.Gauge() != -3 {
+		t.Fatalf("gauge item %+v -> %d", it, it.Gauge())
+	}
+
+	var h metrics.Histogram
+	for i := uint64(1); i <= 10_000; i++ {
+		h.Record(0, i*3)
+	}
+	var s metrics.Snapshot
+	h.Snapshot(&s)
+	_, _, payload = splitFrame(t, AppendMetricsHist(nil, 3, "op_get_ns", &s, true))
+	last, err = DecodeMetricsItem(payload, &it)
+	if err != nil || !last {
+		t.Fatalf("hist: last=%v err=%v", last, err)
+	}
+	if it.Kind != MetricHistogram || string(it.Name) != "op_get_ns" {
+		t.Fatalf("hist item kind=%d name=%q", it.Kind, it.Name)
+	}
+	if it.Hist != s {
+		t.Fatal("histogram snapshot changed in round trip")
+	}
+
+	// Empty histogram round-trips too (n = 0).
+	var empty metrics.Snapshot
+	_, _, payload = splitFrame(t, AppendMetricsHist(nil, 4, "op_open_ns", &empty, true))
+	if _, err := DecodeMetricsItem(payload, &it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Hist.Count != 0 || it.Hist != empty {
+		t.Fatalf("empty histogram decoded to count %d", it.Hist.Count)
+	}
+}
+
+// TestMetricsItemScratchReuse: decoding a small histogram into an item
+// previously holding a big one must not leak stale buckets (the decoder
+// resets the snapshot scratch).
+func TestMetricsItemScratchReuse(t *testing.T) {
+	var it MetricsItem
+	var h metrics.Histogram
+	for i := uint64(0); i < 1000; i++ {
+		h.Record(0, i)
+	}
+	var big metrics.Snapshot
+	h.Snapshot(&big)
+	_, _, payload := splitFrame(t, AppendMetricsHist(nil, 1, "big", &big, false))
+	if _, err := DecodeMetricsItem(payload, &it); err != nil {
+		t.Fatal(err)
+	}
+	var h2 metrics.Histogram
+	h2.Record(0, 7)
+	var small metrics.Snapshot
+	h2.Snapshot(&small)
+	_, _, payload = splitFrame(t, AppendMetricsHist(nil, 2, "small", &small, true))
+	if _, err := DecodeMetricsItem(payload, &it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Hist != small {
+		t.Fatal("stale buckets leaked through item reuse")
+	}
+}
+
+// TestMetricsItemValidation: malformed item payloads error cleanly.
+func TestMetricsItemValidation(t *testing.T) {
+	var it MetricsItem
+	var one metrics.Snapshot
+	one.Count, one.Sum, one.Buckets[10] = 1, 10, 1
+	good := AppendMetricsHist(nil, 1, "h", &one, true)[HeaderLen:]
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": {0, 2},
+		"unknown flag": {0x80, MetricCounter, 0, 1, 2, 3, 4, 5, 6, 7, 8},
+		"unknown kind": {0, 9, 0, 1, 2, 3, 4, 5, 6, 7, 8},
+		"name overrun": {0, MetricCounter, 200, 'x'},
+		"short value":  {0, MetricCounter, 1, 'x', 1, 2, 3},
+		"short hist":   {0, MetricHistogram, 0, 1, 2, 3},
+	}
+	// Histogram-specific corruptions built from a valid frame.
+	tooMany := append([]byte(nil), good...)
+	le.PutUint32(tooMany[3+1+16:], 1<<30) // n
+	cases["bucket count overrun"] = tooMany
+
+	badIdx := append([]byte(nil), good...)
+	le.PutUint32(badIdx[3+1+20:], metrics.NumBuckets) // bucket index
+	cases["bucket index out of range"] = badIdx
+
+	badTotal := append([]byte(nil), good...)
+	le.PutUint64(badTotal[3+1:], 99) // claimed count != bucket sum
+	cases["count mismatch"] = badTotal
+
+	for name, payload := range cases {
+		if _, err := DecodeMetricsItem(payload, &it); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Out-of-order buckets: two buckets encoded descending.
+	var two metrics.Snapshot
+	two.Count, two.Buckets[5], two.Buckets[9] = 2, 1, 1
+	frame := AppendMetricsHist(nil, 1, "h", &two, true)[HeaderLen:]
+	// Swap the two (idx,count) records.
+	a := frame[3+1+20:]
+	idx0, c0 := le.Uint32(a), le.Uint64(a[4:])
+	idx1, c1 := le.Uint32(a[12:]), le.Uint64(a[16:])
+	le.PutUint32(a, idx1)
+	le.PutUint64(a[4:], c1)
+	le.PutUint32(a[12:], idx0)
+	le.PutUint64(a[16:], c0)
+	if _, err := DecodeMetricsItem(frame, &it); err == nil {
+		t.Error("out-of-order buckets accepted")
+	}
+}
+
+// TestMetricsRequestDecode: the METRICS request is empty-payload like
+// STATS, and the request decoder enforces that.
+func TestMetricsRequestDecode(t *testing.T) {
+	var r Request
+	id, op, payload := splitFrame(t, AppendMetricsReq(nil, 11))
+	if err := DecodeRequest(id, op, payload, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != OpMetrics {
+		t.Fatalf("op %#x", r.Op)
+	}
+	if err := DecodeRequest(1, OpMetrics, []byte{1}, &r); err == nil {
+		t.Fatal("non-empty METRICS payload accepted")
+	}
+}
+
+func TestOpName(t *testing.T) {
+	for op, want := range map[byte]string{
+		OpGet: "get", OpPut: "put", OpDelete: "delete",
+		OpMGet: "mget", OpMPut: "mput", OpMDelete: "mdelete",
+		OpScan: "scan", OpSnapScan: "snapscan",
+		OpStats: "stats", OpOpen: "open", OpMetrics: "metrics",
+		0x7F: "unknown",
+	} {
+		if got := OpName(op); got != want {
+			t.Errorf("OpName(%#x) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+// FuzzDecodeMetrics feeds arbitrary bytes through the metrics item
+// decoder — the bytes a client trusts least, since histograms carry
+// attacker-controlled bucket indexes. It must never panic, and an
+// accepted histogram must be internally consistent.
+func FuzzDecodeMetrics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendMetricsCounter(nil, 1, "c", 7, true)[HeaderLen:])
+	f.Add(AppendMetricsGauge(nil, 1, "g", -7, false)[HeaderLen:])
+	var h metrics.Histogram
+	h.Record(0, 100)
+	h.Record(0, 1<<20)
+	var s metrics.Snapshot
+	h.Snapshot(&s)
+	f.Add(AppendMetricsHist(nil, 1, "h", &s, true)[HeaderLen:])
+	var it MetricsItem
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if _, err := DecodeMetricsItem(payload, &it); err != nil {
+			return
+		}
+		if it.Kind == MetricHistogram {
+			var total uint64
+			for _, c := range it.Hist.Buckets {
+				total += c
+			}
+			if total != it.Hist.Count {
+				t.Fatalf("accepted histogram with bucket sum %d != count %d", total, it.Hist.Count)
+			}
+			// Quantile extraction on accepted snapshots must not panic.
+			it.Hist.Quantile(0.999)
+		}
+	})
+}

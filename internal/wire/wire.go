@@ -30,6 +30,7 @@
 //	OpSnapScan lo u64, hi u64              linearizable RangeSnapshot
 //	OpStats    (empty)
 //	OpOpen     keyRange u64, name bytes    host a fresh structure
+//	OpMetrics  (empty)                     observability snapshot (metrics.go)
 //
 // Response payloads:
 //
@@ -38,6 +39,7 @@
 //	RespScanChunk flags u8, n u32, n*(k u64, v u64)
 //	RespStats     keysum, scans, versions, elim{i,d,u}, keyrange, gen (8*u64), caps u8, name bytes
 //	RespOK        (empty)
+//	RespMetrics   one streamed instrument snapshot (see metrics.go)
 //	RespError     message bytes
 //
 // Every encoder is an appender over a caller-owned buffer and every
@@ -63,6 +65,7 @@ const (
 	OpSnapScan = 0x21
 	OpStats    = 0x30
 	OpOpen     = 0x31
+	OpMetrics  = 0x32
 )
 
 // Response opcodes.
@@ -72,6 +75,7 @@ const (
 	RespScanChunk = 0x83
 	RespStats     = 0x84
 	RespOK        = 0x85
+	RespMetrics   = 0x86
 	RespError     = 0xFF
 )
 
@@ -339,9 +343,9 @@ func DecodeRequest(id uint64, op byte, payload []byte, r *Request) error {
 		if op == OpMPut {
 			r.Vals = decodeU64s(r.Vals[:0], payload[4+8*n:])
 		}
-	case OpStats:
+	case OpStats, OpMetrics:
 		if len(payload) != 0 {
-			return fmt.Errorf("wire: STATS wants an empty payload, got %d bytes", len(payload))
+			return fmt.Errorf("wire: op %#x wants an empty payload, got %d bytes", op, len(payload))
 		}
 	case OpOpen:
 		if len(payload) < 8 {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/metrics"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
 )
@@ -29,6 +30,9 @@ type EConfig struct {
 	Snapshot  bool    // scans use linearizable RangeSnapshot; false = per-leaf-atomic Range
 	Duration  time.Duration
 	Seed      uint64
+	// LatEvery samples whole-op latency (scan or insert) on every Nth
+	// iteration of each worker (0 disables; see bench.Config.LatEvery).
+	LatEvery int
 }
 
 // EResult is a Workload E outcome.
@@ -40,7 +44,8 @@ type EResult struct {
 	Inserts   uint64
 	Elapsed   time.Duration
 	TxPerUsec float64
-	EmptyScan uint64 // sanity: scans starting at a loaded key must see >= 1 pair
+	EmptyScan uint64            // sanity: scans starting at a loaded key must see >= 1 pair
+	Lat       *metrics.Snapshot // sampled op latency (nil when LatEvery = 0)
 }
 
 // RunE loads Records rows into the index, then drives Workload E:
@@ -77,6 +82,10 @@ func RunE(d dict.Dict, cfg EConfig) (EResult, error) {
 	inserts := make([]uint64, cfg.Threads)
 	empty := make([]uint64, cfg.Threads)
 	insSums := make([]uint64, cfg.Threads)
+	var lat *metrics.Histogram
+	if cfg.LatEvery > 0 {
+		lat = new(metrics.Histogram)
+	}
 	start := make(chan struct{})
 	var ready, wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
@@ -90,7 +99,14 @@ func RunE(d dict.Dict, cfg EConfig) (EResult, error) {
 			z := zipfian.New(xrand.New(cfg.Seed*13+uint64(w)), cfg.Records, cfg.ZipfS)
 			ready.Done()
 			<-start
+			var tick uint64
+			var t0 time.Time
 			for !stop.Load() {
+				tick++
+				timed := lat != nil && tick%uint64(cfg.LatEvery) == 0
+				if timed {
+					t0 = time.Now()
+				}
 				if int(rng.Uint64n(100)) < cfg.InsertPct {
 					// Insert a new record past the loaded key space
 					// (YCSB E models appending fresh items).
@@ -111,6 +127,9 @@ func RunE(d dict.Dict, cfg EConfig) (EResult, error) {
 					}
 					scans[w]++
 					pairs[w] += n
+				}
+				if timed {
+					lat.Record(w, uint64(time.Since(t0)))
 				}
 			}
 		}(w)
@@ -133,6 +152,10 @@ func RunE(d dict.Dict, cfg EConfig) (EResult, error) {
 	}
 	res.Ops = res.Scans + res.Inserts
 	res.TxPerUsec = float64(res.Ops) / float64(res.Elapsed.Microseconds())
+	if lat != nil {
+		res.Lat = new(metrics.Snapshot)
+		lat.Snapshot(res.Lat)
+	}
 	if res.EmptyScan > 0 {
 		return res, fmt.Errorf("ycsb: %d scans over loaded keys returned nothing", res.EmptyScan)
 	}

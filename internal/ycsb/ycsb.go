@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/metrics"
 	"repro/internal/treedict"
 	"repro/internal/xrand"
 	"repro/internal/zipfian"
@@ -43,6 +44,10 @@ type Config struct {
 	Batch    int     // index lookups issued as MultiGet batches of this size (<=1: per-key)
 	Duration time.Duration
 	Seed     uint64
+	// LatEvery samples whole-transaction latency on every Nth iteration
+	// of each worker (0 disables; see bench.Config.LatEvery). A batched
+	// iteration is one sample covering the whole batch.
+	LatEvery int
 }
 
 // Result is a Workload A outcome.
@@ -53,6 +58,7 @@ type Result struct {
 	TxPerUsec  float64
 	IndexMiss  uint64 // sanity: must be zero (all requests hit loaded keys)
 	RowsUpdate uint64
+	Lat        *metrics.Snapshot // sampled tx latency (nil when LatEvery = 0)
 }
 
 // load populates the index with keys 1..records (key i -> value i),
@@ -119,6 +125,10 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 	counts := make([]uint64, cfg.Threads)
 	misses := make([]uint64, cfg.Threads)
 	updates := make([]uint64, cfg.Threads)
+	var lat *metrics.Histogram
+	if cfg.LatEvery > 0 {
+		lat = new(metrics.Histogram)
+	}
 	start := make(chan struct{})
 	var ready sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
@@ -140,7 +150,14 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 				bkeys := make([]uint64, cfg.Batch)
 				brows := make([]uint64, cfg.Batch)
 				bok := make([]bool, cfg.Batch)
+				var tick uint64
+				var t0 time.Time
 				for !stop.Load() {
+					tick++
+					timed := lat != nil && tick%uint64(cfg.LatEvery) == 0
+					if timed {
+						t0 = time.Now()
+					}
 					for i := range bkeys {
 						bkeys[i] = z.Next()
 					}
@@ -156,23 +173,35 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 							updates[w]++
 						}
 					}
+					if timed {
+						lat.Record(w, uint64(time.Since(t0)))
+					}
 				}
 				return
 			}
+			var tick uint64
+			var t0 time.Time
 			for !stop.Load() {
+				tick++
+				timed := lat != nil && tick%uint64(cfg.LatEvery) == 0
+				if timed {
+					t0 = time.Now()
+				}
 				k := z.Next()
 				rowID, ok := h.Find(k)
-				if !ok {
+				if ok {
+					if rng.Uint64n(2) == 0 {
+						// Read-modify-write: lock the row, not the index.
+						rows[rowID].doUpdate(k)
+						updates[w]++
+					}
+				} else {
 					misses[w]++
-					counts[w]++
-					continue
-				}
-				if rng.Uint64n(2) == 0 {
-					// Read-modify-write: lock the row, not the index.
-					rows[rowID].doUpdate(k)
-					updates[w]++
 				}
 				counts[w]++
+				if timed {
+					lat.Record(w, uint64(time.Since(t0)))
+				}
 			}
 		}(w)
 	}
@@ -190,6 +219,10 @@ func Run(d dict.Dict, cfg Config) (Result, error) {
 		res.RowsUpdate += updates[w]
 	}
 	res.TxPerUsec = float64(res.Ops) / float64(res.Elapsed.Microseconds())
+	if lat != nil {
+		res.Lat = new(metrics.Snapshot)
+		lat.Snapshot(res.Lat)
+	}
 	if res.IndexMiss > 0 {
 		return res, fmt.Errorf("ycsb: %d index misses for loaded keys", res.IndexMiss)
 	}
