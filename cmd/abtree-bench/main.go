@@ -40,6 +40,15 @@
 //	abtree-bench -remote 127.0.0.1:7471 -figure 12 -batch 64   # MGET/MPUT frames
 //	abtree-bench -remote 127.0.0.1:7471 -figure 18             # SNAPSHOT_SCAN streams
 //
+// -remote-mux is -remote through the coalescing mux (client.Mux): all
+// worker goroutines share -conns connection(s) and their per-key
+// operations are dynamically merged into batch frames on the wire —
+// per-key workload code, batch-level throughput (see README
+// "Coalescing"):
+//
+//	abtree-bench -remote-mux 127.0.0.1:7471 -figure 12 -threads 64
+//	abtree-bench -remote-mux 127.0.0.1:7471 -conns 2 -figure 12
+//
 // The defaults are laptop-scale (short durations, thread counts up to
 // GOMAXPROCS); the paper's absolute numbers came from a 144-thread Xeon,
 // so shapes — who wins, by what factor, where lines cross — are the
@@ -90,10 +99,40 @@ func remoteFactory(addr string) func(name string, keyRange uint64) dict.Dict {
 	}
 }
 
+var remoteMux *client.Mux
+
+// muxFactory is remoteFactory's coalescing sibling (-remote-mux): every
+// cell runs through a client.Mux, so all worker handles share conns
+// connections and their per-key ops coalesce into batch frames.
+func muxFactory(addr string, conns int) func(name string, keyRange uint64) dict.Dict {
+	return func(name string, keyRange uint64) dict.Dict {
+		closeRemote()
+		m, err := client.DialMux(addr, client.MuxConfig{Conns: conns})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remote-mux %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		if err := m.Open(name, keyRange); err != nil {
+			fmt.Fprintf(os.Stderr, "remote-mux %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		remoteMux = m
+		return m
+	}
+}
+
 func closeRemote() {
 	if remoteClient != nil {
 		remoteClient.Close()
 		remoteClient = nil
+	}
+	if remoteMux != nil {
+		if s := remoteMux.CoalesceStats(); s.Count > 0 {
+			fmt.Printf("# mux-coalesce: %d frames, %.1f waiters/frame mean, p99 %d, max %d\n",
+				s.Count, s.Mean(), s.Quantile(0.99), s.Max())
+		}
+		remoteMux.Close()
+		remoteMux = nil
 	}
 }
 
@@ -157,12 +196,29 @@ func main() {
 		latEvery   = flag.Int("latevery", 8, "sample whole-call latency every Nth op per worker, reported as p50/p99/p999 columns (0 = off)")
 		jsonPath   = flag.String("json", "", "also write results as a JSON array to this path (e.g. BENCH_fig18.json)")
 		remote     = flag.String("remote", "", "run every cell against an abtree-server at this address instead of in-process")
+		remoteMuxA = flag.String("remote-mux", "", "like -remote, but through a coalescing shared-connection mux (client.Mux): all workers share -conns connections and per-key ops merge into batch frames")
+		conns      = flag.Int("conns", 1, "shared mux connections for -remote-mux")
 	)
 	flag.Parse()
+	if *remote != "" && *remoteMuxA != "" {
+		fmt.Fprintln(os.Stderr, "-remote and -remote-mux are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *conns < 1 {
+		fmt.Fprintf(os.Stderr, "bad -conns %d (want at least 1)\n", *conns)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *remote != "" {
 		newDict = remoteFactory(*remote)
 		defer closeRemote()
 		fmt.Printf("# remote: %s (each cell re-opened on the server)\n", *remote)
+	}
+	if *remoteMuxA != "" {
+		newDict = muxFactory(*remoteMuxA, *conns)
+		defer closeRemote()
+		fmt.Printf("# remote-mux: %s, %d shared conn(s) (each cell re-opened on the server)\n", *remoteMuxA, *conns)
 	}
 
 	// Validate the scan flags up front, for every figure: an unknown

@@ -47,13 +47,19 @@ func main() {
 		workers   = flag.Int("workers", 0, "handle-owning worker goroutines (0 = GOMAXPROCS)")
 		debugAddr = flag.String("debug", "", "HTTP listen address for /debug/metrics (JSON instrument dump) and /debug/pprof (empty = off)")
 		traceSlow = flag.Duration("trace-slow", 0, "log any operation whose service time reaches this (0 = off)")
+		coalesce  = flag.Int("coalesce", 64, "max same-opcode point requests a worker coalesces into one batched descent (1 = off)")
+		queue     = flag.Int("queue", 0, "work queue depth (0 = max(4*workers, 256))")
+		shed      = flag.Bool("shed", false, "answer requests with an error instead of blocking readers when the work queue is full")
 	)
 	flag.Parse()
 
 	s, err := server.New(bench.NewDict, *structure, *keys, server.Config{
-		Workers:   *workers,
-		Logf:      log.Printf,
-		TraceSlow: *traceSlow,
+		Workers:    *workers,
+		Logf:       log.Printf,
+		TraceSlow:  *traceSlow,
+		Coalesce:   *coalesce,
+		QueueDepth: *queue,
+		ShedOnFull: *shed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)

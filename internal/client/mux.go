@@ -1,0 +1,704 @@
+package client
+
+// Dynamic request coalescing, client half: a Mux multiplexes any number
+// of concurrent dict.Handle callers onto one (or a few) shared TCP
+// connections, transparently merging their per-key Get/Put/Delete calls
+// into MGET/MPUT/MDELETE frames.
+//
+// Shape: each shared connection runs a combiner goroutine and a reader
+// goroutine. A caller's point operation parks in a pooled muxOp, lands
+// on the connection's buffered submission queue, and blocks on its own
+// done channel. The combiner drains the queue, staging waiters by
+// opcode class, and seals one batch frame per class. The coalescing
+// window is credit-bounded, not timer-bounded: frames are written while
+// the pipeline has credit (a fixed number of frames in flight), and the
+// combiner only blocks — first flushing buffered frames to the wire —
+// when credit runs out. Under light load an op ships alone immediately
+// (no fixed sleep, no added latency floor); under load the submission
+// queue fills exactly while the combiner waits for credit, and the next
+// frame carries everything that accumulated — batch size adapts to the
+// arrival rate, bounded by MaxBatch. The reader completes each waiter
+// from the batch response by input position and returns the frame's
+// credit.
+//
+// Explicit dict.Batcher calls pass through as their own frames (they
+// are already batches; re-coalescing them would only add copying) but
+// share the connection, its credit window and its FIFO order with the
+// coalesced traffic.
+//
+// Allocation discipline: muxOps live in their handles, frames and
+// response scratch are pooled per connection, and the submission path
+// is channel sends of pooled pointers — a warmed-up per-key operation
+// through the mux allocates nothing on either endpoint (enforced by
+// internal/server's TestAllocsMux).
+//
+// Error model matches Client: wire failures after Dial panic (the mux
+// is a workload driver; a broken server mid-benchmark is fatal by
+// design), except during Close, which tears the connections down
+// deliberately. Close must not race in-flight operations.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// MuxConfig tunes a Mux. The zero value is ready: one shared
+// connection, MaxBatch 512, an 8-frame credit window.
+type MuxConfig struct {
+	// Conns is the number of shared connections (default 1). Handles are
+	// assigned round-robin; more connections trade coalescing density
+	// for wire parallelism.
+	Conns int
+	// MaxBatch caps how many waiters one coalesced frame carries
+	// (default 512, capped at wire.MaxBatch). Smaller values bound the
+	// per-frame service time a coalesced op can be charged for.
+	MaxBatch int
+	// Window is the per-connection credit: how many frames may be in
+	// flight before the combiner blocks (default 8, capped at 32). The
+	// window is what turns backpressure into batching — while the
+	// combiner waits for credit, arriving ops pile into the next frame.
+	Window int
+}
+
+const (
+	muxSlotCount  = 64 // response-matching slots; > max window, power of two
+	muxSlotMask   = muxSlotCount - 1
+	muxMaxWindow  = 32   // window cap; must stay below muxSlotCount
+	muxSubDepth   = 4096 // submission queue depth per connection
+	muxBatchFlush = 8    // explicit-batch frames staged per combiner round
+)
+
+// Mux is a shared-connection coalescing client. It implements dict.Dict
+// (plus dict.RQStatser and dict.ElimStatser) exactly like Client, so
+// bench.NewDict can hand it to every workload unchanged; control-plane
+// operations (STATS, OPEN, KeySum) and scans ride a plain Client under
+// the hood.
+type Mux struct {
+	c     *Client // control plane + scan connections
+	conns []*muxConn
+	next  atomic.Uint64 // handle round-robin counter
+
+	inflight metrics.Gauge     // ops submitted, not yet completed
+	coalesce metrics.Histogram // waiters per coalesced point frame
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// DialMux connects a Mux to an abtree server: cfg.Conns shared data
+// connections plus a Client for control and scans.
+func DialMux(addr string, cfg MuxConfig) (*Mux, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	nconns := cfg.Conns
+	if nconns <= 0 {
+		nconns = 1
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 512
+	}
+	if maxBatch > wire.MaxBatch {
+		maxBatch = wire.MaxBatch
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 8
+	}
+	if window > muxMaxWindow {
+		window = muxMaxWindow
+	}
+	m := &Mux{c: c}
+	for i := 0; i < nconns; i++ {
+		mc, err := m.dialConn(addr, i, maxBatch, window)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("client: mux dial %s: %w", addr, err)
+		}
+		m.conns = append(m.conns, mc)
+	}
+	return m, nil
+}
+
+// Close tears down the shared connections and the control client. It
+// must not race in-flight operations (finish or abandon your workers
+// first — the dict contract's quiescence rule, extended to teardown).
+func (m *Mux) Close() error {
+	m.closeOnce.Do(func() {
+		for _, mc := range m.conns {
+			mc.closed.Store(true)
+		}
+		for _, mc := range m.conns {
+			close(mc.quit)
+			mc.nc.Close()
+		}
+		m.closeErr = m.c.Close()
+	})
+	return m.closeErr
+}
+
+// Name returns the hosted structure's registry name.
+func (m *Mux) Name() string { return m.c.Name() }
+
+// Stats fetches the server's STATS snapshot over the control client.
+func (m *Mux) Stats() (wire.Stats, error) { return m.c.Stats() }
+
+// Open asks the server to host a fresh structure (see Client.Open).
+func (m *Mux) Open(name string, keyRange uint64) error { return m.c.Open(name, keyRange) }
+
+// KeySum returns the hosted structure's key sum (quiescent only).
+func (m *Mux) KeySum() uint64 { return m.c.KeySum() }
+
+// RQStats reports the hosted structure's range-query counters.
+func (m *Mux) RQStats() (scans, versions uint64) { return m.c.RQStats() }
+
+// ElimStats reports the hosted structure's elimination counters.
+func (m *Mux) ElimStats() (inserts, deletes, upserts uint64) { return m.c.ElimStats() }
+
+// RTT snapshots the client-side round-trip histograms (shared with the
+// control client's scan handles).
+func (m *Mux) RTT() map[string]*metrics.Snapshot { return m.c.RTT() }
+
+// ServerMetrics fetches the server's observability snapshot.
+func (m *Mux) ServerMetrics() (*ServerMetrics, error) { return m.c.ServerMetrics() }
+
+// CoalesceStats snapshots the client-side coalesce_batch_size
+// histogram: how many waiters each coalesced point frame carried.
+func (m *Mux) CoalesceStats() *metrics.Snapshot {
+	s := new(metrics.Snapshot)
+	m.coalesce.Snapshot(s)
+	return s
+}
+
+// Inflight reports the mux_inflight gauge: operations submitted and not
+// yet completed across every handle.
+func (m *Mux) Inflight() int64 { return m.inflight.Load() }
+
+// NewHandle returns a per-goroutine accessor multiplexed onto one of
+// the shared connections (round-robin). Handles are cheap — no dial —
+// so any number of worker goroutines can share a connection. The
+// dynamic type exposes the hosted structure's scan capabilities, like
+// Client.NewHandle; scans ride a dedicated per-handle connection dialed
+// lazily on first use (scans are streamed and would head-of-line block
+// the shared pipe).
+func (m *Mux) NewHandle() dict.Handle {
+	i := m.next.Add(1)
+	h := &muxHandle{
+		m:    m,
+		mc:   m.conns[int(i-1)%len(m.conns)],
+		hint: int(i),
+	}
+	h.op.done = make(chan struct{}, 1)
+	m.c.mu.Lock()
+	caps := m.c.caps
+	m.c.mu.Unlock()
+	if !caps.CanRange {
+		return h
+	}
+	rh := &muxRangeHandle{h}
+	if !caps.CanSnap {
+		return rh
+	}
+	return &muxSnapHandle{muxRangeHandle{h}}
+}
+
+// muxOp is one parked operation: a point op (op/key/val, completed into
+// resVal/resOk) or an explicit-batch pass-through (keys/vals slices,
+// completed into the caller's resVals/resOks). done is buffered so the
+// reader never blocks completing a waiter.
+type muxOp struct {
+	op       byte
+	key, val uint64
+
+	keys, vals []uint64 // explicit batch input (nil for point ops)
+	resVals    []uint64 // explicit batch results (caller's slices)
+	resOks     []bool
+
+	resVal uint64 // point result
+	resOk  bool
+
+	done chan struct{}
+}
+
+// muxFrame is one in-flight frame's completion state: the waiters to
+// scatter a coalesced response into, or the single explicit-batch op.
+// Pooled per connection.
+type muxFrame struct {
+	id      uint64
+	waiters []*muxOp
+	bop     *muxOp   // non-nil for explicit-batch pass-through frames
+	vals    []uint64 // coalesced response decode scratch
+	oks     []bool
+}
+
+// muxConn is one shared connection: a combiner goroutine owning the
+// write side (staging, framing, credit) and a reader goroutine owning
+// the read side (matching responses by id, completing waiters,
+// returning credit). They share only the slot table, the credit channel
+// and the frame pool.
+type muxConn struct {
+	m        *Mux
+	idx      int // connection index, metrics shard hint
+	nc       net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	maxBatch int
+
+	subq    chan *muxOp
+	quit    chan struct{}
+	closed  atomic.Bool
+	credits chan struct{}
+	slots   [muxSlotCount]atomic.Pointer[muxFrame]
+	frees   chan *muxFrame
+
+	id uint64 // combiner-owned frame id counter
+
+	// Combiner staging and scratch.
+	points  [3][]*muxOp // staged point waiters by class (get/put/delete)
+	batches []*muxOp    // staged explicit-batch pass-throughs
+	keyBuf  []uint64
+	valBuf  []uint64
+	out     []byte
+
+	// Reader scratch.
+	hdr [wire.HeaderLen]byte
+	in  []byte
+}
+
+func (m *Mux) dialConn(addr string, idx, maxBatch, window int) (*muxConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mc := &muxConn{
+		m:        m,
+		idx:      idx & (metrics.NumShards - 1),
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 64<<10),
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		maxBatch: maxBatch,
+		subq:     make(chan *muxOp, muxSubDepth),
+		quit:     make(chan struct{}),
+		credits:  make(chan struct{}, window),
+		frees:    make(chan *muxFrame, muxSlotCount),
+	}
+	for i := 0; i < window; i++ {
+		mc.credits <- struct{}{}
+	}
+	go mc.combinerLoop()
+	go mc.readerLoop()
+	return mc, nil
+}
+
+// pointClass maps a point opcode to its staging class (-1 otherwise).
+func pointClass(op byte) int {
+	switch op {
+	case wire.OpGet:
+		return 0
+	case wire.OpPut:
+		return 1
+	case wire.OpDelete:
+		return 2
+	}
+	return -1
+}
+
+// pointBatchOp is the batch opcode each staging class seals into.
+var pointBatchOp = [3]byte{wire.OpMGet, wire.OpMPut, wire.OpMDelete}
+
+// combinerLoop drains the submission queue into frames: block for the
+// first op, then greedily stage everything already queued, then flush.
+// Flush blocks on credit only after pushing buffered frames to the
+// wire, so backpressure turns directly into larger next-round batches.
+func (mc *muxConn) combinerLoop() {
+	for {
+		var op *muxOp
+		select {
+		case op = <-mc.subq:
+		case <-mc.quit:
+			return
+		}
+		full := mc.stage(op)
+		for !full {
+			select {
+			case op = <-mc.subq:
+				full = mc.stage(op)
+			default:
+				full = true
+			}
+		}
+		if !mc.flush() {
+			return
+		}
+	}
+}
+
+// stage parks one op in its class, reporting whether any class hit its
+// frame bound (time to flush even though the queue may be non-empty).
+func (mc *muxConn) stage(op *muxOp) bool {
+	if cls := pointClass(op.op); cls >= 0 {
+		mc.points[cls] = append(mc.points[cls], op)
+		return len(mc.points[cls]) >= mc.maxBatch
+	}
+	mc.batches = append(mc.batches, op)
+	return len(mc.batches) >= muxBatchFlush
+}
+
+// flush seals every staged class into a frame and writes it, then
+// flushes the socket. Reports false when the connection is quitting.
+func (mc *muxConn) flush() bool {
+	for cls := range mc.points {
+		ops := mc.points[cls]
+		if len(ops) == 0 {
+			continue
+		}
+		f := mc.getFrame()
+		f.bop = nil
+		f.waiters = append(f.waiters[:0], ops...)
+		mc.keyBuf = mc.keyBuf[:0]
+		for _, o := range ops {
+			mc.keyBuf = append(mc.keyBuf, o.key)
+		}
+		var vals []uint64
+		op := pointBatchOp[cls]
+		if op == wire.OpMPut {
+			mc.valBuf = mc.valBuf[:0]
+			for _, o := range ops {
+				mc.valBuf = append(mc.valBuf, o.val)
+			}
+			vals = mc.valBuf
+		}
+		mc.m.coalesce.Record(mc.idx, uint64(len(ops)))
+		if !mc.writeFrame(f, op, mc.keyBuf, vals) {
+			return false
+		}
+		mc.points[cls] = ops[:0]
+	}
+	for i, o := range mc.batches {
+		f := mc.getFrame()
+		f.bop = o
+		f.waiters = f.waiters[:0]
+		if !mc.writeFrame(f, o.op, o.keys, o.vals) {
+			return false
+		}
+		mc.batches[i] = nil
+	}
+	mc.batches = mc.batches[:0]
+	if err := mc.bw.Flush(); err != nil {
+		return mc.fail("flush", err)
+	}
+	return true
+}
+
+// acquireCredit takes one in-flight slot. If none is free it first
+// flushes the socket — frames sitting in the bufio buffer earn no
+// responses, and blocking on credit with the window fully buffered
+// would deadlock — then blocks until the reader returns one.
+func (mc *muxConn) acquireCredit() bool {
+	select {
+	case <-mc.credits:
+		return true
+	default:
+	}
+	if err := mc.bw.Flush(); err != nil {
+		return mc.fail("flush", err)
+	}
+	select {
+	case <-mc.credits:
+		return true
+	case <-mc.quit:
+		return false
+	}
+}
+
+// writeFrame installs the frame in its response slot and writes it to
+// the buffered socket (flushed by the caller or by credit pressure).
+// Slots cannot collide: ids are sequential and at most window (< slot
+// count) frames are ever in flight.
+func (mc *muxConn) writeFrame(f *muxFrame, op byte, keys, vals []uint64) bool {
+	if !mc.acquireCredit() {
+		return false
+	}
+	mc.id++
+	f.id = mc.id
+	mc.slots[f.id&muxSlotMask].Store(f)
+	mc.out = wire.AppendBatch(mc.out[:0], f.id, op, keys, vals)
+	if _, err := mc.bw.Write(mc.out); err != nil {
+		return mc.fail("write", err)
+	}
+	return true
+}
+
+// readerLoop matches response frames to in-flight state by echoed id,
+// completes every waiter, recycles the frame and returns its credit.
+func (mc *muxConn) readerLoop() {
+	for {
+		id, rop, payload, ok := mc.readFrame()
+		if !ok {
+			return // closing
+		}
+		f := mc.slots[id&muxSlotMask].Load()
+		if f == nil || f.id != id {
+			panic(fmt.Sprintf("client: mux conn %d: response id %d matches no in-flight frame", mc.idx, id))
+		}
+		if rop == wire.RespError {
+			panic(fmt.Sprintf("client: mux conn %d: server error: %s", mc.idx, payload))
+		}
+		if rop != wire.RespBatch {
+			panic(fmt.Sprintf("client: mux conn %d: unexpected response op %#x", mc.idx, rop))
+		}
+		if f.bop != nil {
+			o := f.bop
+			if err := wire.DecodeBatch(payload, o.resVals, o.resOks); err != nil {
+				panic(fmt.Sprintf("client: mux conn %d: %v", mc.idx, err))
+			}
+			mc.slots[id&muxSlotMask].Store(nil)
+			mc.putFrame(f)
+			o.done <- struct{}{}
+		} else {
+			n := len(f.waiters)
+			if cap(f.vals) < n {
+				f.vals = make([]uint64, n)
+				f.oks = make([]bool, n)
+			}
+			vals, oks := f.vals[:n], f.oks[:n]
+			if err := wire.DecodeBatch(payload, vals, oks); err != nil {
+				panic(fmt.Sprintf("client: mux conn %d: %v", mc.idx, err))
+			}
+			for i, o := range f.waiters {
+				o.resVal, o.resOk = vals[i], oks[i]
+				o.done <- struct{}{}
+			}
+			mc.slots[id&muxSlotMask].Store(nil)
+			mc.putFrame(f)
+		}
+		mc.credits <- struct{}{}
+	}
+}
+
+// readFrame reads one response frame into the reader's scratch. ok is
+// false only when the connection is deliberately closing; any other
+// failure panics (see the package error model).
+func (mc *muxConn) readFrame() (id uint64, op byte, payload []byte, ok bool) {
+	if _, err := io.ReadFull(mc.br, mc.hdr[:]); err != nil {
+		if mc.closed.Load() {
+			return 0, 0, nil, false
+		}
+		panic(fmt.Sprintf("client: mux conn %d: read: %v", mc.idx, err))
+	}
+	length := binary.LittleEndian.Uint32(mc.hdr[:4])
+	if length < wire.HeaderLen-4 || length > wire.MaxFrame {
+		panic(fmt.Sprintf("client: mux conn %d: bad response frame length %d", mc.idx, length))
+	}
+	id = binary.LittleEndian.Uint64(mc.hdr[4:12])
+	op = mc.hdr[12]
+	n := int(length) - (wire.HeaderLen - 4)
+	if cap(mc.in) < n {
+		mc.in = make([]byte, n)
+	}
+	mc.in = mc.in[:n]
+	if _, err := io.ReadFull(mc.br, mc.in); err != nil {
+		if mc.closed.Load() {
+			return 0, 0, nil, false
+		}
+		panic(fmt.Sprintf("client: mux conn %d: read: %v", mc.idx, err))
+	}
+	return id, op, mc.in, true
+}
+
+func (mc *muxConn) getFrame() *muxFrame {
+	select {
+	case f := <-mc.frees:
+		return f
+	default:
+		return &muxFrame{}
+	}
+}
+
+func (mc *muxConn) putFrame(f *muxFrame) {
+	f.bop = nil
+	select {
+	case mc.frees <- f:
+	default:
+	}
+}
+
+// fail reports a wire failure: silent during deliberate close, fatal
+// otherwise.
+func (mc *muxConn) fail(what string, err error) bool {
+	if mc.closed.Load() {
+		return false
+	}
+	panic(fmt.Sprintf("client: mux conn %d: %s: %v", mc.idx, what, err))
+}
+
+// muxHandle is a per-goroutine accessor multiplexed onto a shared
+// connection. Not safe for concurrent use, like every dict.Handle —
+// the sharing happens below it, in the connection.
+type muxHandle struct {
+	m    *Mux
+	mc   *muxConn
+	hint int // metrics stripe
+
+	op    muxOp    // reused point-op parking slot
+	bops  []*muxOp // reused explicit-batch sub-ops (chunk pipelining)
+	scanH dict.Handle
+}
+
+// submit parks o on the shared connection and blocks until the reader
+// completes it.
+func (h *muxHandle) submit(o *muxOp) {
+	select {
+	case h.mc.subq <- o:
+	case <-h.mc.quit:
+		panic("client: mux: operation on closed mux")
+	}
+	<-o.done
+}
+
+func (h *muxHandle) point(opcode byte, key, val uint64) (uint64, bool) {
+	t0 := time.Now()
+	h.m.inflight.Add(h.hint, 1)
+	o := &h.op
+	o.op, o.key, o.val = opcode, key, val
+	o.keys, o.vals = nil, nil
+	h.submit(o)
+	h.m.inflight.Add(h.hint, -1)
+	h.observeRTT(copFor(opcode), t0)
+	return o.resVal, o.resOk
+}
+
+func (h *muxHandle) observeRTT(slot int, t0 time.Time) {
+	if slot < 0 {
+		return
+	}
+	d := time.Since(t0)
+	if d < 0 {
+		d = 0
+	}
+	h.m.c.rtt.h[slot].Record(h.hint, uint64(d))
+}
+
+// Find looks up key on the remote structure (coalesced).
+func (h *muxHandle) Find(key uint64) (uint64, bool) { return h.point(wire.OpGet, key, 0) }
+
+// Insert inserts <key, val> if absent (coalesced; dict.Handle.Insert
+// semantics).
+func (h *muxHandle) Insert(key, val uint64) (uint64, bool) { return h.point(wire.OpPut, key, val) }
+
+// Delete removes key if present (coalesced).
+func (h *muxHandle) Delete(key uint64) (uint64, bool) { return h.point(wire.OpDelete, key, 0) }
+
+// bop returns the i-th reused explicit-batch sub-op.
+func (h *muxHandle) bop(i int) *muxOp {
+	for len(h.bops) <= i {
+		h.bops = append(h.bops, &muxOp{done: make(chan struct{}, 1)})
+	}
+	return h.bops[i]
+}
+
+// runBatch drives one explicit dict.Batcher call through the shared
+// connection: chunks of wire.MaxBatch submitted as pass-through frames.
+// Chunks are pipelined (submitted back-to-back, then awaited) unless a
+// mutating batch has equal keys straddling chunks — the combiner and
+// server preserve order within one frame but not across frames racing
+// other traffic, so only chunk-at-a-time submission keeps dict.Batcher's
+// equal-keys-apply-in-input-order contract (same rule as handle.batch).
+func (h *muxHandle) runBatch(op byte, keys, ivals, ovals []uint64, oks []bool) {
+	if len(ovals) != len(keys) || len(oks) != len(keys) || (op == wire.OpMPut && len(ivals) != len(keys)) {
+		panic("client: batch result slices must match len(keys)")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	t0 := time.Now()
+	h.m.inflight.Add(h.hint, int64(len(keys)))
+	serial := op != wire.OpMGet && len(keys) > wire.MaxBatch && crossFrameDup(keys)
+	nsub := 0
+	for off := 0; off < len(keys); off += wire.MaxBatch {
+		end := min(off+wire.MaxBatch, len(keys))
+		o := h.bop(nsub)
+		o.op = op
+		o.keys = keys[off:end]
+		if op == wire.OpMPut {
+			o.vals = ivals[off:end]
+		} else {
+			o.vals = nil
+		}
+		o.resVals, o.resOks = ovals[off:end], oks[off:end]
+		if serial {
+			h.submit(o)
+		} else {
+			select {
+			case h.mc.subq <- o:
+			case <-h.mc.quit:
+				panic("client: mux: operation on closed mux")
+			}
+			nsub++
+		}
+	}
+	for i := 0; i < nsub; i++ {
+		<-h.bops[i].done
+	}
+	h.m.inflight.Add(h.hint, -int64(len(keys)))
+	h.observeRTT(copFor(op), t0)
+}
+
+// FindBatch looks up keys[i] for every i (dict.Batcher over the shared
+// connection).
+func (h *muxHandle) FindBatch(keys, vals []uint64, found []bool) {
+	h.runBatch(wire.OpMGet, keys, nil, vals, found)
+}
+
+// InsertBatch inserts <keys[i], vals[i]> where absent (dict.Batcher
+// over the shared connection).
+func (h *muxHandle) InsertBatch(keys, vals []uint64, prev []uint64, inserted []bool) {
+	h.runBatch(wire.OpMPut, keys, vals, prev, inserted)
+}
+
+// DeleteBatch removes keys[i] where present (dict.Batcher over the
+// shared connection).
+func (h *muxHandle) DeleteBatch(keys []uint64, prev []uint64, deleted []bool) {
+	h.runBatch(wire.OpMDelete, keys, nil, prev, deleted)
+}
+
+// scanHandle lazily dials this handle's dedicated scan connection (a
+// plain Client handle; scans are streamed and must not head-of-line
+// block the shared pipe).
+func (h *muxHandle) scanHandle() dict.Handle {
+	if h.scanH == nil {
+		h.scanH = h.m.c.NewHandle()
+	}
+	return h.scanH
+}
+
+// muxRangeHandle adds weak scans over the handle's dedicated scan
+// connection.
+type muxRangeHandle struct{ *muxHandle }
+
+// Range calls fn for each pair with lo <= key <= hi in ascending key
+// order, with whatever atomicity the hosted structure's Range has.
+func (h *muxRangeHandle) Range(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.scanHandle().(dict.Ranger).Range(lo, hi, fn)
+}
+
+// muxSnapHandle adds linearizable scans.
+type muxSnapHandle struct{ muxRangeHandle }
+
+// RangeSnapshot calls fn for each pair of one atomic snapshot of
+// [lo, hi] (the hosted structure's RangeSnapshot).
+func (h *muxSnapHandle) RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool) {
+	h.scanHandle().(dict.SnapshotRanger).RangeSnapshot(lo, hi, fn)
+}

@@ -91,30 +91,37 @@ var causeNames = [numCauses]string{
 type srvMetrics struct {
 	opLat     [numOpSlots]metrics.Histogram // service latency per opcode
 	queueWait metrics.Histogram             // reader-enqueue to worker-dequeue
+	coalesce  metrics.Histogram             // point requests per worker queue sweep
 
 	inFlight metrics.Gauge // ops currently executing on workers
 	conns    metrics.Gauge // registered connections
 	workers  metrics.Gauge // pool size (set once)
 
-	accepted   metrics.Counter // connections ever accepted
-	decodeErrs metrics.Counter // malformed-but-delimited frames answered with RespError
-	keyRejects metrics.Counter // reserved-sentinel keys rejected at the boundary
-	shed       metrics.Counter // responses dropped because the connection died first
+	accepted     metrics.Counter // connections ever accepted
+	decodeErrs   metrics.Counter // malformed-but-delimited frames answered with RespError
+	keyRejects   metrics.Counter // reserved-sentinel keys rejected at the boundary
+	shedOverload metrics.Counter // requests answered with an error because the work queue was full (Config.ShedOnFull)
+	shedConnDead metrics.Counter // responses dropped because the connection died first
 
 	teardowns [numCauses]metrics.Counter
 }
 
 // metricsItemCount is the fixed number of instruments a METRICS
 // response streams (the last one carries the MetricsLast flag).
-const metricsItemCount = 4 + numCauses + 4 + 1 + numOpSlots
+const metricsItemCount = 5 + numCauses + 4 + 2 + numOpSlots
 
-// eachCounter visits every counter in the stable stream order.
+// eachCounter visits every counter in the stable stream order. The old
+// shed_responses_total conflated two very different events; it is split
+// into overload shedding (admission control answered instead of
+// queueing) and dead-connection shedding (teardown dropped a produced
+// response).
 func (s *Server) eachCounter(f func(name string, v uint64)) {
 	m := &s.metrics
 	f("accepted_conns_total", m.accepted.Load())
 	f("decode_errors_total", m.decodeErrs.Load())
 	f("key_rejects_total", m.keyRejects.Load())
-	f("shed_responses_total", m.shed.Load())
+	f("shed_overload_total", m.shedOverload.Load())
+	f("shed_conn_dead_total", m.shedConnDead.Load())
 	for i := range m.teardowns {
 		f("teardown_"+causeNames[i]+"_total", m.teardowns[i].Load())
 	}
@@ -133,6 +140,7 @@ func (s *Server) eachGauge(f func(name string, v int64)) {
 func (s *Server) eachHist(f func(name string, h *metrics.Histogram)) {
 	m := &s.metrics
 	f("queue_wait_ns", &m.queueWait)
+	f("coalesce_batch_size", &m.coalesce)
 	for i := range m.opLat {
 		f(slotNames[i], &m.opLat[i])
 	}

@@ -85,8 +85,14 @@ func TestRemoteMetrics(t *testing.T) {
 	if got := sm.Gauges["open_conns"]; got < 2 {
 		t.Errorf("open_conns = %d, want >= 2", got)
 	}
-	if got := sm.Counters["shed_responses_total"]; got != 0 {
-		t.Errorf("shed_responses_total = %d, want 0", got)
+	if got := sm.Counters["shed_overload_total"]; got != 0 {
+		t.Errorf("shed_overload_total = %d, want 0", got)
+	}
+	if got := sm.Counters["shed_conn_dead_total"]; got != 0 {
+		t.Errorf("shed_conn_dead_total = %d, want 0", got)
+	}
+	if _, ok := sm.Counters["shed_responses_total"]; ok {
+		t.Error("shed_responses_total still exported (should be split into overload/conn_dead)")
 	}
 
 	// The client recorded matching RTT histograms.

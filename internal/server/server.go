@@ -76,6 +76,25 @@ type Config struct {
 	// TraceSlow, when positive, logs any operation whose service time
 	// reaches it through Logf — the slow-op trace hook.
 	TraceSlow time.Duration
+	// Coalesce caps how many compatible same-opcode point requests a
+	// worker may drain from the work queue in one pull and stage through
+	// a single dict.Batcher descent (default 64, capped at
+	// wire.MaxBatch; 1 disables coalescing). Purely opportunistic: a
+	// worker never waits for a batch to form, it only sweeps what is
+	// already queued, so an idle server still serves a lone request
+	// immediately. Per-key linearizability is preserved (the batch is
+	// non-atomic, per the dict.Batcher contract).
+	Coalesce int
+	// QueueDepth is the shared work queue's capacity (default
+	// max(4*workers, 256)). Coalescing feeds on queue backlog, so the
+	// default is deeper than the pre-coalescing 4*workers.
+	QueueDepth int
+	// ShedOnFull, when set, makes a connection reader answer a request
+	// with an error response instead of blocking when the work queue is
+	// full (counted as shed_overload_total). Default off: readers block,
+	// and per-connection request slots bound the pressure — the PR 5
+	// flow-control contract.
+	ShedOnFull bool
 }
 
 // reqSlots bounds the requests one connection may have in flight; its
@@ -103,6 +122,8 @@ type Server struct {
 	writeTimeout time.Duration
 	logf         func(format string, args ...any)
 	traceSlow    time.Duration
+	coalesce     int
+	shedOnFull   bool
 
 	metrics srvMetrics
 
@@ -131,13 +152,32 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 	if wt == 0 {
 		wt = time.Minute
 	}
+	coalesce := cfg.Coalesce
+	if coalesce == 0 {
+		coalesce = 64
+	}
+	if coalesce < 1 {
+		coalesce = 1
+	}
+	if coalesce > wire.MaxBatch {
+		coalesce = wire.MaxBatch
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+		if depth < 256 {
+			depth = 256
+		}
+	}
 	s := &Server{
 		build:        build,
 		workers:      workers,
 		writeTimeout: wt,
 		logf:         cfg.Logf,
 		traceSlow:    cfg.TraceSlow,
-		work:         make(chan *request, workers*4),
+		coalesce:     coalesce,
+		shedOnFull:   cfg.ShedOnFull,
+		work:         make(chan *request, depth),
 		quit:         make(chan struct{}),
 		conns:        make(map[*srvConn]struct{}),
 	}
@@ -378,7 +418,7 @@ func (c *srvConn) send(ob *outBuf) bool {
 	case c.writeq <- ob:
 		return true
 	case <-c.done:
-		c.s.metrics.shed.Inc(0)
+		c.s.metrics.shedConnDead.Inc(0)
 		return false
 	}
 }
@@ -450,6 +490,19 @@ func (c *srvConn) reader() {
 			continue
 		}
 		req.enq = time.Now()
+		if c.s.shedOnFull {
+			// Admission control: answer instead of blocking when the
+			// queue is full. The error frame keeps the stream aligned;
+			// the peer decides whether to back off or retry.
+			select {
+			case c.s.work <- req:
+			default:
+				m.shedOverload.Inc(0)
+				c.sendErr(id, "server overloaded: work queue full")
+				c.putReq(req)
+			}
+			continue
+		}
 		select {
 		case c.s.work <- req:
 		case <-c.done:
@@ -573,6 +626,15 @@ type worker struct {
 	oks   []bool
 	msnap metrics.Snapshot // METRICS streaming scratch
 
+	// Cross-connection coalescing state: requests swept from the work
+	// queue in one pull (creqs), their staged keys/values (ckeys,
+	// cvals), and the first incompatible request the sweep hit, served
+	// next (deferred).
+	creqs    []*request
+	ckeys    []uint64
+	cvals    []uint64
+	deferred *request
+
 	// Scan-in-flight state for the bound relay callback (one scan at a
 	// time per worker, so worker fields — not a per-scan closure).
 	sc struct {
@@ -589,12 +651,17 @@ func (s *Server) workerLoop(idx int) {
 	w := &worker{s: s, idx: idx & (metrics.NumShards - 1)}
 	w.relay = w.scanRelay
 	for {
-		select {
-		case req := <-s.work:
-			w.serve(req)
-		case <-s.quit:
-			return
+		var req *request
+		if w.deferred != nil {
+			req, w.deferred = w.deferred, nil
+		} else {
+			select {
+			case req = <-s.work:
+			case <-s.quit:
+				return
+			}
 		}
+		w.serve(req)
 	}
 }
 
@@ -606,7 +673,94 @@ func (w *worker) attach(h *hosted) {
 	w.snap = dict.ScanFunc(w.h, true)
 }
 
+// pointCoalescable reports whether an opcode participates in
+// cross-connection coalescing (the per-key point operations; batches
+// are already batches, scans and control ops have their own shapes).
+func pointCoalescable(op byte) bool {
+	return op == wire.OpGet || op == wire.OpPut || op == wire.OpDelete
+}
+
+// serve dispatches one dequeued request. Point operations first sweep
+// the work queue for compatible companions (cross-connection
+// coalescing, the ISSUE 7 server half); everything else — and a point
+// op that found no company — takes the per-request path.
 func (w *worker) serve(req *request) {
+	if w.s.coalesce > 1 && pointCoalescable(req.Op) {
+		w.servePoints(req)
+		return
+	}
+	w.serveOne(req)
+}
+
+// servePoints opportunistically drains up to Coalesce-1 more requests
+// with the same point opcode from the work queue — never waiting; the
+// sweep takes only what is already there — and stages the whole group
+// through one Batcher descent. The first incompatible request swept is
+// parked in w.deferred and served next, so nothing is reordered past a
+// full queue scan. Per-key linearizability holds: every client blocks
+// until its response, so two coalesced requests are concurrent calls,
+// and any execution order within the descent is a valid linearization
+// (the dict.Batcher per-key contract).
+func (w *worker) servePoints(first *request) {
+	w.creqs = append(w.creqs[:0], first)
+	op := first.Op
+collect:
+	for len(w.creqs) < w.s.coalesce {
+		select {
+		case r := <-w.s.work:
+			if r.Op != op {
+				w.deferred = r
+				break collect
+			}
+			w.creqs = append(w.creqs, r)
+		default:
+			break collect
+		}
+	}
+	w.s.metrics.coalesce.Record(w.idx, uint64(len(w.creqs)))
+	if len(w.creqs) == 1 {
+		w.serveOne(first)
+		return
+	}
+	if h := w.s.cur.Load(); w.cur != h {
+		w.attach(h)
+	}
+	now := time.Now()
+	reqs := w.creqs
+	n := len(reqs)
+	w.s.metrics.inFlight.Add(w.idx, int64(n))
+	w.ckeys = w.ckeys[:0]
+	for _, r := range reqs {
+		w.ckeys = append(w.ckeys, r.Key)
+	}
+	if cap(w.vals) < n {
+		w.vals = make([]uint64, n)
+		w.oks = make([]bool, n)
+	}
+	vals, oks := w.vals[:n], w.oks[:n]
+	switch op {
+	case wire.OpGet:
+		w.bat.FindBatch(w.ckeys, vals, oks)
+	case wire.OpPut:
+		w.cvals = w.cvals[:0]
+		for _, r := range reqs {
+			w.cvals = append(w.cvals, r.Val)
+		}
+		w.bat.InsertBatch(w.ckeys, w.cvals, vals, oks)
+	case wire.OpDelete:
+		w.bat.DeleteBatch(w.ckeys, vals, oks)
+	}
+	// Scatter: each response goes back to its owning connection; a dead
+	// connection sheds its response without disturbing the others.
+	for i, r := range reqs {
+		r.c.sendPoint(r.ID, vals[i], oks[i])
+		w.observe(r, now)
+		r.c.putReq(r)
+	}
+	w.s.metrics.inFlight.Add(w.idx, -int64(n))
+}
+
+func (w *worker) serveOne(req *request) {
 	if h := w.s.cur.Load(); w.cur != h {
 		w.attach(h)
 	}
