@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/dict"
 	"repro/internal/pabtree"
@@ -43,11 +44,23 @@ func main() {
 		elim    = flag.Bool("elim", false, "use the p-Elim-ABtree")
 		shards  = flag.Int("shards", 1, "range-partition the tree into this many shards (recovery via shard.RecoverSharded)")
 		seed    = flag.Uint64("seed", 1, "base seed")
+
+		net       = flag.Bool("net", false, "run the network fault drill instead: server behind a fault-injecting proxy, reconnecting clients, linearizability-checked histories, graceful drain (see netdrill.go)")
+		netFaults = flag.Int("net-faults", 40, "with -net: keep running chaos rounds until at least this many faults were injected")
+		netDrain  = flag.Duration("net-drain", 10*time.Second, "with -net: graceful-drain deadline for the final Shutdown")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "bad -shards %d\n", *shards)
 		os.Exit(2)
+	}
+
+	if *net {
+		if err := netDrill(*seed, *workers, *netFaults, *netDrain); err != nil {
+			fmt.Fprintf(os.Stderr, "net drill: FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	for r := 0; r < *rounds; r++ {

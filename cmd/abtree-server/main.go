@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,16 +51,21 @@ func main() {
 		coalesce  = flag.Int("coalesce", 64, "max same-opcode point requests a worker coalesces into one batched descent (1 = off)")
 		queue     = flag.Int("queue", 0, "work queue depth (0 = max(4*workers, 256))")
 		shed      = flag.Bool("shed", false, "answer requests with an error instead of blocking readers when the work queue is full")
+		maxConns  = flag.Int("max-conns", 0, "max concurrent connections; over-cap accepts get one BUSY frame and close (0 = unlimited)")
+		idleTO    = flag.Duration("idle-timeout", 0, "reap connections idle for this long (0 = never)")
+		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "on SIGINT/SIGTERM, drain in-flight requests for up to this long before closing hard (0 = close immediately)")
 	)
 	flag.Parse()
 
 	s, err := server.New(bench.NewDict, *structure, *keys, server.Config{
-		Workers:    *workers,
-		Logf:       log.Printf,
-		TraceSlow:  *traceSlow,
-		Coalesce:   *coalesce,
-		QueueDepth: *queue,
-		ShedOnFull: *shed,
+		Workers:     *workers,
+		Logf:        log.Printf,
+		TraceSlow:   *traceSlow,
+		Coalesce:    *coalesce,
+		QueueDepth:  *queue,
+		ShedOnFull:  *shed,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idleTO,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)
@@ -79,8 +85,23 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("abtree-server: shutting down")
-	s.Close()
+	if *drainTO <= 0 {
+		fmt.Println("abtree-server: shutting down")
+		s.Close()
+		return
+	}
+	fmt.Printf("abtree-server: draining (up to %v; signal again to close hard)\n", *drainTO)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Printf("abtree-server: drain cut short: %v\n", err)
+		return
+	}
+	fmt.Println("abtree-server: drained")
 }
 
 // serveDebug runs the operator HTTP listener: an expvar-style JSON dump

@@ -24,14 +24,19 @@
 //
 // Error model: Dial, Open, Stats and Close return errors; the
 // dict.Dict/Handle methods cannot (the interfaces have no error
-// results), so a wire or protocol failure there panics with a
-// descriptive message. The client is a workload driver and test asset —
-// a broken server connection mid-benchmark is fatal by design.
+// results). A transport failure first goes through the retry policy in
+// retry.go — handles redial with capped exponential backoff and replay
+// idempotent operations transparently; mutations that may have reached
+// the server fail with ErrAmbiguous instead of replaying. Only when
+// retries are exhausted (or a mutation turns ambiguous) does a
+// dict.Handle method panic with a descriptive message; the Try* methods
+// (TryHandle) surface the same errors for chaos drills.
 package client
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -40,6 +45,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/wire"
+	"repro/internal/xrand"
 )
 
 // Client is a connection pool to one abtree server. It implements
@@ -48,21 +54,32 @@ import (
 // workload unchanged.
 type Client struct {
 	addr string
+	cfg  Config // dial/retry policy (see retry.go), defaults applied
 
 	mu     sync.Mutex
-	conns  []net.Conn // every dialed connection, for Close
-	ctrl   *handle    // lazily dialed control handle (STATS/OPEN/KeySum)
-	caps   wire.Stats // hosted structure info from the last STATS/OPEN
+	conns  map[net.Conn]struct{} // live dialed connections, for Close
+	ctrl   *handle               // lazily dialed control handle (STATS/OPEN/KeySum)
+	caps   wire.Stats            // hosted structure info from the last STATS/OPEN
 	open   bool
 	nhands int // handles dialed, for RTT shard hints
 
-	rtt rttHists // client-side per-op round-trip histograms
+	rtt    rttHists      // client-side per-op round-trip histograms
+	faults faultCounters // redials/retries/ambiguous/busy (see retry.go)
 }
 
-// Dial connects to an abtree server and fetches the hosted structure's
-// capabilities (which scan kinds its handles will offer).
-func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr, open: true}
+// Dial connects to an abtree server with the default Config and fetches
+// the hosted structure's capabilities (which scan kinds its handles will
+// offer).
+func Dial(addr string) (*Client, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig is Dial with an explicit dial/retry policy.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	c := &Client{
+		addr:  addr,
+		cfg:   cfg.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+		open:  true,
+	}
 	if _, err := c.Stats(); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
@@ -128,7 +145,7 @@ func (c *Client) Close() error {
 	defer c.mu.Unlock()
 	c.open = false
 	var first error
-	for _, nc := range c.conns {
+	for nc := range c.conns {
 		if err := nc.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -211,32 +228,37 @@ func (c *Client) newHandle() (*handle, error) {
 
 func (c *Client) newHandleLocked() (*handle, error) {
 	if !c.open {
-		return nil, fmt.Errorf("client is closed")
+		return nil, errClientClosed
 	}
-	nc, err := net.Dial("tcp", c.addr)
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c.conns = append(c.conns, nc)
+	c.conns[nc] = struct{}{}
 	c.nhands++
 	return &handle{
+		c:    c,
 		nc:   nc,
 		br:   bufio.NewReaderSize(nc, 64<<10),
 		bw:   bufio.NewWriterSize(nc, 64<<10),
 		rtt:  &c.rtt,
 		hint: c.nhands,
+		rng:  newRetryRNG(c.nhands),
 	}, nil
 }
 
 // handle is a per-goroutine wire accessor over its own connection. Not
 // safe for concurrent use, like every dict.Handle.
 type handle struct {
-	nc   net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	id   uint64
-	rtt  *rttHists // shared per-op RTT histograms (see metrics.go)
-	hint int       // this handle's histogram stripe
+	c      *Client // owning pool (redial policy + fault counters)
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	id     uint64
+	broken bool        // connection known dead; next attempt redials
+	rng    *xrand.Rand // backoff jitter stream
+	rtt    *rttHists   // shared per-op RTT histograms (see metrics.go)
+	hint   int         // this handle's histogram stripe
 
 	hdr   [wire.HeaderLen]byte
 	out   []byte // request frame scratch
@@ -249,12 +271,18 @@ func (h *handle) nextID() uint64 {
 	return h.id
 }
 
-// writeFrames flushes h.out (one or more frames) to the server.
-func (h *handle) writeFrames() error {
-	if _, err := h.bw.Write(h.out); err != nil {
-		return err
+// writeFrames flushes h.out (one or more frames) to the server. On
+// failure, wrote reports whether any frame byte may have left the
+// client: the buffer is empty at frame start (every rpc flushes), so
+// bufio's unflushed count tells exactly how much reached the kernel.
+func (h *handle) writeFrames() (wrote bool, err error) {
+	if _, err = h.bw.Write(h.out); err != nil {
+		return h.bw.Buffered() < len(h.out), err
 	}
-	return h.bw.Flush()
+	if err = h.bw.Flush(); err != nil {
+		return h.bw.Buffered() < len(h.out), err
+	}
+	return true, nil
 }
 
 // readFrame reads one response frame, leaving the payload in h.in.
@@ -279,11 +307,18 @@ func (h *handle) readFrame() (id uint64, op byte, payload []byte, err error) {
 	return id, op, h.in, nil
 }
 
+// respError is an application-level failure reported by the server over
+// a healthy connection (RespError). It is never retried: the request was
+// received, executed and rejected exactly once.
+type respError string
+
+func (e respError) Error() string { return "server error: " + string(e) }
+
 // expect validates a response's id and opcode, surfacing RespError
 // payloads as errors.
 func expect(gotID, wantID uint64, gotOp, wantOp byte, payload []byte) error {
 	if gotOp == wire.RespError {
-		return fmt.Errorf("server error: %s", payload)
+		return respError(payload)
 	}
 	if gotID != wantID || gotOp != wantOp {
 		return fmt.Errorf("response mismatch: got id=%d op=%#x, want id=%d op=%#x", gotID, gotOp, wantID, wantOp)
@@ -291,20 +326,72 @@ func expect(gotID, wantID uint64, gotOp, wantOp byte, payload []byte) error {
 	return nil
 }
 
+// rpcPoint drives one point op with the retry.go policy: transparent
+// replay across reconnects while it is safe (GET always; PUT/DELETE only
+// while no frame byte left the client, or after a BUSY rejection), typed
+// ErrAmbiguous once a mutation's frame may have reached the server.
 func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
-	id := h.nextID()
-	h.out = wire.AppendPoint(h.out[:0], id, op, key, val)
-	if err := h.writeFrames(); err != nil {
-		return 0, false, err
+	mutation := op != wire.OpGet
+	for attempt := 0; ; attempt++ {
+		if err := h.prepare(); err != nil {
+			if errors.Is(err, errClientClosed) || attempt >= h.retryBudget() {
+				return 0, false, err
+			}
+			h.backoff(attempt)
+			continue
+		}
+		id := h.nextID()
+		h.out = wire.AppendPoint(h.out[:0], id, op, key, val)
+		if wrote, err := h.writeFrames(); err != nil {
+			h.broken = true
+			if mutation && wrote {
+				return 0, false, h.failAmbiguous(op, err)
+			}
+			if attempt >= h.retryBudget() {
+				return 0, false, err
+			}
+			h.backoff(attempt)
+			continue
+		}
+		rid, rop, payload, err := h.readFrame()
+		if err == nil && rop == wire.RespBusy {
+			// Admission rejection: the server answered at accept time and
+			// read nothing, so even a mutation is safe to replay.
+			err = errBusy
+			if h.c != nil {
+				h.c.faults.busy.Add(1)
+			}
+		}
+		if err != nil {
+			h.broken = true
+			if mutation && !errors.Is(err, errBusy) {
+				return 0, false, h.failAmbiguous(op, err)
+			}
+			if attempt >= h.retryBudget() {
+				return 0, false, err
+			}
+			h.backoff(attempt)
+			continue
+		}
+		if rop == wire.RespError {
+			// Application-level failure: the connection is healthy and
+			// the op was executed (and rejected) exactly once.
+			return 0, false, fmt.Errorf("server error: %s", payload)
+		}
+		if err := expect(rid, id, rop, wire.RespPoint, payload); err != nil {
+			// Protocol confusion: the stream can't be trusted anymore.
+			h.broken = true
+			if mutation {
+				return 0, false, h.failAmbiguous(op, err)
+			}
+			if attempt >= h.retryBudget() {
+				return 0, false, err
+			}
+			h.backoff(attempt)
+			continue
+		}
+		return wire.DecodePoint(payload)
 	}
-	rid, rop, payload, err := h.readFrame()
-	if err != nil {
-		return 0, false, err
-	}
-	if err := expect(rid, id, rop, wire.RespPoint, payload); err != nil {
-		return 0, false, err
-	}
-	return wire.DecodePoint(payload)
 }
 
 func (h *handle) point(op byte, key, val uint64) (uint64, bool) {
@@ -344,9 +431,14 @@ const maxOutstanding = 8
 // only full serialization preserves dict.Batcher's equal-keys-apply-in-
 // input-order contract across frames (within one frame the trees'
 // native batch path preserves it).
-func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool) error {
+// batch runs one attempt of a batched operation. On failure, wrote
+// reports whether any frame byte may have left the client (it tracks
+// bufio's unflushed count against the bytes handed over since the last
+// successful flush) — the input to the mutation-ambiguity decision in
+// batchRetry.
+func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool) (wrote bool, err error) {
 	if len(keys) == 0 {
-		return nil
+		return false, nil
 	}
 	window := maxOutstanding
 	if op != wire.OpMGet && len(keys) > wire.MaxBatch && crossFrameDup(keys) {
@@ -354,13 +446,17 @@ func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool
 	}
 	base := h.id + 1
 	written, read := 0, 0
+	handed := 0 // bytes handed to bw since the last successful flush
 	readOne := func() error {
 		rid, rop, payload, err := h.readFrame()
 		if err != nil {
 			return err
 		}
+		if rop == wire.RespBusy {
+			return errBusy
+		}
 		if rop == wire.RespError {
-			return fmt.Errorf("server error: %s", payload)
+			return respError(payload)
 		}
 		idx := rid - base
 		if rop != wire.RespBatch || idx >= uint64(written) {
@@ -381,28 +477,67 @@ func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool
 			vs = ivals[off:end]
 		}
 		h.out = wire.AppendBatch(h.out[:0], h.nextID(), op, keys[off:end], vs)
-		if _, err := h.bw.Write(h.out); err != nil {
-			return err
+		n, werr := h.bw.Write(h.out)
+		handed += n
+		if werr != nil {
+			return wrote || h.bw.Buffered() < handed, werr
 		}
 		written++
 		for written-read >= window {
-			if err := h.bw.Flush(); err != nil {
-				return err
+			if ferr := h.bw.Flush(); ferr != nil {
+				return wrote || h.bw.Buffered() < handed, ferr
 			}
-			if err := readOne(); err != nil {
-				return err
+			wrote, handed = true, 0
+			if rerr := readOne(); rerr != nil {
+				return true, rerr
 			}
 		}
 	}
-	if err := h.bw.Flush(); err != nil {
-		return err
+	if ferr := h.bw.Flush(); ferr != nil {
+		return wrote || h.bw.Buffered() < handed, ferr
 	}
+	wrote = true
 	for read < written {
-		if err := readOne(); err != nil {
+		if rerr := readOne(); rerr != nil {
+			return true, rerr
+		}
+	}
+	return true, nil
+}
+
+// batchRetry applies the retry.go policy around batch attempts: MGET
+// replays transparently; mutating batches replay only while no frame
+// byte left the client or after a BUSY rejection, and fail with
+// ErrAmbiguous otherwise. Each attempt rebuilds every frame and
+// re-decodes every response chunk, so a partial earlier attempt leaves
+// no residue in ovals/oks.
+func (h *handle) batchRetry(op byte, keys, ivals []uint64, ovals []uint64, oks []bool) error {
+	mutation := op != wire.OpMGet
+	for attempt := 0; ; attempt++ {
+		err := h.prepare()
+		if err == nil {
+			var wrote bool
+			wrote, err = h.batch(op, keys, ivals, ovals, oks)
+			if err == nil {
+				return nil
+			}
+			if _, isApp := err.(respError); isApp {
+				return err // healthy connection, executed exactly once
+			}
+			h.broken = true
+			busy := errors.Is(err, errBusy)
+			if busy && h.c != nil {
+				h.c.faults.busy.Add(1)
+			}
+			if mutation && wrote && !busy {
+				return h.failAmbiguous(op, err)
+			}
+		}
+		if errors.Is(err, errClientClosed) || attempt >= h.retryBudget() {
 			return err
 		}
+		h.backoff(attempt)
 	}
-	return nil
 }
 
 // crossFrameDup reports whether any key occurs in two different
@@ -428,7 +563,7 @@ func (h *handle) runBatch(op byte, keys, ivals []uint64, ovals []uint64, oks []b
 		panic("client: batch result slices must match len(keys)")
 	}
 	t0 := time.Now()
-	if err := h.batch(op, keys, ivals, ovals, oks); err != nil {
+	if err := h.batchRetry(op, keys, ivals, ovals, oks); err != nil {
 		panic(fmt.Sprintf("client: batch op %#x: %v", op, err))
 	}
 	h.observe(copFor(op), t0) // whole-call RTT, all pipelined frames
@@ -463,28 +598,11 @@ func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
 	if snapshot {
 		slot = copSnapScan
 	}
-	id := h.nextID()
-	h.out = wire.AppendScan(h.out[:0], id, snapshot, lo, hi)
-	if err := h.writeFrames(); err != nil {
+	// Scans are idempotent: a failed attempt restarts from scratch (the
+	// pair buffer is reset per attempt, and fn only runs after a full
+	// drain, so a retried scan replays exactly one attempt's snapshot).
+	if err := h.retryIdempotent(func() error { return h.scanOnce(snapshot, lo, hi) }); err != nil {
 		panic(fmt.Sprintf("client: scan: %v", err))
-	}
-	h.pairs = h.pairs[:0]
-	for {
-		rid, rop, payload, err := h.readFrame()
-		if err != nil {
-			panic(fmt.Sprintf("client: scan: %v", err))
-		}
-		if err := expect(rid, id, rop, wire.RespScanChunk, payload); err != nil {
-			panic(fmt.Sprintf("client: scan: %v", err))
-		}
-		last, pb, err := wire.DecodeChunk(payload)
-		if err != nil {
-			panic(fmt.Sprintf("client: scan: %v", err))
-		}
-		h.pairs = append(h.pairs, pb...)
-		if last {
-			break
-		}
 	}
 	h.observe(slot, t0) // stream fully drained; excludes fn replay
 	for i, n := 0, len(h.pairs)/16; i < n; i++ {
@@ -495,33 +613,79 @@ func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
 	}
 }
 
-func (h *handle) rpcStats() (wire.Stats, error) {
+// scanOnce runs one scan attempt, leaving the pairs in h.pairs.
+func (h *handle) scanOnce(snapshot bool, lo, hi uint64) error {
 	id := h.nextID()
-	h.out = wire.AppendStats(h.out[:0], id)
-	if err := h.writeFrames(); err != nil {
-		return wire.Stats{}, err
+	h.out = wire.AppendScan(h.out[:0], id, snapshot, lo, hi)
+	if _, err := h.writeFrames(); err != nil {
+		return err
 	}
-	rid, rop, payload, err := h.readFrame()
-	if err != nil {
-		return wire.Stats{}, err
+	h.pairs = h.pairs[:0]
+	for {
+		rid, rop, payload, err := h.readFrame()
+		if err != nil {
+			return err
+		}
+		if rop == wire.RespBusy {
+			return errBusy
+		}
+		if err := expect(rid, id, rop, wire.RespScanChunk, payload); err != nil {
+			return err
+		}
+		last, pb, err := wire.DecodeChunk(payload)
+		if err != nil {
+			return err
+		}
+		h.pairs = append(h.pairs, pb...)
+		if last {
+			return nil
+		}
 	}
-	if err := expect(rid, id, rop, wire.RespStats, payload); err != nil {
-		return wire.Stats{}, err
-	}
-	return wire.DecodeStats(payload)
 }
 
+func (h *handle) rpcStats() (wire.Stats, error) {
+	var st wire.Stats
+	err := h.retryIdempotent(func() error {
+		id := h.nextID()
+		h.out = wire.AppendStats(h.out[:0], id)
+		if _, err := h.writeFrames(); err != nil {
+			return err
+		}
+		rid, rop, payload, err := h.readFrame()
+		if err != nil {
+			return err
+		}
+		if rop == wire.RespBusy {
+			return errBusy
+		}
+		if err := expect(rid, id, rop, wire.RespStats, payload); err != nil {
+			return err
+		}
+		st, err = wire.DecodeStats(payload)
+		return err
+	})
+	return st, err
+}
+
+// rpcOpen retries like an idempotent op: re-opening the same
+// <name, keyRange> after a torn connection converges on the same state
+// (a fresh hosted instance) as a single OPEN.
 func (h *handle) rpcOpen(name string, keyRange uint64) error {
-	id := h.nextID()
-	h.out = wire.AppendOpen(h.out[:0], id, keyRange, name)
-	if err := h.writeFrames(); err != nil {
-		return err
-	}
-	rid, rop, payload, err := h.readFrame()
-	if err != nil {
-		return err
-	}
-	return expect(rid, id, rop, wire.RespOK, payload)
+	return h.retryIdempotent(func() error {
+		id := h.nextID()
+		h.out = wire.AppendOpen(h.out[:0], id, keyRange, name)
+		if _, err := h.writeFrames(); err != nil {
+			return err
+		}
+		rid, rop, payload, err := h.readFrame()
+		if err != nil {
+			return err
+		}
+		if rop == wire.RespBusy {
+			return errBusy
+		}
+		return expect(rid, id, rop, wire.RespOK, payload)
+	})
 }
 
 // rangeHandle adds remote weak scans (the hosted structure's handles

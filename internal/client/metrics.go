@@ -110,45 +110,55 @@ func (c *Client) ServerMetrics() (*ServerMetrics, error) {
 }
 
 func (h *handle) rpcMetrics() (*ServerMetrics, error) {
-	id := h.nextID()
-	h.out = wire.AppendMetricsReq(h.out[:0], id)
-	if err := h.writeFrames(); err != nil {
+	var sm *ServerMetrics
+	err := h.retryIdempotent(func() error {
+		id := h.nextID()
+		h.out = wire.AppendMetricsReq(h.out[:0], id)
+		if _, err := h.writeFrames(); err != nil {
+			return err
+		}
+		sm = &ServerMetrics{
+			Counters: make(map[string]uint64),
+			Gauges:   make(map[string]int64),
+			Hists:    make(map[string]*metrics.Snapshot),
+		}
+		var it wire.MetricsItem
+		for {
+			rid, rop, payload, err := h.readFrame()
+			if err != nil {
+				return err
+			}
+			if rop == wire.RespBusy {
+				return errBusy
+			}
+			if rop == wire.RespError {
+				return respError(payload)
+			}
+			if rid != id || rop != wire.RespMetrics {
+				return fmt.Errorf("metrics response mismatch: got id=%d op=%#x, want id=%d op=%#x", rid, rop, id, wire.RespMetrics)
+			}
+			last, err := wire.DecodeMetricsItem(payload, &it)
+			if err != nil {
+				return err
+			}
+			name := string(it.Name)
+			switch it.Kind {
+			case wire.MetricCounter:
+				sm.Counters[name] = it.Value
+			case wire.MetricGauge:
+				sm.Gauges[name] = it.Gauge()
+			case wire.MetricHistogram:
+				s := new(metrics.Snapshot)
+				*s = it.Hist
+				sm.Hists[name] = s
+			}
+			if last {
+				return nil
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	sm := &ServerMetrics{
-		Counters: make(map[string]uint64),
-		Gauges:   make(map[string]int64),
-		Hists:    make(map[string]*metrics.Snapshot),
-	}
-	var it wire.MetricsItem
-	for {
-		rid, rop, payload, err := h.readFrame()
-		if err != nil {
-			return nil, err
-		}
-		if rop == wire.RespError {
-			return nil, fmt.Errorf("server error: %s", payload)
-		}
-		if rid != id || rop != wire.RespMetrics {
-			return nil, fmt.Errorf("metrics response mismatch: got id=%d op=%#x, want id=%d op=%#x", rid, rop, id, wire.RespMetrics)
-		}
-		last, err := wire.DecodeMetricsItem(payload, &it)
-		if err != nil {
-			return nil, err
-		}
-		name := string(it.Name)
-		switch it.Kind {
-		case wire.MetricCounter:
-			sm.Counters[name] = it.Value
-		case wire.MetricGauge:
-			sm.Gauges[name] = it.Gauge()
-		case wire.MetricHistogram:
-			s := new(metrics.Snapshot)
-			*s = it.Hist
-			sm.Hists[name] = s
-		}
-		if last {
-			return sm, nil
-		}
-	}
+	return sm, nil
 }

@@ -6,40 +6,47 @@ package client
 // into MGET/MPUT/MDELETE frames.
 //
 // Shape: each shared connection runs a combiner goroutine and a reader
-// goroutine. A caller's point operation parks in a pooled muxOp, lands
-// on the connection's buffered submission queue, and blocks on its own
-// done channel. The combiner drains the queue, staging waiters by
-// opcode class, and seals one batch frame per class. The coalescing
-// window is credit-bounded, not timer-bounded: frames are written while
-// the pipeline has credit (a fixed number of frames in flight), and the
-// combiner only blocks — first flushing buffered frames to the wire —
-// when credit runs out. Under light load an op ships alone immediately
-// (no fixed sleep, no added latency floor); under load the submission
-// queue fills exactly while the combiner waits for credit, and the next
-// frame carries everything that accumulated — batch size adapts to the
-// arrival rate, bounded by MaxBatch. The reader completes each waiter
-// from the batch response by input position and returns the frame's
-// credit.
+// goroutine under a supervisor. A caller's point operation parks in a
+// pooled muxOp, lands on the connection's buffered submission queue, and
+// blocks on its own done channel. The combiner drains the queue, staging
+// waiters by opcode class, and seals one batch frame per class (chunked
+// at the batch bound). The coalescing window is credit-bounded, not
+// timer-bounded: frames are written while the pipeline has credit (a
+// fixed number of frames in flight), and the combiner only blocks —
+// first flushing buffered frames to the wire — when credit runs out.
+// Under light load an op ships alone immediately (no fixed sleep, no
+// added latency floor); under load the submission queue fills exactly
+// while the combiner waits for credit, and the next frame carries
+// everything that accumulated — batch size adapts to the arrival rate,
+// bounded by MaxBatch. The reader completes each waiter from the batch
+// response by input position and returns the frame's credit.
 //
 // Explicit dict.Batcher calls pass through as their own frames (they
 // are already batches; re-coalescing them would only add copying) but
 // share the connection, its credit window and its FIFO order with the
 // coalesced traffic.
 //
+// Fault tolerance: when a shared connection dies, the supervisor stops
+// both loops, salvages the in-flight state, redials with the Client's
+// backoff policy, and restarts a fresh generation. Salvage follows the
+// same ambiguity contract as plain handles (see retry.go): staged
+// waiters that never reached a frame are re-enqueued verbatim; in-flight
+// GET/MGET frames are idempotent and re-enqueued too; in-flight
+// mutation frames may have reached the server, so their waiters complete
+// with ErrAmbiguous (a BUSY rejection re-enqueues everything — the
+// rejecting server read nothing). dict.Handle methods panic on
+// ErrAmbiguous or exhausted retries; the Try* methods surface the error.
+//
 // Allocation discipline: muxOps live in their handles, frames and
 // response scratch are pooled per connection, and the submission path
 // is channel sends of pooled pointers — a warmed-up per-key operation
 // through the mux allocates nothing on either endpoint (enforced by
 // internal/server's TestAllocsMux).
-//
-// Error model matches Client: wire failures after Dial panic (the mux
-// is a workload driver; a broken server mid-benchmark is fatal by
-// design), except during Close, which tears the connections down
-// deliberately. Close must not race in-flight operations.
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -50,10 +57,11 @@ import (
 	"repro/internal/dict"
 	"repro/internal/metrics"
 	"repro/internal/wire"
+	"repro/internal/xrand"
 )
 
 // MuxConfig tunes a Mux. The zero value is ready: one shared
-// connection, MaxBatch 512, an 8-frame credit window.
+// connection, MaxBatch 512, an 8-frame credit window, default retries.
 type MuxConfig struct {
 	// Conns is the number of shared connections (default 1). Handles are
 	// assigned round-robin; more connections trade coalescing density
@@ -68,6 +76,8 @@ type MuxConfig struct {
 	// window is what turns backpressure into batching — while the
 	// combiner waits for credit, arriving ops pile into the next frame.
 	Window int
+	// Net is the dial/retry policy (shared with the control client).
+	Net Config
 }
 
 const (
@@ -98,7 +108,7 @@ type Mux struct {
 // DialMux connects a Mux to an abtree server: cfg.Conns shared data
 // connections plus a Client for control and scans.
 func DialMux(addr string, cfg MuxConfig) (*Mux, error) {
-	c, err := Dial(addr)
+	c, err := DialConfig(addr, cfg.Net)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +152,7 @@ func (m *Mux) Close() error {
 		}
 		for _, mc := range m.conns {
 			close(mc.quit)
-			mc.nc.Close()
+			mc.closeConn()
 		}
 		m.closeErr = m.c.Close()
 	})
@@ -173,6 +183,10 @@ func (m *Mux) RTT() map[string]*metrics.Snapshot { return m.c.RTT() }
 
 // ServerMetrics fetches the server's observability snapshot.
 func (m *Mux) ServerMetrics() (*ServerMetrics, error) { return m.c.ServerMetrics() }
+
+// FaultStats snapshots the fault-path counters (shared with the control
+// client: redials, retries, ambiguous completions, BUSY rejections).
+func (m *Mux) FaultStats() FaultStats { return m.c.FaultStats() }
 
 // CoalesceStats snapshots the client-side coalesce_batch_size
 // histogram: how many waiters each coalesced point frame carried.
@@ -217,7 +231,9 @@ func (m *Mux) NewHandle() dict.Handle {
 // muxOp is one parked operation: a point op (op/key/val, completed into
 // resVal/resOk) or an explicit-batch pass-through (keys/vals slices,
 // completed into the caller's resVals/resOks). done is buffered so the
-// reader never blocks completing a waiter.
+// completer never blocks. resErr carries a fault-path failure
+// (ErrAmbiguous, an application respError, or a terminal reconnect
+// failure) to the submitting goroutine.
 type muxOp struct {
 	op       byte
 	key, val uint64
@@ -228,6 +244,7 @@ type muxOp struct {
 
 	resVal uint64 // point result
 	resOk  bool
+	resErr error
 
 	done chan struct{}
 }
@@ -243,29 +260,58 @@ type muxFrame struct {
 	oks     []bool
 }
 
+// muxGen is one connection generation's control surface: the combiner
+// and reader of a generation exit when stop closes, reporting the first
+// failure on errc.
+type muxGen struct {
+	stop chan struct{}
+	errc chan error
+	wg   sync.WaitGroup
+}
+
+func (g *muxGen) fail(err error) {
+	select {
+	case g.errc <- err:
+	default:
+	}
+}
+
+// errGenStopped is the combiner's silent exit signal (the generation is
+// being torn down by the supervisor; nothing is wrong with this loop).
+var errGenStopped = errors.New("generation stopped")
+
 // muxConn is one shared connection: a combiner goroutine owning the
 // write side (staging, framing, credit) and a reader goroutine owning
 // the read side (matching responses by id, completing waiters,
-// returning credit). They share only the slot table, the credit channel
-// and the frame pool.
+// returning credit), restarted across reconnects by a supervisor that
+// owns the socket and all inter-generation state.
 type muxConn struct {
 	m        *Mux
-	idx      int // connection index, metrics shard hint
-	nc       net.Conn
-	br       *bufio.Reader
-	bw       *bufio.Writer
+	idx      int    // connection index, metrics shard hint
+	addr     string // redial target
 	maxBatch int
+	window   int
+
+	ncMu sync.Mutex
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
 
 	subq    chan *muxOp
 	quit    chan struct{}
 	closed  atomic.Bool
+	failed  chan struct{} // closed on terminal reconnect failure
+	failErr error         // set before failed closes
+
 	credits chan struct{}
 	slots   [muxSlotCount]atomic.Pointer[muxFrame]
 	frees   chan *muxFrame
 
+	rng *xrand.Rand // supervisor backoff jitter
+
 	id uint64 // combiner-owned frame id counter
 
-	// Combiner staging and scratch.
+	// Combiner staging and scratch (supervisor-owned between generations).
 	points  [3][]*muxOp // staged point waiters by class (get/put/delete)
 	batches []*muxOp    // staged explicit-batch pass-throughs
 	keyBuf  []uint64
@@ -278,28 +324,190 @@ type muxConn struct {
 }
 
 func (m *Mux) dialConn(addr string, idx, maxBatch, window int) (*muxConn, error) {
-	nc, err := net.Dial("tcp", addr)
+	nc, err := net.DialTimeout("tcp", addr, m.c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	mc := &muxConn{
 		m:        m,
 		idx:      idx & (metrics.NumShards - 1),
+		addr:     addr,
 		nc:       nc,
 		br:       bufio.NewReaderSize(nc, 64<<10),
 		bw:       bufio.NewWriterSize(nc, 64<<10),
 		maxBatch: maxBatch,
+		window:   window,
 		subq:     make(chan *muxOp, muxSubDepth),
 		quit:     make(chan struct{}),
+		failed:   make(chan struct{}),
 		credits:  make(chan struct{}, window),
 		frees:    make(chan *muxFrame, muxSlotCount),
+		rng:      newRetryRNG(idx + 1<<20),
 	}
 	for i := 0; i < window; i++ {
 		mc.credits <- struct{}{}
 	}
-	go mc.combinerLoop()
-	go mc.readerLoop()
+	go mc.supervise()
 	return mc, nil
+}
+
+func (mc *muxConn) closeConn() {
+	mc.ncMu.Lock()
+	if mc.nc != nil {
+		mc.nc.Close()
+	}
+	mc.ncMu.Unlock()
+}
+
+func (mc *muxConn) setConn(nc net.Conn) {
+	mc.ncMu.Lock()
+	mc.nc = nc
+	mc.ncMu.Unlock()
+	mc.br.Reset(nc)
+	mc.bw.Reset(nc)
+}
+
+// supervise runs connection generations: start combiner+reader, wait
+// for the first failure, stop both, salvage in-flight state, redial,
+// repeat. Deliberate Close exits; exhausted redials fail the connection
+// terminally (every parked and future op completes with the error).
+func (mc *muxConn) supervise() {
+	for {
+		g := &muxGen{stop: make(chan struct{}), errc: make(chan error, 2)}
+		g.wg.Add(2)
+		go func() { defer g.wg.Done(); mc.combiner(g) }()
+		go func() { defer g.wg.Done(); mc.reader(g) }()
+		var genErr error
+		select {
+		case genErr = <-g.errc:
+		case <-mc.quit:
+		}
+		close(g.stop)
+		mc.closeConn() // unblock whichever loop is still in I/O
+		g.wg.Wait()
+		if mc.closed.Load() {
+			return // deliberate Close; Close's contract says no in-flight ops
+		}
+		// A BUSY rejection arrives at accept time, before the server reads
+		// anything — every in-flight frame (mutations included) is safe to
+		// replay on the next connection.
+		busy := errors.Is(genErr, errBusy)
+		if busy {
+			mc.m.c.faults.busy.Add(1)
+		}
+		mc.salvage(busy)
+		if err := mc.redial(); err != nil {
+			mc.failTerminal(fmt.Errorf("client: mux conn %d: reconnect: %w (after %v)", mc.idx, err, genErr))
+			return
+		}
+	}
+}
+
+// salvage reclaims every in-flight frame after a generation died:
+// idempotent waiters (GET/MGET) are re-staged for the next generation,
+// mutation waiters complete with ErrAmbiguous (their frame may have
+// reached the server) unless requeueAll says the server never read them.
+// Credits are reset to a full window; staged-but-never-framed waiters
+// are already in the staging arrays and simply carry over.
+func (mc *muxConn) salvage(requeueAll bool) {
+	ambiguous := 0
+	for i := range mc.slots {
+		f := mc.slots[i].Load()
+		if f == nil {
+			continue
+		}
+		mc.slots[i].Store(nil)
+		if f.bop != nil {
+			o := f.bop
+			if requeueAll || o.op == wire.OpMGet {
+				mc.batches = append(mc.batches, o)
+			} else {
+				o.resErr = fmt.Errorf("%w (mux conn %d, op %#x)", ErrAmbiguous, mc.idx, o.op)
+				ambiguous++
+				o.done <- struct{}{}
+			}
+		} else {
+			for _, o := range f.waiters {
+				if requeueAll || o.op == wire.OpGet {
+					cls := pointClass(o.op)
+					mc.points[cls] = append(mc.points[cls], o)
+				} else {
+					o.resErr = fmt.Errorf("%w (mux conn %d, op %#x)", ErrAmbiguous, mc.idx, o.op)
+					ambiguous++
+					o.done <- struct{}{}
+				}
+			}
+			f.waiters = f.waiters[:0]
+		}
+		mc.putFrame(f)
+	}
+	if ambiguous > 0 {
+		mc.m.c.faults.ambiguous.Add(uint64(ambiguous))
+	}
+	for drained := false; !drained; {
+		select {
+		case <-mc.credits:
+		default:
+			drained = true
+		}
+	}
+	for i := 0; i < mc.window; i++ {
+		mc.credits <- struct{}{}
+	}
+}
+
+// redial reconnects the shared connection under the Client's backoff
+// policy.
+func (mc *muxConn) redial() error {
+	cfg := mc.m.c.cfg
+	for attempt := 0; ; attempt++ {
+		if mc.closed.Load() {
+			return errClientClosed
+		}
+		nc, err := net.DialTimeout("tcp", mc.addr, cfg.DialTimeout)
+		if err == nil {
+			mc.setConn(nc)
+			mc.m.c.faults.redials.Add(1)
+			return nil
+		}
+		if attempt >= cfg.RetryAttempts {
+			return err
+		}
+		d := cfg.RetryBackoff << uint(attempt)
+		if d > cfg.RetryBackoffMax || d <= 0 {
+			d = cfg.RetryBackoffMax
+		}
+		time.Sleep(d/2 + time.Duration(mc.rng.Uint64n(uint64(d))))
+		mc.m.c.faults.retries.Add(1)
+	}
+}
+
+// failTerminal completes every parked waiter with err and fails all
+// future submissions until Close.
+func (mc *muxConn) failTerminal(err error) {
+	mc.failErr = err
+	close(mc.failed)
+	for cls := range mc.points {
+		for _, o := range mc.points[cls] {
+			o.resErr = err
+			o.done <- struct{}{}
+		}
+		mc.points[cls] = mc.points[cls][:0]
+	}
+	for _, o := range mc.batches {
+		o.resErr = err
+		o.done <- struct{}{}
+	}
+	mc.batches = mc.batches[:0]
+	for {
+		select {
+		case o := <-mc.subq:
+			o.resErr = err
+			o.done <- struct{}{}
+		case <-mc.quit:
+			return
+		}
+	}
 }
 
 // pointClass maps a point opcode to its staging class (-1 otherwise).
@@ -318,28 +526,46 @@ func pointClass(op byte) int {
 // pointBatchOp is the batch opcode each staging class seals into.
 var pointBatchOp = [3]byte{wire.OpMGet, wire.OpMPut, wire.OpMDelete}
 
-// combinerLoop drains the submission queue into frames: block for the
-// first op, then greedily stage everything already queued, then flush.
-// Flush blocks on credit only after pushing buffered frames to the
-// wire, so backpressure turns directly into larger next-round batches.
-func (mc *muxConn) combinerLoop() {
+// staged reports how many waiters are parked in the staging arrays
+// (non-zero right after a salvage carried work into this generation).
+func (mc *muxConn) staged() int {
+	n := len(mc.batches)
+	for cls := range mc.points {
+		n += len(mc.points[cls])
+	}
+	return n
+}
+
+// combiner drains the submission queue into frames: block for the first
+// op (unless salvage left work staged), then greedily stage everything
+// already queued, then flush. Flush blocks on credit only after pushing
+// buffered frames to the wire, so backpressure turns directly into
+// larger next-round batches.
+func (mc *muxConn) combiner(g *muxGen) {
 	for {
-		var op *muxOp
-		select {
-		case op = <-mc.subq:
-		case <-mc.quit:
-			return
+		if mc.staged() == 0 {
+			select {
+			case op := <-mc.subq:
+				mc.stage(op)
+			case <-g.stop:
+				return
+			case <-mc.quit:
+				return
+			}
 		}
-		full := mc.stage(op)
+		full := false
 		for !full {
 			select {
-			case op = <-mc.subq:
+			case op := <-mc.subq:
 				full = mc.stage(op)
 			default:
 				full = true
 			}
 		}
-		if !mc.flush() {
+		if err := mc.flush(g); err != nil {
+			if !errors.Is(err, errGenStopped) {
+				g.fail(err)
+			}
 			return
 		}
 	}
@@ -356,129 +582,177 @@ func (mc *muxConn) stage(op *muxOp) bool {
 	return len(mc.batches) >= muxBatchFlush
 }
 
-// flush seals every staged class into a frame and writes it, then
-// flushes the socket. Reports false when the connection is quitting.
-func (mc *muxConn) flush() bool {
+// flush seals every staged class into frames (chunked at maxBatch —
+// salvage can stage more than one frame's worth) and writes them, then
+// flushes the socket. Waiters move out of the staging arrays the moment
+// their frame is sealed, so a mid-flush failure leaves each op in
+// exactly one place: its frame's slot (salvaged as in-flight) or the
+// staging array (carried to the next generation untouched).
+func (mc *muxConn) flush(g *muxGen) error {
 	for cls := range mc.points {
-		ops := mc.points[cls]
-		if len(ops) == 0 {
-			continue
-		}
-		f := mc.getFrame()
-		f.bop = nil
-		f.waiters = append(f.waiters[:0], ops...)
-		mc.keyBuf = mc.keyBuf[:0]
-		for _, o := range ops {
-			mc.keyBuf = append(mc.keyBuf, o.key)
-		}
-		var vals []uint64
-		op := pointBatchOp[cls]
-		if op == wire.OpMPut {
-			mc.valBuf = mc.valBuf[:0]
-			for _, o := range ops {
-				mc.valBuf = append(mc.valBuf, o.val)
+		for len(mc.points[cls]) > 0 {
+			ops := mc.points[cls]
+			n := min(len(ops), mc.maxBatch)
+			f := mc.getFrame()
+			f.bop = nil
+			f.waiters = append(f.waiters[:0], ops[:n]...)
+			mc.points[cls] = append(ops[:0], ops[n:]...) // keep remainder staged
+			mc.keyBuf = mc.keyBuf[:0]
+			for _, o := range f.waiters {
+				mc.keyBuf = append(mc.keyBuf, o.key)
 			}
-			vals = mc.valBuf
+			var vals []uint64
+			op := pointBatchOp[cls]
+			if op == wire.OpMPut {
+				mc.valBuf = mc.valBuf[:0]
+				for _, o := range f.waiters {
+					mc.valBuf = append(mc.valBuf, o.val)
+				}
+				vals = mc.valBuf
+			}
+			mc.m.coalesce.Record(mc.idx, uint64(len(f.waiters)))
+			if err := mc.writeFrame(g, f, op, mc.keyBuf, vals); err != nil {
+				return err
+			}
 		}
-		mc.m.coalesce.Record(mc.idx, uint64(len(ops)))
-		if !mc.writeFrame(f, op, mc.keyBuf, vals) {
-			return false
-		}
-		mc.points[cls] = ops[:0]
 	}
-	for i, o := range mc.batches {
+	for len(mc.batches) > 0 {
+		o := mc.batches[0]
+		n := copy(mc.batches, mc.batches[1:])
+		mc.batches[n] = nil
+		mc.batches = mc.batches[:n]
 		f := mc.getFrame()
 		f.bop = o
 		f.waiters = f.waiters[:0]
-		if !mc.writeFrame(f, o.op, o.keys, o.vals) {
-			return false
+		if err := mc.writeFrame(g, f, o.op, o.keys, o.vals); err != nil {
+			return err
 		}
-		mc.batches[i] = nil
 	}
-	mc.batches = mc.batches[:0]
 	if err := mc.bw.Flush(); err != nil {
-		return mc.fail("flush", err)
+		return err
 	}
-	return true
+	return nil
 }
 
 // acquireCredit takes one in-flight slot. If none is free it first
 // flushes the socket — frames sitting in the bufio buffer earn no
 // responses, and blocking on credit with the window fully buffered
 // would deadlock — then blocks until the reader returns one.
-func (mc *muxConn) acquireCredit() bool {
+func (mc *muxConn) acquireCredit(g *muxGen) error {
 	select {
 	case <-mc.credits:
-		return true
+		return nil
 	default:
 	}
 	if err := mc.bw.Flush(); err != nil {
-		return mc.fail("flush", err)
+		return err
 	}
 	select {
 	case <-mc.credits:
-		return true
+		return nil
+	case <-g.stop:
+		return errGenStopped
 	case <-mc.quit:
-		return false
+		return errGenStopped
 	}
 }
 
 // writeFrame installs the frame in its response slot and writes it to
 // the buffered socket (flushed by the caller or by credit pressure).
-// Slots cannot collide: ids are sequential and at most window (< slot
-// count) frames are ever in flight.
-func (mc *muxConn) writeFrame(f *muxFrame, op byte, keys, vals []uint64) bool {
-	if !mc.acquireCredit() {
-		return false
+// Slots cannot collide: ids are sequential, at most window (< slot
+// count) frames are ever in flight, and salvage empties the table
+// between generations.
+func (mc *muxConn) writeFrame(g *muxGen, f *muxFrame, op byte, keys, vals []uint64) error {
+	if err := mc.acquireCredit(g); err != nil {
+		// Never entered a slot: put the frame's waiters back in staging
+		// so they carry to the next generation (or terminal failure).
+		mc.unseal(f)
+		return err
 	}
 	mc.id++
 	f.id = mc.id
 	mc.slots[f.id&muxSlotMask].Store(f)
 	mc.out = wire.AppendBatch(mc.out[:0], f.id, op, keys, vals)
 	if _, err := mc.bw.Write(mc.out); err != nil {
-		return mc.fail("write", err)
+		return err
 	}
-	return true
+	return nil
 }
 
-// readerLoop matches response frames to in-flight state by echoed id,
+// unseal returns a sealed-but-not-installed frame's waiters to staging.
+func (mc *muxConn) unseal(f *muxFrame) {
+	if f.bop != nil {
+		mc.batches = append(mc.batches, f.bop)
+	} else {
+		for _, o := range f.waiters {
+			if cls := pointClass(o.op); cls >= 0 {
+				mc.points[cls] = append(mc.points[cls], o)
+			}
+		}
+		f.waiters = f.waiters[:0]
+	}
+	mc.putFrame(f)
+}
+
+// reader matches response frames to in-flight state by echoed id,
 // completes every waiter, recycles the frame and returns its credit.
-func (mc *muxConn) readerLoop() {
+// Transport and protocol failures end the generation; application-level
+// RespError frames fail only their own waiters (the connection stays
+// healthy).
+func (mc *muxConn) reader(g *muxGen) {
 	for {
-		id, rop, payload, ok := mc.readFrame()
-		if !ok {
-			return // closing
+		id, rop, payload, err := mc.readFrame()
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		if rop == wire.RespBusy {
+			g.fail(errBusy)
+			return
 		}
 		f := mc.slots[id&muxSlotMask].Load()
 		if f == nil || f.id != id {
-			panic(fmt.Sprintf("client: mux conn %d: response id %d matches no in-flight frame", mc.idx, id))
+			g.fail(fmt.Errorf("response id %d matches no in-flight frame", id))
+			return
 		}
+		var appErr error
 		if rop == wire.RespError {
-			panic(fmt.Sprintf("client: mux conn %d: server error: %s", mc.idx, payload))
-		}
-		if rop != wire.RespBatch {
-			panic(fmt.Sprintf("client: mux conn %d: unexpected response op %#x", mc.idx, rop))
+			appErr = respError(payload)
+		} else if rop != wire.RespBatch {
+			g.fail(fmt.Errorf("unexpected response op %#x", rop))
+			return
 		}
 		if f.bop != nil {
 			o := f.bop
-			if err := wire.DecodeBatch(payload, o.resVals, o.resOks); err != nil {
-				panic(fmt.Sprintf("client: mux conn %d: %v", mc.idx, err))
+			if appErr == nil {
+				if err := wire.DecodeBatch(payload, o.resVals, o.resOks); err != nil {
+					g.fail(err)
+					return
+				}
 			}
+			o.resErr = appErr
 			mc.slots[id&muxSlotMask].Store(nil)
 			mc.putFrame(f)
 			o.done <- struct{}{}
 		} else {
 			n := len(f.waiters)
-			if cap(f.vals) < n {
-				f.vals = make([]uint64, n)
-				f.oks = make([]bool, n)
+			if appErr == nil {
+				if cap(f.vals) < n {
+					f.vals = make([]uint64, n)
+					f.oks = make([]bool, n)
+				}
+				if err := wire.DecodeBatch(payload, f.vals[:n], f.oks[:n]); err != nil {
+					g.fail(err)
+					return
+				}
 			}
-			vals, oks := f.vals[:n], f.oks[:n]
-			if err := wire.DecodeBatch(payload, vals, oks); err != nil {
-				panic(fmt.Sprintf("client: mux conn %d: %v", mc.idx, err))
-			}
+			vals, oks := f.vals[:cap(f.vals)], f.oks[:cap(f.oks)]
 			for i, o := range f.waiters {
-				o.resVal, o.resOk = vals[i], oks[i]
+				if appErr == nil {
+					o.resVal, o.resOk, o.resErr = vals[i], oks[i], nil
+				} else {
+					o.resErr = appErr
+				}
 				o.done <- struct{}{}
 			}
 			mc.slots[id&muxSlotMask].Store(nil)
@@ -488,19 +762,14 @@ func (mc *muxConn) readerLoop() {
 	}
 }
 
-// readFrame reads one response frame into the reader's scratch. ok is
-// false only when the connection is deliberately closing; any other
-// failure panics (see the package error model).
-func (mc *muxConn) readFrame() (id uint64, op byte, payload []byte, ok bool) {
+// readFrame reads one response frame into the reader's scratch.
+func (mc *muxConn) readFrame() (id uint64, op byte, payload []byte, err error) {
 	if _, err := io.ReadFull(mc.br, mc.hdr[:]); err != nil {
-		if mc.closed.Load() {
-			return 0, 0, nil, false
-		}
-		panic(fmt.Sprintf("client: mux conn %d: read: %v", mc.idx, err))
+		return 0, 0, nil, err
 	}
 	length := binary.LittleEndian.Uint32(mc.hdr[:4])
 	if length < wire.HeaderLen-4 || length > wire.MaxFrame {
-		panic(fmt.Sprintf("client: mux conn %d: bad response frame length %d", mc.idx, length))
+		return 0, 0, nil, fmt.Errorf("bad response frame length %d", length)
 	}
 	id = binary.LittleEndian.Uint64(mc.hdr[4:12])
 	op = mc.hdr[12]
@@ -510,12 +779,9 @@ func (mc *muxConn) readFrame() (id uint64, op byte, payload []byte, ok bool) {
 	}
 	mc.in = mc.in[:n]
 	if _, err := io.ReadFull(mc.br, mc.in); err != nil {
-		if mc.closed.Load() {
-			return 0, 0, nil, false
-		}
-		panic(fmt.Sprintf("client: mux conn %d: read: %v", mc.idx, err))
+		return 0, 0, nil, err
 	}
-	return id, op, mc.in, true
+	return id, op, mc.in, nil
 }
 
 func (mc *muxConn) getFrame() *muxFrame {
@@ -535,15 +801,6 @@ func (mc *muxConn) putFrame(f *muxFrame) {
 	}
 }
 
-// fail reports a wire failure: silent during deliberate close, fatal
-// otherwise.
-func (mc *muxConn) fail(what string, err error) bool {
-	if mc.closed.Load() {
-		return false
-	}
-	panic(fmt.Sprintf("client: mux conn %d: %s: %v", mc.idx, what, err))
-}
-
 // muxHandle is a per-goroutine accessor multiplexed onto a shared
 // connection. Not safe for concurrent use, like every dict.Handle —
 // the sharing happens below it, in the connection.
@@ -557,18 +814,23 @@ type muxHandle struct {
 	scanH dict.Handle
 }
 
-// submit parks o on the shared connection and blocks until the reader
-// completes it.
+// submit parks o on the shared connection and blocks until it is
+// completed (possibly with o.resErr set). On a terminally failed
+// connection the op completes locally with the terminal error.
 func (h *muxHandle) submit(o *muxOp) {
+	o.resErr = nil
 	select {
 	case h.mc.subq <- o:
 	case <-h.mc.quit:
 		panic("client: mux: operation on closed mux")
+	case <-h.mc.failed:
+		o.resErr = h.mc.failErr
+		return
 	}
 	<-o.done
 }
 
-func (h *muxHandle) point(opcode byte, key, val uint64) (uint64, bool) {
+func (h *muxHandle) tryPoint(opcode byte, key, val uint64) (uint64, bool, error) {
 	t0 := time.Now()
 	h.m.inflight.Add(h.hint, 1)
 	o := &h.op
@@ -576,8 +838,19 @@ func (h *muxHandle) point(opcode byte, key, val uint64) (uint64, bool) {
 	o.keys, o.vals = nil, nil
 	h.submit(o)
 	h.m.inflight.Add(h.hint, -1)
+	if o.resErr != nil {
+		return 0, false, o.resErr
+	}
 	h.observeRTT(copFor(opcode), t0)
-	return o.resVal, o.resOk
+	return o.resVal, o.resOk, nil
+}
+
+func (h *muxHandle) point(opcode byte, key, val uint64) (uint64, bool) {
+	v, ok, err := h.tryPoint(opcode, key, val)
+	if err != nil {
+		panic(fmt.Sprintf("client: mux point op %#x: %v", opcode, err))
+	}
+	return v, ok
 }
 
 func (h *muxHandle) observeRTT(slot int, t0 time.Time) {
@@ -600,6 +873,23 @@ func (h *muxHandle) Insert(key, val uint64) (uint64, bool) { return h.point(wire
 
 // Delete removes key if present (coalesced).
 func (h *muxHandle) Delete(key uint64) (uint64, bool) { return h.point(wire.OpDelete, key, 0) }
+
+// TryFind is Find with an error result instead of a panic (TryHandle).
+func (h *muxHandle) TryFind(key uint64) (uint64, bool, error) {
+	return h.tryPoint(wire.OpGet, key, 0)
+}
+
+// TryInsert is Insert with an error result; ErrAmbiguous means the
+// insert may or may not have been applied.
+func (h *muxHandle) TryInsert(key, val uint64) (uint64, bool, error) {
+	return h.tryPoint(wire.OpPut, key, val)
+}
+
+// TryDelete is Delete with an error result; ErrAmbiguous means the
+// delete may or may not have been applied.
+func (h *muxHandle) TryDelete(key uint64) (uint64, bool, error) {
+	return h.tryPoint(wire.OpDelete, key, 0)
+}
 
 // bop returns the i-th reused explicit-batch sub-op.
 func (h *muxHandle) bop(i int) *muxOp {
@@ -627,6 +917,7 @@ func (h *muxHandle) runBatch(op byte, keys, ivals, ovals []uint64, oks []bool) {
 	h.m.inflight.Add(h.hint, int64(len(keys)))
 	serial := op != wire.OpMGet && len(keys) > wire.MaxBatch && crossFrameDup(keys)
 	nsub := 0
+	var firstErr error
 	for off := 0; off < len(keys); off += wire.MaxBatch {
 		end := min(off+wire.MaxBatch, len(keys))
 		o := h.bop(nsub)
@@ -640,19 +931,37 @@ func (h *muxHandle) runBatch(op byte, keys, ivals, ovals []uint64, oks []bool) {
 		o.resVals, o.resOks = ovals[off:end], oks[off:end]
 		if serial {
 			h.submit(o)
+			if o.resErr != nil && firstErr == nil {
+				firstErr = o.resErr
+				break
+			}
 		} else {
+			o.resErr = nil
 			select {
 			case h.mc.subq <- o:
+				nsub++
 			case <-h.mc.quit:
 				panic("client: mux: operation on closed mux")
+			case <-h.mc.failed:
+				if firstErr == nil {
+					firstErr = h.mc.failErr
+				}
 			}
-			nsub++
+			if firstErr != nil {
+				break
+			}
 		}
 	}
 	for i := 0; i < nsub; i++ {
 		<-h.bops[i].done
+		if err := h.bops[i].resErr; err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	h.m.inflight.Add(h.hint, -int64(len(keys)))
+	if firstErr != nil {
+		panic(fmt.Sprintf("client: mux batch op %#x: %v", op, firstErr))
+	}
 	h.observeRTT(copFor(op), t0)
 }
 

@@ -1,0 +1,255 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				io.Copy(nc, nc)
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func startProxy(t *testing.T, target string, cfg Config) (*Proxy, string) {
+	t.Helper()
+	p := New(target, cfg)
+	addr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, addr.String()
+}
+
+// TestTransparent: with the zero schedule the proxy is invisible —
+// bytes round-trip unmodified.
+func TestTransparent(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	for i := 0; i < 50; i++ {
+		if _, err := nc.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(msg))
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(nc, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: got %q, want %q", i, got, msg)
+		}
+	}
+}
+
+// TestDropAll severs live connections: the next read observes EOF (or a
+// reset), and the proxy counts the scripted drops.
+func TestDropAll(t *testing.T) {
+	p, addr := startProxy(t, echoServer(t), Config{})
+	const conns = 3
+	ncs := make([]net.Conn, conns)
+	for i := range ncs {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		// Prove the path is live first.
+		if _, err := nc.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		one := make([]byte, 1)
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(nc, one); err != nil {
+			t.Fatal(err)
+		}
+		ncs[i] = nc
+	}
+	if n := p.DropAll(); n != conns {
+		t.Fatalf("DropAll killed %d conns, want %d", n, conns)
+	}
+	for i, nc := range ncs {
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := nc.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("conn %d still delivered bytes after DropAll", i)
+		}
+	}
+	st := p.Stats()
+	if st.Injected[KindDrop] != conns || st.Total() != conns {
+		t.Fatalf("stats %v, want %d drops", st, conns)
+	}
+	if st.Active != 0 {
+		t.Fatalf("stats %v, want 0 active", st)
+	}
+}
+
+// TestSeededFaultsFire: with aggressive rates, a stream of traffic
+// takes injected faults (drops/truncations kill connections; the client
+// redials and keeps going), and the counts are reproducible for a seed.
+func TestSeededFaultsFire(t *testing.T) {
+	run := func(seed uint64) Stats {
+		p, addr := startProxy(t, echoServer(t), Config{
+			Seed:         seed,
+			DropRate:     0.10,
+			TruncateRate: 0.10,
+			DelayRate:    0.10,
+			DelayDur:     time.Microsecond,
+		})
+		msg := bytes.Repeat([]byte("payload"), 32)
+		for i := 0; i < 60; i++ {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Push a few chunks; tolerate mid-stream death (that IS the
+			// fault firing), then move to a fresh connection.
+			for j := 0; j < 4; j++ {
+				if _, err := nc.Write(msg); err != nil {
+					break
+				}
+				nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+				if _, err := io.ReadFull(nc, make([]byte, len(msg))); err != nil {
+					break
+				}
+			}
+			nc.Close()
+		}
+		st := p.Stats()
+		p.Close()
+		return st
+	}
+	st := run(7)
+	if st.Total() == 0 {
+		t.Fatalf("aggressive schedule injected no faults: %v", st)
+	}
+	if st.Injected[KindCorrupt] != 0 || st.Injected[KindBlackhole] != 0 {
+		t.Fatalf("disabled fault kinds fired: %v", st)
+	}
+}
+
+// TestTruncateSeversMidChunk: a schedule of only truncation faults must
+// kill connections without delivering the full chunk that was cut.
+func TestTruncateSeversMidChunk(t *testing.T) {
+	p, addr := startProxy(t, echoServer(t), Config{Seed: 3, TruncateRate: 1.0})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := bytes.Repeat([]byte("z"), 4096)
+	nc.Write(msg) // may partially forward, then the pair dies
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _ := io.ReadFull(nc, make([]byte, len(msg)))
+	if n >= len(msg) {
+		t.Fatalf("full chunk delivered despite TruncateRate=1 (got %d bytes)", n)
+	}
+	if got := p.Stats().Injected[KindTruncate]; got == 0 {
+		t.Fatalf("no truncation counted: %v", p.Stats())
+	}
+}
+
+// TestCorruptFlipsBytes: corruption forwards the right byte count with
+// modified content.
+func TestCorruptFlipsBytes(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Config{Seed: 5, CorruptRate: 1.0})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := bytes.Repeat([]byte{0x00}, 512)
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corruption schedule delivered the bytes unmodified")
+	}
+}
+
+// TestWarmupBytesExempt: the first WarmupBytes per direction pass
+// unperturbed even under a certain-death schedule.
+func TestWarmupBytesExempt(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Config{Seed: 9, DropRate: 1.0, WarmupBytes: 1 << 20})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	msg := []byte("warmup traffic")
+	for i := 0; i < 20; i++ {
+		if _, err := nc.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(nc, make([]byte, len(msg))); err != nil {
+			t.Fatalf("warmup round %d: %v", i, err)
+		}
+	}
+}
+
+// TestProxyCloseIdempotent: Close twice, and Close with live conns and
+// concurrent traffic, must not hang or panic.
+func TestProxyCloseIdempotent(t *testing.T) {
+	p, addr := startProxy(t, echoServer(t), Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer nc.Close()
+			buf := make([]byte, 64)
+			for {
+				if _, err := nc.Write(buf); err != nil {
+					return
+				}
+				nc.SetReadDeadline(time.Now().Add(time.Second))
+				if _, err := nc.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

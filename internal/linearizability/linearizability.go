@@ -56,6 +56,13 @@ type KV struct{ K, V uint64 }
 // timestamps from a shared monotonic counter: Call is drawn immediately
 // before invoking the operation and Return immediately after it returns,
 // so Op A happens-before Op B iff A.Return < B.Call.
+//
+// Maybe marks a mutation with unknown outcome: the client's request frame
+// may have reached the server, but the connection died before a response
+// (client.ErrAmbiguous). Such an op may or may not have taken effect, its
+// outputs are meaningless, and it never completed — the checker treats it
+// as optional (it may linearize anywhere at or after Call, with outputs
+// ignored, or not have happened at all) and its Return as +infinity.
 type Op struct {
 	Kind     OpKind
 	Key      uint64
@@ -63,6 +70,7 @@ type Op struct {
 	Hi       uint64 // range upper bound (OpRange; Key is the lower bound)
 	OutVal   uint64 // returned value (find/insert/delete)
 	OutOK    bool   // returned ok/inserted/deleted flag
+	Maybe    bool   // outcome unknown (ambiguous mutation) — see above
 	Pairs    []KV   // result set (OpRange)
 	Call     int64
 	Return   int64
@@ -73,6 +81,10 @@ func (o Op) String() string {
 	if o.Kind == OpRange {
 		return fmt.Sprintf("[%d,%d] t%d range(%d,%d) -> %d pairs",
 			o.Call, o.Return, o.ThreadID, o.Key, o.Hi, len(o.Pairs))
+	}
+	if o.Maybe {
+		return fmt.Sprintf("[%d,?] t%d %s(%d,%d) -> ambiguous",
+			o.Call, o.ThreadID, o.Kind, o.Key, o.Arg)
 	}
 	return fmt.Sprintf("[%d,%d] t%d %s(%d,%d) -> (%d,%v)",
 		o.Call, o.Return, o.ThreadID, o.Kind, o.Key, o.Arg, o.OutVal, o.OutOK)
@@ -87,6 +99,28 @@ type keyState struct {
 // apply runs op against s, returning the post-state and whether the
 // op's recorded output matches the spec in state s.
 func apply(s keyState, op Op) (keyState, bool) {
+	if op.Maybe {
+		// Ambiguous mutation: outputs are meaningless, only the spec's
+		// state transition matters (insert-if-absent / delete-if-present /
+		// upsert semantics with the recorded argument).
+		switch op.Kind {
+		case OpInsert:
+			if !s.present {
+				return keyState{present: true, val: op.Arg}, true
+			}
+			return s, true
+		case OpDelete:
+			if s.present {
+				return keyState{}, true
+			}
+			return s, true
+		case OpUpsert:
+			return keyState{present: true, val: op.Arg}, true
+		default:
+			// An ambiguous read has no effect and observed nothing.
+			return s, true
+		}
+	}
 	switch op.Kind {
 	case OpFind:
 		if op.OutOK != s.present {
@@ -126,6 +160,16 @@ func CheckKey(ops []Op, initial keyState) bool {
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
 
+	// Maybe ops never completed: they are optional (the history is
+	// linearizable once every certain op is placed) and they impose no
+	// real-time upper bound on other ops (Return treated as +infinity).
+	requiredMask := uint64(0)
+	for i := 0; i < n; i++ {
+		if !ops[i].Maybe {
+			requiredMask |= 1 << i
+		}
+	}
+
 	type memoKey struct {
 		mask  uint64
 		state keyState
@@ -134,7 +178,7 @@ func CheckKey(ops []Op, initial keyState) bool {
 
 	var dfs func(mask uint64, state keyState) bool
 	dfs = func(mask uint64, state keyState) bool {
-		if mask == uint64(1)<<n-1 {
+		if mask&requiredMask == requiredMask {
 			return true
 		}
 		mk := memoKey{mask, state}
@@ -143,10 +187,11 @@ func CheckKey(ops []Op, initial keyState) bool {
 		}
 		// The next linearized op must be one whose call precedes the
 		// return of every other not-yet-linearized op (otherwise some
-		// pending op strictly precedes it in real time).
+		// pending op strictly precedes it in real time). Maybe ops have
+		// no observed return, so they never constrain this bound.
 		minReturn := int64(1) << 62
 		for i := 0; i < n; i++ {
-			if mask&(1<<i) == 0 && ops[i].Return < minReturn {
+			if mask&(1<<i) == 0 && !ops[i].Maybe && ops[i].Return < minReturn {
 				minReturn = ops[i].Return
 			}
 		}

@@ -1,0 +1,187 @@
+package linearizability
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+const inf = int64(1) << 60
+
+// TestMaybeInsertObserved: an ambiguous insert whose effect a later read
+// observes must be linearizable (the maybe op is placed before the read).
+func TestMaybeInsertObserved(t *testing.T) {
+	h := []Op{
+		{Kind: OpInsert, Key: 1, Arg: 10, Maybe: true, Call: 1, Return: inf},
+		{Kind: OpFind, Key: 1, OutVal: 10, OutOK: true, Call: 3, Return: 4},
+	}
+	if err := Check(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaybeInsertSkipped: the same ambiguous insert is equally consistent
+// with a read that never sees it (the frame was lost before the server).
+func TestMaybeInsertSkipped(t *testing.T) {
+	h := []Op{
+		{Kind: OpInsert, Key: 1, Arg: 10, Maybe: true, Call: 1, Return: inf},
+		{Kind: OpFind, Key: 1, Call: 3, Return: 4},
+	}
+	if err := Check(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaybeDoesNotExplainEverything: an ambiguous insert of 10 cannot
+// justify a read of 99 — Maybe ops transition per spec, they are not
+// wildcards.
+func TestMaybeDoesNotExplainEverything(t *testing.T) {
+	h := []Op{
+		{Kind: OpInsert, Key: 1, Arg: 10, Maybe: true, Call: 1, Return: inf},
+		{Kind: OpFind, Key: 1, OutVal: 99, OutOK: true, Call: 3, Return: 4},
+	}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("impossible read explained by ambiguous insert")
+	}
+}
+
+// TestMaybeRespectsCallOrder: a Maybe op cannot linearize before its
+// call — a read that completed strictly before the ambiguous insert was
+// issued must not observe it.
+func TestMaybeRespectsCallOrder(t *testing.T) {
+	h := []Op{
+		{Kind: OpFind, Key: 1, OutVal: 10, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpInsert, Key: 1, Arg: 10, Maybe: true, Call: 3, Return: inf},
+	}
+	if err := Check(h, nil); err == nil {
+		t.Fatal("read observed an ambiguous insert issued after it returned")
+	}
+}
+
+// TestMaybeDeleteBothWays: after a certain insert, an ambiguous delete is
+// consistent with both a subsequent present read and an absent read.
+func TestMaybeDeleteBothWays(t *testing.T) {
+	base := []Op{
+		{Kind: OpInsert, Key: 7, Arg: 42, OutOK: true, Call: 1, Return: 2},
+		{Kind: OpDelete, Key: 7, Maybe: true, Call: 3, Return: inf},
+	}
+	present := append(append([]Op{}, base...),
+		Op{Kind: OpFind, Key: 7, OutVal: 42, OutOK: true, Call: 5, Return: 6})
+	if err := Check(present, nil); err != nil {
+		t.Fatal(err)
+	}
+	absent := append(append([]Op{}, base...),
+		Op{Kind: OpFind, Key: 7, Call: 5, Return: 6})
+	if err := Check(absent, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// errAmbig simulates the client's ambiguity sentinel.
+var errAmbig = errors.New("ambiguous")
+var errClean = errors.New("definitely not executed")
+
+// chaosFake is a locked map whose mutations sometimes fail: cleanly
+// (never applied) or ambiguously (applied with probability 1/2 before the
+// error surfaces) — the same uncertainty a severed TCP connection gives a
+// real client.
+type chaosFake struct {
+	mu  *sync.Mutex
+	m   map[uint64]uint64
+	rng *xrand.Rand
+}
+
+func (f *chaosFake) TryFind(key uint64) (uint64, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Intn(8) == 0 {
+		return 0, false, errClean
+	}
+	v, ok := f.m[key]
+	return v, ok, nil
+}
+
+func (f *chaosFake) mutate(apply func()) error {
+	switch f.rng.Intn(8) {
+	case 0:
+		return errClean
+	case 1:
+		if f.rng.Intn(2) == 0 {
+			apply()
+		}
+		return errAmbig
+	default:
+		apply()
+		return nil
+	}
+}
+
+func (f *chaosFake) TryInsert(key, val uint64) (v uint64, ok bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err = f.mutate(func() {
+		if old, present := f.m[key]; present {
+			v, ok = old, false
+			return
+		}
+		f.m[key] = val
+		v, ok = 0, true
+	})
+	return v, ok, err
+}
+
+func (f *chaosFake) TryDelete(key uint64) (v uint64, ok bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err = f.mutate(func() {
+		if old, present := f.m[key]; present {
+			delete(f.m, key)
+			v, ok = old, true
+		}
+	})
+	return v, ok, err
+}
+
+// TestRecordChaosLinearizable: histories recorded through a faulty (but
+// linearizable) dictionary pass the checker, with ambiguous mutations
+// carried as Maybe ops and clean failures dropped.
+func TestRecordChaosLinearizable(t *testing.T) {
+	var mu sync.Mutex
+	m := make(map[uint64]uint64)
+	var hid atomic.Uint64 // newHandle runs on each worker goroutine
+	newHandle := func() TryDictHandle {
+		return &chaosFake{mu: &mu, m: m, rng: xrand.New(900 + hid.Add(1))}
+	}
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	hist, stats := RecordChaos(newHandle, ChaosConfig{
+		Workers:   4,
+		OpsPerKey: 6,
+		Keys:      keys,
+		Seed:      11,
+		Ambiguous: func(err error) bool { return errors.Is(err, errAmbig) },
+	})
+	if stats.Ops == 0 {
+		t.Fatal("no ops recorded")
+	}
+	if stats.Ambiguous == 0 || stats.Failed == 0 {
+		t.Fatalf("fault paths not exercised: %+v (reseed the fake)", stats)
+	}
+	maybes := 0
+	for _, op := range hist {
+		if op.Maybe {
+			maybes++
+			if op.Kind == OpFind {
+				t.Fatalf("ambiguous read recorded as Maybe: %v", op)
+			}
+		}
+	}
+	if maybes != stats.Ambiguous {
+		t.Fatalf("history holds %d Maybe ops, stats say %d", maybes, stats.Ambiguous)
+	}
+	if err := Check(hist, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,6 +27,16 @@ type SnapshotRanger interface {
 	RangeSnapshot(lo, hi uint64, fn func(k, v uint64) bool)
 }
 
+// TryDictHandle is the error-aware handle interface chaos recordings
+// drive: under injected network faults, operations can fail outright
+// (never executed) or ambiguously (mutation frame may have reached the
+// server). internal/client's handles expose exactly this surface.
+type TryDictHandle interface {
+	TryFind(key uint64) (uint64, bool, error)
+	TryInsert(key, val uint64) (uint64, bool, error)
+	TryDelete(key uint64) (uint64, bool, error)
+}
+
 // RecordConfig controls a recording run.
 type RecordConfig struct {
 	Workers   int
@@ -147,4 +157,117 @@ func Record(newHandle func() DictHandle, cfg RecordConfig) []Op {
 	}
 	wg.Wait()
 	return history
+}
+
+// ChaosConfig controls a RecordChaos run.
+type ChaosConfig struct {
+	Workers   int
+	OpsPerKey int // per-key cap, counting ambiguous mutations
+	Keys      []uint64
+	Seed      uint64
+	// Ambiguous classifies an operation error: true means the mutation
+	// may have taken effect server-side (record it as a Maybe op), false
+	// means it definitely did not execute (drop it from the history).
+	// Callers pass errors.Is(err, client.ErrAmbiguous)-style predicates;
+	// the recorder itself stays transport-agnostic.
+	Ambiguous func(error) bool
+}
+
+// ChaosStats summarizes what a RecordChaos run experienced.
+type ChaosStats struct {
+	Ops       int // completed ops recorded with known outcomes
+	Ambiguous int // mutations recorded as Maybe (unknown outcome)
+	Failed    int // ops that definitely did not execute (dropped)
+}
+
+// RecordChaos drives workers against an error-aware dictionary (typically
+// a network client pointed through a faultnet.Proxy) and returns the
+// history plus fault accounting. Reads that fail observed nothing and are
+// dropped; mutations that fail ambiguously are recorded as Maybe ops so
+// Check can linearize them optionally; mutations that definitely did not
+// execute are dropped. Per-key op counts are capped like Record.
+func RecordChaos(newHandle func() TryDictHandle, cfg ChaosConfig) ([]Op, ChaosStats) {
+	var clock atomic.Int64
+	var mu sync.Mutex
+	var history []Op
+	var stats ChaosStats
+	perKey := make(map[uint64]int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := newHandle()
+			rng := xrand.New(cfg.Seed*1000003 + uint64(w))
+			for {
+				// Pick a non-saturated key (same scheme as Record).
+				mu.Lock()
+				var key uint64
+				found := false
+				for tries := 0; tries < len(cfg.Keys); tries++ {
+					k := cfg.Keys[rng.Intn(len(cfg.Keys))]
+					if perKey[k] < cfg.OpsPerKey {
+						perKey[k]++
+						key, found = k, true
+						break
+					}
+				}
+				if !found {
+					done := true
+					for _, k := range cfg.Keys {
+						if perKey[k] < cfg.OpsPerKey {
+							done = false
+							break
+						}
+					}
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				mu.Unlock()
+
+				op := Op{Key: key, ThreadID: w, Kind: OpKind(rng.Intn(3))}
+				var err error
+				op.Call = clock.Add(1)
+				switch op.Kind {
+				case OpFind:
+					op.OutVal, op.OutOK, err = h.TryFind(key)
+				case OpInsert:
+					op.Arg = rng.Uint64()%1000 + 1
+					op.OutVal, op.OutOK, err = h.TryInsert(key, op.Arg)
+				case OpDelete:
+					op.OutVal, op.OutOK, err = h.TryDelete(key)
+				}
+				op.Return = clock.Add(1)
+
+				if err != nil {
+					if op.Kind != OpFind && cfg.Ambiguous != nil && cfg.Ambiguous(err) {
+						op.Maybe = true
+						mu.Lock()
+						stats.Ambiguous++
+						history = append(history, op)
+						mu.Unlock()
+					} else {
+						// The op observed nothing and did not execute:
+						// it contributes nothing to the history. The key
+						// slot stays consumed, keeping per-key growth
+						// bounded.
+						mu.Lock()
+						stats.Failed++
+						mu.Unlock()
+					}
+					continue
+				}
+				mu.Lock()
+				stats.Ops++
+				history = append(history, op)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return history, stats
 }

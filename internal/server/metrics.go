@@ -78,12 +78,16 @@ const (
 	causeWriteError
 	causeWriteTimeout
 	causeServerClosed
+	causeIdleTimeout // reader idled past Config.IdleTimeout
+	causeMaxConns    // rejected at accept with BUSY (Config.MaxConns)
+	causeDrained     // closed by Shutdown after its responses flushed
 	numCauses
 )
 
 var causeNames = [numCauses]string{
 	"peer_closed", "read_error", "framing",
 	"write_error", "write_timeout", "server_closed",
+	"idle_timeout", "max_conns_reject", "drained",
 }
 
 // srvMetrics is the server's instrument set. Zero value ready; lives

@@ -33,6 +33,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -95,6 +96,21 @@ type Config struct {
 	// and per-connection request slots bound the pressure — the PR 5
 	// flow-control contract.
 	ShedOnFull bool
+	// MaxConns caps concurrently registered connections (0 = unlimited).
+	// An accept over the cap is answered with one BUSY frame and closed
+	// — admission control at the cheapest possible point: the rejected
+	// peer learns immediately (and its client retries with backoff)
+	// instead of holding reader/writer goroutines and request slots on a
+	// server that is already saturated. Counted as
+	// teardown_max_conns_reject_total.
+	MaxConns int
+	// IdleTimeout reaps connections that send nothing for this long
+	// (0 = never). Only fully idle connections are reaped — a peer that
+	// stalls mid-frame is a read error, not an idle one. Counted as
+	// teardown_idle_timeout_total. Idle reaping is what keeps MaxConns
+	// meaningful when clients crash without closing: abandoned sockets
+	// stop counting against the admission cap.
+	IdleTimeout time.Duration
 }
 
 // reqSlots bounds the requests one connection may have in flight; its
@@ -124,13 +140,16 @@ type Server struct {
 	traceSlow    time.Duration
 	coalesce     int
 	shedOnFull   bool
+	maxConns     int
+	idleTimeout  time.Duration
 
 	metrics srvMetrics
 
-	cur  atomic.Pointer[hosted]
-	gen  atomic.Uint64
-	work chan *request
-	quit chan struct{}
+	cur      atomic.Pointer[hosted]
+	gen      atomic.Uint64
+	work     chan *request
+	quit     chan struct{}
+	draining atomic.Bool
 
 	openMu sync.Mutex // serializes OPEN rebuilds
 
@@ -177,6 +196,8 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 		traceSlow:    cfg.TraceSlow,
 		coalesce:     coalesce,
 		shedOnFull:   cfg.ShedOnFull,
+		maxConns:     cfg.MaxConns,
+		idleTimeout:  cfg.IdleTimeout,
 		work:         make(chan *request, depth),
 		quit:         make(chan struct{}),
 		conns:        make(map[*srvConn]struct{}),
@@ -238,6 +259,49 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains the server gracefully: the listener closes, every
+// connection's reader stops taking new requests, in-flight requests
+// finish on the workers and their responses are flushed to the peers,
+// and only then do the connections close (cause "drained") and the
+// worker pool stop. If ctx expires first the remaining connections are
+// torn down hard, exactly like Close, and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	l := s.l
+	s.mu.Unlock()
+	s.draining.Store(true)
+	if l != nil {
+		l.Close()
+	}
+	// Kick every reader out of its blocking read; re-kick each poll tick
+	// because a reader that just served a frame re-arms its own idle
+	// deadline. Readers observe draining and exit via the writer's drain
+	// path, which waits out the connection's in-flight requests.
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			c.nc.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			return s.Close()
+		}
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 // Hosted returns the current structure's registry name, key range and
 // hosting generation.
 func (s *Server) Hosted() (name string, keyRange, gen uint64) {
@@ -278,13 +342,18 @@ func (s *Server) acceptLoop(l net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		c := s.newConn(nc)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			nc.Close()
 			return
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			s.rejectBusy(nc)
+			continue
+		}
+		c := s.newConn(nc)
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
 		s.metrics.accepted.Inc(0)
@@ -292,6 +361,25 @@ func (s *Server) acceptLoop(l net.Listener) {
 		go c.reader()
 		go c.writer()
 	}
+}
+
+// rejectBusy answers one over-cap accept with a BUSY frame and closes
+// it, off the accept loop (a blackholed peer must not stall accepts).
+// BUSY is sent before anything is read, so the rejected client knows
+// the server executed nothing — even its in-flight mutations are safe
+// to replay on the next connection.
+func (s *Server) rejectBusy(nc net.Conn) {
+	s.metrics.teardowns[causeMaxConns].Inc(0)
+	if s.logf != nil {
+		s.logf("server: conn rejected remote=%s cause=%s", nc.RemoteAddr(), causeNames[causeMaxConns])
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer nc.Close()
+		nc.SetWriteDeadline(time.Now().Add(time.Second))
+		nc.Write(wire.AppendRespBusy(nil, 0))
+	}()
 }
 
 // request is one in-flight request: the decoded frame (with its reused
@@ -330,6 +418,11 @@ type srvConn struct {
 	writeq  chan *outBuf
 	reqPool chan *request
 	outPool chan *outBuf
+
+	// inflight counts requests taken from reqPool and not yet returned —
+	// what the writer's drain path waits out so a graceful Shutdown never
+	// drops a response a worker is still producing.
+	inflight atomic.Int64
 
 	payload []byte // reader's frame payload scratch
 }
@@ -404,6 +497,7 @@ func (c *srvConn) putOut(ob *outBuf) {
 }
 
 func (c *srvConn) putReq(req *request) {
+	c.inflight.Add(-1)
 	select {
 	case c.reqPool <- req:
 	default:
@@ -435,23 +529,55 @@ func (c *srvConn) sendErr(id uint64, msg string) {
 	c.send(ob)
 }
 
+// readFailCause classifies a failed read: EOF is the peer hanging up;
+// a deadline expiry is the idle reaper (only when the connection was
+// fully idle — a peer that stalls mid-frame is a read error) or the
+// drain kick (Shutdown sets an immediate deadline to unblock readers);
+// anything else is a transport error.
+func (c *srvConn) readFailCause(err error, sawBytes bool) int {
+	if err == io.EOF {
+		return causePeerClosed
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if c.s.draining.Load() {
+			return causeDrained
+		}
+		if !sawBytes && c.s.idleTimeout > 0 {
+			return causeIdleTimeout
+		}
+	}
+	return causeReadError
+}
+
 // reader decodes frames and multiplexes them onto the server's work
 // queue. Framing violations (short/oversized lengths, short reads)
 // close the connection; malformed-but-delimited frames (unknown opcode,
 // wrong payload size) produce a RespError and the stream continues —
-// the length prefix keeps it aligned either way.
+// the length prefix keeps it aligned either way. Between frames the
+// read sits under the idle deadline (Config.IdleTimeout) and exits
+// cleanly when Shutdown kicks it.
 func (c *srvConn) reader() {
 	defer c.shutdown()
 	m := &c.s.metrics
 	var hdr [wire.HeaderLen]byte
+	idleTO := c.s.idleTimeout
 	for {
-		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-			if err == io.EOF {
-				c.readCause = causePeerClosed
-			} else {
-				c.readCause = causeReadError
-			}
+		if c.s.draining.Load() {
+			c.readCause = causeDrained
 			return
+		}
+		if idleTO > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idleTO))
+		}
+		if n, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			c.readCause = c.readFailCause(err, n > 0)
+			return
+		}
+		if idleTO > 0 {
+			// Fresh deadline for the payload: the connection is live now,
+			// so the payload read is bounded as progress, not idleness.
+			c.nc.SetReadDeadline(time.Now().Add(idleTO))
 		}
 		length := binary.LittleEndian.Uint32(hdr[:4])
 		if length < wire.HeaderLen-4 || length > wire.MaxFrame {
@@ -468,7 +594,7 @@ func (c *srvConn) reader() {
 		}
 		c.payload = c.payload[:n]
 		if _, err := io.ReadFull(c.br, c.payload); err != nil {
-			c.readCause = causeReadError
+			c.readCause = c.readFailCause(err, true)
 			return
 		}
 		var req *request
@@ -477,6 +603,7 @@ func (c *srvConn) reader() {
 		case <-c.done:
 			return
 		}
+		c.inflight.Add(1)
 		if err := wire.DecodeRequest(id, op, c.payload, &req.Request); err != nil {
 			m.decodeErrs.Inc(0)
 			c.sendErr(id, err.Error())
@@ -594,6 +721,36 @@ func (c *srvConn) writer() {
 						return
 					}
 				default:
+					// Workers may still be producing responses for this
+					// connection (inflight counts reader-claimed requests
+					// until putReq). Each response is enqueued before its
+					// request is returned, so once inflight reaches zero
+					// with the queue empty, everything is flushed.
+					if c.inflight.Load() > 0 {
+						select {
+						case ob := <-c.writeq:
+							if !write(ob) {
+								return
+							}
+						case <-c.done:
+							return
+						case <-time.After(100 * time.Microsecond):
+						}
+						continue
+					}
+					// inflight hit zero after the empty check above; a
+					// response enqueued in between is in writeq now (the
+					// enqueue happens before the decrement). Sweep once
+					// more, then the queue is final: the reader has exited,
+					// so no request can be claimed anymore.
+					select {
+					case ob := <-c.writeq:
+						if !write(ob) {
+							return
+						}
+						continue
+					default:
+					}
 					deadline()
 					if err := bw.Flush(); err != nil {
 						c.teardown(writeCause(err))

@@ -40,6 +40,7 @@
 //	RespStats     keysum, scans, versions, elim{i,d,u}, keyrange, gen (8*u64), caps u8, name bytes
 //	RespOK        (empty)
 //	RespMetrics   one streamed instrument snapshot (see metrics.go)
+//	RespBusy      (empty)                   admission-control rejection (safe to retry)
 //	RespError     message bytes
 //
 // Every encoder is an appender over a caller-owned buffer and every
@@ -76,7 +77,13 @@ const (
 	RespStats     = 0x84
 	RespOK        = 0x85
 	RespMetrics   = 0x86
-	RespError     = 0xFF
+	// RespBusy is the admission-control rejection frame: a server over
+	// its connection limit answers a fresh accept with one BUSY frame
+	// (id 0, empty payload) and closes. The rejecting server has read
+	// nothing from the connection, so a client seeing BUSY may safely
+	// retry ANY operation — mutations included — after backing off.
+	RespBusy  = 0x87
+	RespError = 0xFF
 )
 
 // Protocol limits. MaxFrame bounds what either endpoint will buffer for
@@ -275,6 +282,14 @@ func AppendRespStats(b []byte, id uint64, s Stats) []byte {
 func AppendRespOK(b []byte, id uint64) []byte {
 	start := len(b)
 	b = beginFrame(b, id, RespOK)
+	return finishFrame(b, start)
+}
+
+// AppendRespBusy appends an admission-control BUSY rejection frame
+// (sent with id 0 at accept time, before any request is read).
+func AppendRespBusy(b []byte, id uint64) []byte {
+	start := len(b)
+	b = beginFrame(b, id, RespBusy)
 	return finishFrame(b, start)
 }
 
