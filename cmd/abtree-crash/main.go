@@ -47,12 +47,22 @@ func main() {
 
 		net       = flag.Bool("net", false, "run the network fault drill instead: server behind a fault-injecting proxy, reconnecting clients, linearizability-checked histories, graceful drain (see netdrill.go)")
 		netFaults = flag.Int("net-faults", 40, "with -net: keep running chaos rounds until at least this many faults were injected")
-		netDrain  = flag.Duration("net-drain", 10*time.Second, "with -net: graceful-drain deadline for the final Shutdown")
+		netDrain  = flag.Duration("net-drain", 10*time.Second, "with -net/-cluster: graceful-drain deadline for the final Shutdown")
+
+		clusterF = flag.Bool("cluster", false, "run the replicated-partition failover drill instead: primary + 2 followers behind fault proxies, kill the primary mid-load, verify promotion, zero acked-write loss, linearizable histories and failover metrics (see clusterdrill.go)")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "bad -shards %d\n", *shards)
 		os.Exit(2)
+	}
+
+	if *clusterF {
+		if err := clusterDrill(*seed, *workers, *netDrain); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster drill: FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *net {

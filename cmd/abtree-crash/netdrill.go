@@ -50,18 +50,26 @@ func netDrill(seed uint64, workers, minFaults int, drainTO time.Duration) error 
 		return err
 	}
 
-	px := faultnet.New(saddr.String(), faultnet.Config{
+	pxCfg := faultnet.Config{
 		Seed:         seed,
 		DelayRate:    0.05,
 		DelayDur:     200 * time.Microsecond,
 		DropRate:     0.02,
 		TruncateRate: 0.01,
-	})
+	}
+	px := faultnet.New(saddr.String(), pxCfg)
 	paddr, err := px.Start("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	defer px.Close()
+
+	// Every verdict failure logs this recipe: the schedule is fully
+	// deterministic given these values, so the run replays exactly.
+	repro := func() string {
+		return fmt.Sprintf("repro: go run ./cmd/abtree-crash -net -seed %d -workers %d -net-faults %d\n  %s",
+			seed, workers, minFaults, pxCfg.ReproString())
+	}
 
 	keys := make([]uint64, 8)
 	for i := range keys {
@@ -91,7 +99,7 @@ func netDrill(seed uint64, workers, minFaults int, drainTO time.Duration) error 
 		// state the checker assumes.
 		if err := c.Open(structure, keyRange); err != nil {
 			c.Close()
-			return fmt.Errorf("round %d: OPEN: %v", rounds, err)
+			return fmt.Errorf("round %d: OPEN: %v\n%s", rounds, err, repro())
 		}
 		hist, stats := linearizability.RecordChaos(
 			func() linearizability.TryDictHandle {
@@ -106,7 +114,7 @@ func netDrill(seed uint64, workers, minFaults int, drainTO time.Duration) error 
 			})
 		if err := linearizability.Check(hist, nil); err != nil {
 			c.Close()
-			return fmt.Errorf("round %d: history not linearizable under faults: %v", rounds, err)
+			return fmt.Errorf("round %d: history not linearizable under faults: %v\n%s", rounds, err, repro())
 		}
 		fs := c.FaultStats()
 		faults.Redials += fs.Redials

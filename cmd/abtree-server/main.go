@@ -33,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,18 +55,40 @@ func main() {
 		maxConns  = flag.Int("max-conns", 0, "max concurrent connections; over-cap accepts get one BUSY frame and close (0 = unlimited)")
 		idleTO    = flag.Duration("idle-timeout", 0, "reap connections idle for this long (0 = never)")
 		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "on SIGINT/SIGTERM, drain in-flight requests for up to this long before closing hard (0 = close immediately)")
+		rateLimit = flag.Float64("rate-limit", 0, "per-connection request budget in ops/sec, enforced with BUSY pushback (0 = off)")
+		rateBurst = flag.Int("rate-burst", 0, "token-bucket depth for -rate-limit (0 = max(rate, 32))")
+
+		followers = flag.String("followers", "", "comma-separated follower addresses: host this server as a partition PRIMARY shipping its op log to them")
+		follow    = flag.Bool("follow", false, "host this server as a partition FOLLOWER: read-only, applies REPLICATE streams, promotable")
+		ackFol    = flag.Int("ack", 0, "with -followers: follower acks required before a write is acked to the client (0 = sync-1 default, negative = none)")
+		partition = flag.Uint64("partition", 0, "partition index reported via STATS so cluster routers can place this replica")
 	)
 	flag.Parse()
 
+	var followerList []string
+	if *followers != "" {
+		followerList = strings.Split(*followers, ",")
+	}
+	if *follow && len(followerList) > 0 {
+		fmt.Fprintln(os.Stderr, "abtree-server: -follow and -followers are mutually exclusive (a replica is a primary or a follower)")
+		os.Exit(1)
+	}
+
 	s, err := server.New(bench.NewDict, *structure, *keys, server.Config{
-		Workers:     *workers,
-		Logf:        log.Printf,
-		TraceSlow:   *traceSlow,
-		Coalesce:    *coalesce,
-		QueueDepth:  *queue,
-		ShedOnFull:  *shed,
-		MaxConns:    *maxConns,
-		IdleTimeout: *idleTO,
+		Workers:      *workers,
+		Logf:         log.Printf,
+		TraceSlow:    *traceSlow,
+		Coalesce:     *coalesce,
+		QueueDepth:   *queue,
+		ShedOnFull:   *shed,
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idleTO,
+		RateLimit:    *rateLimit,
+		RateBurst:    *rateBurst,
+		Followers:    followerList,
+		Follower:     *follow,
+		AckFollowers: *ackFol,
+		Partition:    *partition,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)
@@ -76,7 +99,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "abtree-server: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("abtree-server: hosting %s (keys %d) on %s\n", *structure, *keys, bound)
+	role := "standalone"
+	switch {
+	case *follow:
+		role = fmt.Sprintf("follower (partition %d)", *partition)
+	case len(followerList) > 0:
+		role = fmt.Sprintf("primary (partition %d, followers %v)", *partition, followerList)
+	}
+	fmt.Printf("abtree-server: hosting %s (keys %d) on %s as %s\n", *structure, *keys, bound, role)
 
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, s)

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,6 +56,14 @@ import (
 type Client struct {
 	addr string
 	cfg  Config // dial/retry policy (see retry.go), defaults applied
+
+	// ctrlMu serializes control RPCs (STATS/OPEN/PROMOTE) on the shared
+	// ctrl handle. It is a separate lock from mu and is never held while
+	// taking it in the other order: the retry machinery under a control
+	// RPC re-enters mu (redial registers/unregisters connections), so
+	// holding mu across the RPC would self-deadlock the moment a ctrl
+	// connection broke mid-call.
+	ctrlMu sync.Mutex
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{} // live dialed connections, for Close
@@ -99,8 +108,8 @@ func (c *Client) Name() string {
 // counters, hosted name/keyRange/generation, scan capabilities) and
 // refreshes the cached capabilities.
 func (c *Client) Stats() (wire.Stats, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ctrlMu.Lock()
+	defer c.ctrlMu.Unlock()
 	h, err := c.ctrlHandle()
 	if err != nil {
 		return wire.Stats{}, err
@@ -109,7 +118,9 @@ func (c *Client) Stats() (wire.Stats, error) {
 	if err != nil {
 		return wire.Stats{}, err
 	}
+	c.mu.Lock()
 	c.caps = st
+	c.mu.Unlock()
 	return st, nil
 }
 
@@ -119,24 +130,38 @@ func (c *Client) Stats() (wire.Stats, error) {
 // keep operating on the old generation's semantics until their next
 // operation, which lands on the new structure.
 func (c *Client) Open(name string, keyRange uint64) error {
-	c.mu.Lock()
+	c.ctrlMu.Lock()
+	defer c.ctrlMu.Unlock()
 	h, err := c.ctrlHandle()
 	if err != nil {
-		c.mu.Unlock()
 		return err
 	}
 	if err := h.rpcOpen(name, keyRange); err != nil {
-		c.mu.Unlock()
 		return err
 	}
 	st, err := h.rpcStats()
 	if err != nil {
-		c.mu.Unlock()
 		return err
 	}
+	c.mu.Lock()
 	c.caps = st
 	c.mu.Unlock()
 	return nil
+}
+
+// Promote asks the server to become (or confirm itself as) the primary
+// of its partition, shipping its log to addrs under the given ack
+// policy. Promotion is idempotent on the server (a CAS; re-promoting a
+// primary is a no-op), so it retries like an idempotent op. The cluster
+// router calls this during failover.
+func (c *Client) Promote(ack int, addrs []string) error {
+	c.ctrlMu.Lock()
+	defer c.ctrlMu.Unlock()
+	h, err := c.ctrlHandle()
+	if err != nil {
+		return err
+	}
+	return h.rpcPromote(ack, addrs)
 }
 
 // Close closes every connection the client dialed.
@@ -161,21 +186,32 @@ func (c *Client) Close() error {
 // handles). It panics if the dial fails — dict.Dict.NewHandle has no
 // error result.
 func (c *Client) NewHandle() dict.Handle {
-	h, err := c.newHandle()
+	h, err := c.NewTryHandle()
 	if err != nil {
 		panic(fmt.Sprintf("client: NewHandle: %v", err))
+	}
+	return h
+}
+
+// NewTryHandle is NewHandle with an error result instead of a panic —
+// for callers (the cluster router) that must tolerate dialing a dead
+// replica and fail over instead of crashing.
+func (c *Client) NewTryHandle() (dict.Handle, error) {
+	h, err := c.newHandle()
+	if err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	caps := c.caps
 	c.mu.Unlock()
 	if !caps.CanRange {
-		return h
+		return h, nil
 	}
 	rh := &rangeHandle{h}
 	if !caps.CanSnap {
-		return rh
+		return rh, nil
 	}
-	return &snapHandle{rangeHandle{h}}
+	return &snapHandle{rangeHandle{h}}, nil
 }
 
 // KeySum returns the hosted structure's wrapping key sum via STATS
@@ -209,7 +245,11 @@ func (c *Client) ElimStats() (inserts, deletes, upserts uint64) {
 	return st.ElimInserts, st.ElimDeletes, st.ElimUpserts
 }
 
+// ctrlHandle returns the shared control handle, dialing it on first
+// use. Callers hold ctrlMu (the RPC serialization), NOT mu.
 func (c *Client) ctrlHandle() (*handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.ctrl == nil {
 		h, err := c.newHandleLocked()
 		if err != nil {
@@ -264,6 +304,31 @@ type handle struct {
 	out   []byte // request frame scratch
 	in    []byte // response payload scratch
 	pairs []byte // scan pair buffer (packed 16-byte pairs)
+
+	// lastSeq is the highest replication sequence number any response on
+	// this handle has carried (0 against standalone servers). The cluster
+	// router reads it through ReplSeq to maintain its read-your-writes
+	// fence across replicas.
+	lastSeq uint64
+}
+
+// Seqer is implemented by handles that track replication sequence
+// numbers from seq-carrying responses (see ReplSeq).
+type Seqer interface {
+	ReplSeq() uint64
+}
+
+// ReplSeq returns the highest replication sequence number observed on
+// this handle: after a successful mutation against a replicated
+// primary, the op-log position the mutation committed at; after a read,
+// the serving replica's apply/commit position. Zero against standalone
+// servers.
+func (h *handle) ReplSeq() uint64 { return h.lastSeq }
+
+func (h *handle) noteSeq(seq uint64) {
+	if seq > h.lastSeq {
+		h.lastSeq = seq
+	}
 }
 
 func (h *handle) nextID() uint64 {
@@ -314,6 +379,13 @@ type respError string
 
 func (e respError) Error() string { return "server error: " + string(e) }
 
+// Is lets errors.Is(err, ErrReadOnly) recognize a follower's mutation
+// rejection by its wire message (the server has no richer error channel
+// than the RespError string).
+func (e respError) Is(target error) bool {
+	return target == ErrReadOnly && strings.HasPrefix(string(e), "follower:")
+}
+
 // expect validates a response's id and opcode, surfacing RespError
 // payloads as errors.
 func expect(gotID, wantID uint64, gotOp, wantOp byte, payload []byte) error {
@@ -355,12 +427,23 @@ func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
 		}
 		rid, rop, payload, err := h.readFrame()
 		if err == nil && rop == wire.RespBusy {
-			// Admission rejection: the server answered at accept time and
-			// read nothing, so even a mutation is safe to replay.
-			err = errBusy
 			if h.c != nil {
 				h.c.faults.busy.Add(1)
 			}
+			if rid == id {
+				// Rate-limit rejection: the server read this very request,
+				// executed nothing, and keeps the connection alive — back
+				// off and resend on the same connection (safe even for
+				// mutations: BUSY means nothing was executed).
+				if attempt >= h.retryBudget() {
+					return 0, false, errBusy
+				}
+				h.backoff(attempt)
+				continue
+			}
+			// Admission rejection: the server answered at accept time and
+			// read nothing, so even a mutation is safe to replay.
+			err = errBusy
 		}
 		if err != nil {
 			h.broken = true
@@ -376,7 +459,7 @@ func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
 		if rop == wire.RespError {
 			// Application-level failure: the connection is healthy and
 			// the op was executed (and rejected) exactly once.
-			return 0, false, fmt.Errorf("server error: %s", payload)
+			return 0, false, respError(payload)
 		}
 		if err := expect(rid, id, rop, wire.RespPoint, payload); err != nil {
 			// Protocol confusion: the stream can't be trusted anymore.
@@ -390,7 +473,12 @@ func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
 			h.backoff(attempt)
 			continue
 		}
-		return wire.DecodePoint(payload)
+		v, ok, seq, derr := wire.DecodePoint(payload)
+		if derr != nil {
+			return 0, false, derr
+		}
+		h.noteSeq(seq)
+		return v, ok, nil
 	}
 }
 
@@ -464,9 +552,11 @@ func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool
 		}
 		off := int(idx) * wire.MaxBatch
 		end := min(off+wire.MaxBatch, len(keys))
-		if err := wire.DecodeBatch(payload, ovals[off:end], oks[off:end]); err != nil {
+		seq, err := wire.DecodeBatch(payload, ovals[off:end], oks[off:end])
+		if err != nil {
 			return err
 		}
+		h.noteSeq(seq)
 		read++
 		return nil
 	}
@@ -674,6 +764,27 @@ func (h *handle) rpcOpen(name string, keyRange uint64) error {
 	return h.retryIdempotent(func() error {
 		id := h.nextID()
 		h.out = wire.AppendOpen(h.out[:0], id, keyRange, name)
+		if _, err := h.writeFrames(); err != nil {
+			return err
+		}
+		rid, rop, payload, err := h.readFrame()
+		if err != nil {
+			return err
+		}
+		if rop == wire.RespBusy {
+			return errBusy
+		}
+		return expect(rid, id, rop, wire.RespOK, payload)
+	})
+}
+
+// rpcPromote issues PROMOTE (idempotent: the server's role flip is a
+// CAS and re-promoting a primary succeeds unchanged).
+func (h *handle) rpcPromote(ack int, addrs []string) error {
+	joined := strings.Join(addrs, ",")
+	return h.retryIdempotent(func() error {
+		id := h.nextID()
+		h.out = wire.AppendPromote(h.out[:0], id, ack, joined)
 		if _, err := h.writeFrames(); err != nil {
 			return err
 		}

@@ -342,13 +342,14 @@ func TestMuxMutationAmbiguity(t *testing.T) {
 // serving cleanly afterwards.
 func TestChaosLinearizable(t *testing.T) {
 	srv, backend := startBackend(t)
-	px := faultnet.New(backend, faultnet.Config{
+	pxCfg := faultnet.Config{
 		Seed:         77,
 		DelayRate:    0.05,
 		DelayDur:     100 * time.Microsecond,
 		DropRate:     0.02,
 		TruncateRate: 0.01,
-	})
+	}
+	px := faultnet.New(backend, pxCfg)
 	paddr, err := px.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -383,7 +384,8 @@ func TestChaosLinearizable(t *testing.T) {
 				Ambiguous: ambiguous,
 			})
 		if err := linearizability.Check(hist, nil); err != nil {
-			t.Fatalf("round %d: history not linearizable under faults: %v", rounds, err)
+			t.Fatalf("round %d: history not linearizable under faults: %v\n%s (round seed %d)",
+				rounds, err, pxCfg.ReproString(), 1000+uint64(rounds))
 		}
 		total.Ops += stats.Ops
 		total.Ambiguous += stats.Ambiguous

@@ -100,8 +100,8 @@ type ServerMetrics struct {
 // ServerMetrics fetches the server's observability snapshot over the
 // control connection.
 func (c *Client) ServerMetrics() (*ServerMetrics, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.ctrlMu.Lock()
+	defer c.ctrlMu.Unlock()
 	h, err := c.ctrlHandle()
 	if err != nil {
 		return nil, err

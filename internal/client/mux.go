@@ -725,7 +725,10 @@ func (mc *muxConn) reader(g *muxGen) {
 		if f.bop != nil {
 			o := f.bop
 			if appErr == nil {
-				if err := wire.DecodeBatch(payload, o.resVals, o.resOks); err != nil {
+				// The mux targets standalone servers; a replication seq,
+				// if present, is dropped (routing clients use per-goroutine
+				// handles, which track it).
+				if _, err := wire.DecodeBatch(payload, o.resVals, o.resOks); err != nil {
 					g.fail(err)
 					return
 				}
@@ -741,7 +744,7 @@ func (mc *muxConn) reader(g *muxGen) {
 					f.vals = make([]uint64, n)
 					f.oks = make([]bool, n)
 				}
-				if err := wire.DecodeBatch(payload, f.vals[:n], f.oks[:n]); err != nil {
+				if _, err := wire.DecodeBatch(payload, f.vals[:n], f.oks[:n]); err != nil {
 					g.fail(err)
 					return
 				}

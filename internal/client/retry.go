@@ -54,6 +54,13 @@ var errClientClosed = errors.New("client is closed")
 // retry (the rejecting server reads nothing before answering BUSY).
 var errBusy = errors.New("server busy: connection rejected at admission")
 
+// ErrReadOnly matches (via errors.Is) the application error a follower
+// replica returns for client mutations. The cluster router treats it as
+// the definitive "this replica is not the primary" signal: the mutation
+// was not executed, and the router re-resolves roles and retries against
+// the real primary.
+var ErrReadOnly = errors.New("read-only replica")
+
 // Config tunes a Client's dial and retry behaviour. The zero value gets
 // the documented defaults.
 type Config struct {

@@ -84,6 +84,18 @@ type Config struct {
 	WarmupBytes int
 }
 
+// ReproString renders the schedule as a one-line repro recipe. The
+// fault decisions are fully determined by these values plus each
+// connection's accept index, so a failing chaos run logs this string
+// and the run is replayed by feeding the same values back into a
+// Config (or the abtree-crash -net flags that construct one).
+func (c Config) ReproString() string {
+	return fmt.Sprintf(
+		"faultnet seed=%d delay=%g/%s drop=%g truncate=%g corrupt=%g blackhole=%g/%s warmup=%d",
+		c.Seed, c.DelayRate, c.DelayDur, c.DropRate, c.TruncateRate,
+		c.CorruptRate, c.BlackholeRate, c.BlackholeDur, c.WarmupBytes)
+}
+
 // Stats counts what a Proxy has done so far.
 type Stats struct {
 	Conns    uint64 // connections proxied

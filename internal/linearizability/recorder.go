@@ -171,6 +171,13 @@ type ChaosConfig struct {
 	// Callers pass errors.Is(err, client.ErrAmbiguous)-style predicates;
 	// the recorder itself stays transport-agnostic.
 	Ambiguous func(error) bool
+	// Kill, when set, fires exactly once after KillAfter operations have
+	// been issued (on the first op when KillAfter <= 0) — the mid-load
+	// crash trigger for failover drills: kill the primary while workers
+	// are mid-mutation and let the router's failover absorb it. It runs
+	// on its own goroutine so a slow kill never stalls the recording.
+	KillAfter int
+	Kill      func()
 }
 
 // ChaosStats summarizes what a RecordChaos run experienced.
@@ -192,6 +199,9 @@ func RecordChaos(newHandle func() TryDictHandle, cfg ChaosConfig) ([]Op, ChaosSt
 	var history []Op
 	var stats ChaosStats
 	perKey := make(map[uint64]int)
+
+	var issued atomic.Int64
+	var killOnce sync.Once
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -229,6 +239,9 @@ func RecordChaos(newHandle func() TryDictHandle, cfg ChaosConfig) ([]Op, ChaosSt
 				}
 				mu.Unlock()
 
+				if cfg.Kill != nil && issued.Add(1) >= int64(cfg.KillAfter) {
+					killOnce.Do(func() { go cfg.Kill() })
+				}
 				op := Op{Key: key, ThreadID: w, Kind: OpKind(rng.Intn(3))}
 				var err error
 				op.Call = clock.Add(1)

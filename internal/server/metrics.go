@@ -28,6 +28,8 @@ const (
 	slotStats
 	slotOpen
 	slotMetrics
+	slotReplicate
+	slotPromote
 	numOpSlots
 )
 
@@ -36,6 +38,7 @@ var slotNames = [numOpSlots]string{
 	"op_mget_ns", "op_mput_ns", "op_mdelete_ns",
 	"op_scan_ns", "op_snapscan_ns",
 	"op_stats_ns", "op_open_ns", "op_metrics_ns",
+	"op_replicate_ns", "op_promote_ns",
 }
 
 // slotFor maps a validated request opcode to its latency slot (-1 for
@@ -64,6 +67,10 @@ func slotFor(op byte) int {
 		return slotOpen
 	case wire.OpMetrics:
 		return slotMetrics
+	case wire.OpReplicate:
+		return slotReplicate
+	case wire.OpPromote:
+		return slotPromote
 	}
 	return -1
 }
@@ -106,13 +113,16 @@ type srvMetrics struct {
 	keyRejects   metrics.Counter // reserved-sentinel keys rejected at the boundary
 	shedOverload metrics.Counter // requests answered with an error because the work queue was full (Config.ShedOnFull)
 	shedConnDead metrics.Counter // responses dropped because the connection died first
+	rateLimited  metrics.Counter // requests answered with BUSY by the per-connection token bucket
+	replAcks     metrics.Counter // follower acks absorbed by this primary's senders
+	failovers    metrics.Counter // PROMOTE ops that actually flipped this server to primary
 
 	teardowns [numCauses]metrics.Counter
 }
 
 // metricsItemCount is the fixed number of instruments a METRICS
 // response streams (the last one carries the MetricsLast flag).
-const metricsItemCount = 5 + numCauses + 4 + 2 + numOpSlots
+const metricsItemCount = 8 + numCauses + 6 + 2 + numOpSlots
 
 // eachCounter visits every counter in the stable stream order. The old
 // shed_responses_total conflated two very different events; it is split
@@ -126,6 +136,9 @@ func (s *Server) eachCounter(f func(name string, v uint64)) {
 	f("key_rejects_total", m.keyRejects.Load())
 	f("shed_overload_total", m.shedOverload.Load())
 	f("shed_conn_dead_total", m.shedConnDead.Load())
+	f("rate_limited_total", m.rateLimited.Load())
+	f("repl_acks_total", m.replAcks.Load())
+	f("failovers_total", m.failovers.Load())
 	for i := range m.teardowns {
 		f("teardown_"+causeNames[i]+"_total", m.teardowns[i].Load())
 	}
@@ -138,6 +151,13 @@ func (s *Server) eachGauge(f func(name string, v int64)) {
 	f("inflight_ops", m.inFlight.Load())
 	f("workers", m.workers.Load())
 	f("work_queue_depth", int64(len(s.work)))
+	if r := s.repl; r != nil {
+		f("repl_seq", int64(r.replSeq()))
+		f("replication_lag", int64(r.lag()))
+	} else {
+		f("repl_seq", 0)
+		f("replication_lag", 0)
+	}
 }
 
 // eachHist visits every histogram in the stable stream order.

@@ -40,6 +40,7 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,38 @@ type Config struct {
 	// meaningful when clients crash without closing: abandoned sockets
 	// stop counting against the admission cap.
 	IdleTimeout time.Duration
+
+	// RateLimit, when positive, is the per-connection token-bucket rate
+	// in requests per second; RateBurst is the bucket depth (default
+	// max(RateLimit, 32)). A connection over its budget has single-frame
+	// operations (point ops, scans) answered with a BUSY frame echoing
+	// the request id — the server read the request and executed nothing,
+	// so even a mutation is safe to resend after backing off. Batched
+	// frames are charged their full key count but never rejected (a
+	// mid-stream BUSY would break the client mux's "BUSY means nothing
+	// executed" salvage contract), so heavy batch traffic pushes the
+	// bucket into deficit and throttles the connection's subsequent
+	// requests instead; the deficit is capped at one extra burst so a
+	// run of large batches delays later single-frame ops by at most
+	// 2*burst/rate rather than starving them past the client's retry
+	// budget. Control (STATS/METRICS/OPEN) and replication frames are
+	// exempt. Counted as rate_limited_total.
+	RateLimit float64
+	RateBurst int
+
+	// Replication. A server with Followers (primary) or Follower=true
+	// (replica) is one member of a replicated partition: see repl.go for
+	// the model. Partition is the partition index reported via STATS so
+	// routing clients can match replicas to keyspace ranges. AckFollowers
+	// is how many followers must apply a mutation before the client is
+	// acked (default 1 — sync-1; clamped to len(Followers); negative
+	// means ack immediately). Replicated servers reject OPEN (the log is
+	// tied to the hosted generation) and serve mutations through the
+	// sequenced-log write path; cross-connection coalescing is disabled.
+	Followers    []string
+	Follower     bool
+	AckFollowers int
+	Partition    uint64
 }
 
 // reqSlots bounds the requests one connection may have in flight; its
@@ -142,6 +175,13 @@ type Server struct {
 	shedOnFull   bool
 	maxConns     int
 	idleTimeout  time.Duration
+	rateLimit    float64
+	rateBurst    float64
+
+	// repl is the replication state; nil on standalone servers (every
+	// replication hook checks for nil, keeping the standalone paths
+	// byte-identical).
+	repl *replState
 
 	metrics srvMetrics
 
@@ -188,6 +228,20 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 			depth = 256
 		}
 	}
+	replicated := cfg.Follower || len(cfg.Followers) > 0
+	if replicated {
+		// Mutations must route one-at-a-time through the stripe-locked
+		// log path; the coalescing sweep and native batch descents would
+		// bypass it.
+		coalesce = 1
+	}
+	burst := float64(cfg.RateBurst)
+	if cfg.RateLimit > 0 && burst <= 0 {
+		burst = cfg.RateLimit
+		if burst < 32 {
+			burst = 32
+		}
+	}
 	s := &Server{
 		build:        build,
 		workers:      workers,
@@ -198,12 +252,17 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 		shedOnFull:   cfg.ShedOnFull,
 		maxConns:     cfg.MaxConns,
 		idleTimeout:  cfg.IdleTimeout,
+		rateLimit:    cfg.RateLimit,
+		rateBurst:    burst,
 		work:         make(chan *request, depth),
 		quit:         make(chan struct{}),
 		conns:        make(map[*srvConn]struct{}),
 	}
 	if err := s.host(name, keyRange); err != nil {
 		return nil, err
+	}
+	if replicated {
+		s.repl = newReplState(s, cfg)
 	}
 	s.metrics.workers.Add(0, int64(workers))
 	for i := 0; i < workers; i++ {
@@ -254,6 +313,9 @@ func (s *Server) Close() error {
 	close(s.quit)
 	for _, c := range conns {
 		c.teardown(causeServerClosed)
+	}
+	if s.repl != nil {
+		s.repl.close()
 	}
 	s.wg.Wait()
 	return nil
@@ -424,6 +486,11 @@ type srvConn struct {
 	// drops a response a worker is still producing.
 	inflight atomic.Int64
 
+	// Token bucket (Config.RateLimit), reader-owned: tokens refill at
+	// rateLimit/sec up to rateBurst, observed at each request's arrival.
+	tokens     float64
+	lastRefill time.Time
+
 	payload []byte // reader's frame payload scratch
 }
 
@@ -439,10 +506,61 @@ func (s *Server) newConn(nc net.Conn) *srvConn {
 		reqPool: make(chan *request, reqSlots),
 		outPool: make(chan *outBuf, 2*reqSlots),
 	}
+	if s.rateLimit > 0 {
+		c.tokens = s.rateBurst
+		c.lastRefill = time.Now()
+	}
 	for i := 0; i < reqSlots; i++ {
 		c.reqPool <- &request{c: c}
 	}
 	return c
+}
+
+// rateLimited charges the request against the connection's token bucket
+// and reports whether it must be rejected with BUSY. Only single-frame
+// operations are rejectable — a BUSY mid-batch-pipeline would be
+// indistinguishable from the admission BUSY that promises "nothing was
+// executed on this connection", which other in-flight frames would
+// falsify. Batches are charged, pushing the bucket into a bounded
+// deficit; control and replication traffic is exempt.
+func (c *srvConn) rateLimited(r *wire.Request) bool {
+	now := time.Now()
+	c.tokens += now.Sub(c.lastRefill).Seconds() * c.s.rateLimit
+	if c.tokens > c.s.rateBurst {
+		c.tokens = c.s.rateBurst
+	}
+	c.lastRefill = now
+	var cost float64
+	rejectable := false
+	switch r.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpScan, wire.OpSnapScan:
+		cost, rejectable = 1, true
+	case wire.OpMGet, wire.OpMPut, wire.OpMDelete:
+		cost = float64(len(r.Keys))
+	default: // STATS/OPEN/METRICS/REPLICATE/PROMOTE: exempt
+		return false
+	}
+	if rejectable && c.tokens < 1 {
+		return true
+	}
+	c.tokens -= cost
+	// A batch may overdraw the bucket, but the debt is bounded at one
+	// extra burst: an unbounded deficit would let a burst of large
+	// batches starve the connection's subsequent single-frame ops past
+	// any reasonable client retry budget (recovery is ≤ 2*burst/rate).
+	if c.tokens < -c.s.rateBurst {
+		c.tokens = -c.s.rateBurst
+	}
+	return false
+}
+
+// sendBusy answers one rate-limited request with a BUSY frame echoing
+// its id: the request was read but not executed, so the client may
+// safely resend it (mutations included) after backing off.
+func (c *srvConn) sendBusy(id uint64) {
+	ob := c.getOut()
+	ob.b = wire.AppendRespBusy(ob.b[:0], id)
+	c.send(ob)
 }
 
 // shutdown asks the writer to drain the queued responses, flush and
@@ -520,6 +638,12 @@ func (c *srvConn) send(ob *outBuf) bool {
 func (c *srvConn) sendPoint(id uint64, val uint64, ok bool) {
 	ob := c.getOut()
 	ob.b = wire.AppendRespPoint(ob.b[:0], id, val, ok)
+	c.send(ob)
+}
+
+func (c *srvConn) sendPointSeq(id uint64, val uint64, ok bool, seq uint64) {
+	ob := c.getOut()
+	ob.b = wire.AppendRespPointSeq(ob.b[:0], id, val, ok, seq)
 	c.send(ob)
 }
 
@@ -613,6 +737,12 @@ func (c *srvConn) reader() {
 		if msg := validateKeys(&req.Request); msg != "" {
 			m.keyRejects.Inc(0)
 			c.sendErr(id, msg)
+			c.putReq(req)
+			continue
+		}
+		if c.s.rateLimit > 0 && c.rateLimited(&req.Request) {
+			m.rateLimited.Inc(0)
+			c.sendBusy(id)
 			c.putReq(req)
 			continue
 		}
@@ -925,16 +1055,27 @@ func (w *worker) serveOne(req *request) {
 	w.s.metrics.inFlight.Add(w.idx, 1)
 	c := req.c
 	switch req.Op {
-	case wire.OpGet:
-		v, ok := w.h.Find(req.Key)
-		c.sendPoint(req.ID, v, ok)
-	case wire.OpPut:
-		v, ok := w.h.Insert(req.Key, req.Val)
-		c.sendPoint(req.ID, v, ok)
-	case wire.OpDelete:
-		v, ok := w.h.Delete(req.Key)
+	case wire.OpGet, wire.OpPut, wire.OpDelete:
+		if w.s.repl != nil {
+			w.serveReplPoint(req)
+			break
+		}
+		var v uint64
+		var ok bool
+		switch req.Op {
+		case wire.OpGet:
+			v, ok = w.h.Find(req.Key)
+		case wire.OpPut:
+			v, ok = w.h.Insert(req.Key, req.Val)
+		case wire.OpDelete:
+			v, ok = w.h.Delete(req.Key)
+		}
 		c.sendPoint(req.ID, v, ok)
 	case wire.OpMGet, wire.OpMPut, wire.OpMDelete:
+		if w.s.repl != nil {
+			w.serveReplBatch(req)
+			break
+		}
 		n := len(req.Keys)
 		if cap(w.vals) < n {
 			w.vals = make([]uint64, n)
@@ -980,6 +1121,11 @@ func (w *worker) serveOne(req *request) {
 			CanSnap:  host.canSnap,
 			Name:     host.name,
 		}
+		if r := w.s.repl; r != nil {
+			st.Role = byte(r.role.Load())
+			st.Partition = r.partition
+			st.ReplSeq = r.replSeq()
+		}
 		if rs, ok := host.d.(dict.RQStatser); ok {
 			st.Scans, st.Versions = rs.RQStats()
 		}
@@ -990,6 +1136,10 @@ func (w *worker) serveOne(req *request) {
 		ob.b = wire.AppendRespStats(ob.b[:0], req.ID, st)
 		c.send(ob)
 	case wire.OpOpen:
+		if w.s.repl != nil {
+			c.sendErr(req.ID, "replicated server: OPEN not supported (the op log is tied to the hosted generation)")
+			break
+		}
 		if err := w.s.host(string(req.Name), req.Key); err != nil {
 			c.sendErr(req.ID, err.Error())
 		} else {
@@ -997,6 +1147,37 @@ func (w *worker) serveOne(req *request) {
 			ob.b = wire.AppendRespOK(ob.b[:0], req.ID)
 			c.send(ob)
 		}
+	case wire.OpReplicate:
+		r := w.s.repl
+		if r == nil {
+			c.sendErr(req.ID, "not a replica: server has no replication state")
+			break
+		}
+		applied, err := r.applyReplicate(&req.Request)
+		if err != nil {
+			c.sendErr(req.ID, err.Error())
+			break
+		}
+		ob := c.getOut()
+		ob.b = wire.AppendRespReplAck(ob.b[:0], req.ID, applied)
+		c.send(ob)
+	case wire.OpPromote:
+		r := w.s.repl
+		if r == nil {
+			c.sendErr(req.ID, "not a replica: server has no replication state")
+			break
+		}
+		var addrs []string
+		if len(req.Name) > 0 {
+			addrs = strings.Split(string(req.Name), ",")
+		}
+		if err := r.promote(int(req.Key), addrs); err != nil {
+			c.sendErr(req.ID, err.Error())
+			break
+		}
+		ob := c.getOut()
+		ob.b = wire.AppendRespOK(ob.b[:0], req.ID)
+		c.send(ob)
 	case wire.OpMetrics:
 		w.serveMetrics(c, req.ID)
 	default:

@@ -207,6 +207,10 @@ func OpName(op byte) string {
 		return "open"
 	case OpMetrics:
 		return "metrics"
+	case OpReplicate:
+		return "replicate"
+	case OpPromote:
+		return "promote"
 	}
 	return "unknown"
 }

@@ -162,6 +162,7 @@ func TestOpName(t *testing.T) {
 		OpMGet: "mget", OpMPut: "mput", OpMDelete: "mdelete",
 		OpScan: "scan", OpSnapScan: "snapscan",
 		OpStats: "stats", OpOpen: "open", OpMetrics: "metrics",
+		OpReplicate: "replicate", OpPromote: "promote",
 		0x7F: "unknown",
 	} {
 		if got := OpName(op); got != want {

@@ -28,20 +28,32 @@
 //	OpMDelete  n u32, n*key
 //	OpScan     lo u64, hi u64              weak Range
 //	OpSnapScan lo u64, hi u64              linearizable RangeSnapshot
-//	OpStats    (empty)
-//	OpOpen     keyRange u64, name bytes    host a fresh structure
-//	OpMetrics  (empty)                     observability snapshot (metrics.go)
+//	OpStats     (empty)
+//	OpOpen      keyRange u64, name bytes    host a fresh structure
+//	OpMetrics   (empty)                     observability snapshot (metrics.go)
+//	OpReplicate firstSeq u64, n u32, n*kind u8, n*key u64, n*val u64
+//	OpPromote   ack u32, addrs bytes        comma-separated follower addrs
 //
 // Response payloads:
 //
-//	RespPoint     val u64, ok u8
-//	RespBatch     n u32, n*val, n*ok
+//	RespPoint     val u64, ok u8 [, seq u64]
+//	RespBatch     n u32, n*val, n*ok [, seq u64]
 //	RespScanChunk flags u8, n u32, n*(k u64, v u64)
-//	RespStats     keysum, scans, versions, elim{i,d,u}, keyrange, gen (8*u64), caps u8, name bytes
+//	RespStats     keysum, scans, versions, elim{i,d,u}, keyrange, gen (8*u64),
+//	              caps u8, role u8, partition u64, replSeq u64, name bytes
 //	RespOK        (empty)
 //	RespMetrics   one streamed instrument snapshot (see metrics.go)
 //	RespBusy      (empty)                   admission-control rejection (safe to retry)
+//	RespReplAck   applied u64               follower's cumulative apply position
 //	RespError     message bytes
+//
+// The optional trailing seq on RespPoint/RespBatch is the replication
+// sequence number: a replicated primary stamps mutations with the op-log
+// seq they committed at (reads with the current committed position) and a
+// follower stamps reads with its applied position, which lets a routing
+// client enforce read-your-writes across replicas. Standalone servers
+// omit it, keeping the original 9-byte point response (and its 0-alloc
+// decode path) unchanged.
 //
 // Every encoder is an appender over a caller-owned buffer and every
 // decoder parses into caller-owned scratch, so both endpoints can run
@@ -67,6 +79,14 @@ const (
 	OpStats    = 0x30
 	OpOpen     = 0x31
 	OpMetrics  = 0x32
+	// Replication opcodes (primary/follower log shipping). REPLICATE
+	// ships a contiguous run of sequenced op-log entries from a primary
+	// to a follower (n == 0 is the cursor probe: the follower answers
+	// with its applied position and nothing is shipped). PROMOTE turns a
+	// follower into a primary, handing it the follower addresses it
+	// should ship to from now on.
+	OpReplicate = 0x40
+	OpPromote   = 0x41
 )
 
 // Response opcodes.
@@ -82,9 +102,42 @@ const (
 	// (id 0, empty payload) and closes. The rejecting server has read
 	// nothing from the connection, so a client seeing BUSY may safely
 	// retry ANY operation — mutations included — after backing off.
-	RespBusy  = 0x87
-	RespError = 0xFF
+	RespBusy = 0x87
+	// RespReplAck answers a REPLICATE frame with the follower's applied
+	// sequence position (cumulative: every entry with seq <= applied has
+	// been applied exactly once).
+	RespReplAck = 0x88
+	RespError   = 0xFF
 )
+
+// Op-log entry kinds carried by REPLICATE frames. Only effective
+// mutations are logged (an insert that found the key present, or a
+// delete that missed, changes nothing and ships nothing), so a ReplPut
+// entry always sets the key and a ReplDelete always clears it.
+const (
+	ReplPut    = 0x01
+	ReplDelete = 0x02
+)
+
+// Replication roles reported by STATS.
+const (
+	RoleStandalone = 0x00
+	RolePrimary    = 0x01
+	RoleFollower   = 0x02
+)
+
+// RoleName returns the human-readable name of a replication role.
+func RoleName(role byte) string {
+	switch role {
+	case RoleStandalone:
+		return "standalone"
+	case RolePrimary:
+		return "primary"
+	case RoleFollower:
+		return "follower"
+	}
+	return "unknown"
+}
 
 // Protocol limits. MaxFrame bounds what either endpoint will buffer for
 // one frame (an incoming length above it is a protocol error and closes
@@ -170,6 +223,39 @@ func AppendScan(b []byte, id uint64, snapshot bool, lo, hi uint64) []byte {
 	return finishFrame(b, start)
 }
 
+// AppendReplicate appends a REPLICATE request frame shipping the
+// contiguous op-log run starting at firstSeq: entry i is
+// (kinds[i], keys[i], vals[i]) with sequence number firstSeq+i.
+// len(kinds) == 0 is the cursor probe. len(kinds) must be <= MaxBatch.
+func AppendReplicate(b []byte, id uint64, firstSeq uint64, kinds []byte, keys, vals []uint64) []byte {
+	if len(kinds) > MaxBatch {
+		panic(fmt.Sprintf("wire: replicate run of %d entries exceeds MaxBatch %d", len(kinds), MaxBatch))
+	}
+	start := len(b)
+	b = beginFrame(b, id, OpReplicate)
+	b = le.AppendUint64(b, firstSeq)
+	b = le.AppendUint32(b, uint32(len(kinds)))
+	b = append(b, kinds...)
+	for _, k := range keys[:len(kinds)] {
+		b = le.AppendUint64(b, k)
+	}
+	for _, v := range vals[:len(kinds)] {
+		b = le.AppendUint64(b, v)
+	}
+	return finishFrame(b, start)
+}
+
+// AppendPromote appends a PROMOTE request frame: the receiving follower
+// becomes a primary shipping to the comma-separated addrs (possibly
+// empty), acking writes once ack followers have applied them.
+func AppendPromote(b []byte, id uint64, ack int, addrs string) []byte {
+	start := len(b)
+	b = beginFrame(b, id, OpPromote)
+	b = le.AppendUint32(b, uint32(ack))
+	b = append(b, addrs...)
+	return finishFrame(b, start)
+}
+
 // AppendStats appends a STATS request frame.
 func AppendStats(b []byte, id uint64) []byte {
 	start := len(b)
@@ -196,6 +282,17 @@ func AppendRespPoint(b []byte, id uint64, val uint64, ok bool) []byte {
 	return finishFrame(b, start)
 }
 
+// AppendRespPointSeq appends a point-operation response frame carrying
+// a trailing replication sequence number (replicated servers only).
+func AppendRespPointSeq(b []byte, id uint64, val uint64, ok bool, seq uint64) []byte {
+	start := len(b)
+	b = beginFrame(b, id, RespPoint)
+	b = le.AppendUint64(b, val)
+	b = append(b, boolByte(ok))
+	b = le.AppendUint64(b, seq)
+	return finishFrame(b, start)
+}
+
 // AppendRespBatch appends a batched-operation response frame carrying
 // vals[i] and oks[i] for every key of the request, in input order.
 func AppendRespBatch(b []byte, id uint64, vals []uint64, oks []bool) []byte {
@@ -209,6 +306,39 @@ func AppendRespBatch(b []byte, id uint64, vals []uint64, oks []bool) []byte {
 		b = append(b, boolByte(ok))
 	}
 	return finishFrame(b, start)
+}
+
+// AppendRespBatchSeq appends a batched-operation response frame with a
+// trailing replication sequence number (replicated servers only).
+func AppendRespBatchSeq(b []byte, id uint64, vals []uint64, oks []bool, seq uint64) []byte {
+	start := len(b)
+	b = beginFrame(b, id, RespBatch)
+	b = le.AppendUint32(b, uint32(len(vals)))
+	for _, v := range vals {
+		b = le.AppendUint64(b, v)
+	}
+	for _, ok := range oks {
+		b = append(b, boolByte(ok))
+	}
+	b = le.AppendUint64(b, seq)
+	return finishFrame(b, start)
+}
+
+// AppendRespReplAck appends a REPLICATE acknowledgement carrying the
+// follower's cumulative applied sequence position.
+func AppendRespReplAck(b []byte, id uint64, applied uint64) []byte {
+	start := len(b)
+	b = beginFrame(b, id, RespReplAck)
+	b = le.AppendUint64(b, applied)
+	return finishFrame(b, start)
+}
+
+// DecodeReplAck parses a RespReplAck payload.
+func DecodeReplAck(payload []byte) (applied uint64, err error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("wire: repl ack wants 8 payload bytes, got %d", len(payload))
+	}
+	return le.Uint64(payload), nil
 }
 
 // BeginChunk starts a RespScanChunk frame; append pairs with
@@ -255,6 +385,9 @@ type Stats struct {
 	Gen         uint64 // hosting generation (bumped by every OPEN)
 	CanRange    bool   // handles serve weak Range scans
 	CanSnap     bool   // handles serve linearizable RangeSnapshot scans
+	Role        byte   // RoleStandalone / RolePrimary / RoleFollower
+	Partition   uint64 // partition index this server replicates (0 if standalone)
+	ReplSeq     uint64 // primary: committed seq; follower: applied seq
 	Name        string // hosted structure's registry name
 }
 
@@ -274,6 +407,9 @@ func AppendRespStats(b []byte, id uint64, s Stats) []byte {
 		caps |= CapSnap
 	}
 	b = append(b, caps)
+	b = append(b, s.Role)
+	b = le.AppendUint64(b, s.Partition)
+	b = le.AppendUint64(b, s.ReplSeq)
 	b = append(b, s.Name...)
 	return finishFrame(b, start)
 }
@@ -307,12 +443,16 @@ func AppendRespError(b []byte, id uint64, msg string) []byte {
 type Request struct {
 	ID  uint64
 	Op  byte
-	Key uint64 // point key; scan lo; OPEN keyRange
+	Key uint64 // point key; scan lo; OPEN keyRange; REPLICATE firstSeq; PROMOTE ack
 	Val uint64 // PUT value; scan hi
-	// Keys/Vals hold a batched request's keys and (for MPUT) values.
+	// Keys/Vals hold a batched request's keys and (for MPUT) values;
+	// REPLICATE reuses them for the entries' keys and values.
 	Keys, Vals []uint64
-	// Name holds an OPEN request's structure name.
+	// Name holds an OPEN request's structure name or a PROMOTE
+	// request's comma-separated follower addresses.
 	Name []byte
+	// Ops holds a REPLICATE request's entry kinds (ReplPut/ReplDelete).
+	Ops []byte
 }
 
 // DecodeRequest parses a request frame's payload (everything after the
@@ -368,6 +508,32 @@ func DecodeRequest(id uint64, op byte, payload []byte, r *Request) error {
 		}
 		r.Key = le.Uint64(payload)
 		r.Name = append(r.Name[:0], payload[8:]...)
+	case OpReplicate:
+		if len(payload) < 12 {
+			return fmt.Errorf("wire: REPLICATE wants firstSeq+count, got %d bytes", len(payload))
+		}
+		n := int(le.Uint32(payload[8:]))
+		if n > MaxBatch {
+			return fmt.Errorf("wire: replicate run of %d entries exceeds MaxBatch %d", n, MaxBatch)
+		}
+		if want := 12 + 17*n; len(payload) != want {
+			return fmt.Errorf("wire: REPLICATE with %d entries wants %d payload bytes, got %d", n, want, len(payload))
+		}
+		for _, k := range payload[12 : 12+n] {
+			if k != ReplPut && k != ReplDelete {
+				return fmt.Errorf("wire: REPLICATE entry kind %#x unknown", k)
+			}
+		}
+		r.Key = le.Uint64(payload)
+		r.Ops = append(r.Ops[:0], payload[12:12+n]...)
+		r.Keys = decodeU64s(r.Keys[:0], payload[12+n:12+n+8*n])
+		r.Vals = decodeU64s(r.Vals[:0], payload[12+n+8*n:])
+	case OpPromote:
+		if len(payload) < 4 {
+			return fmt.Errorf("wire: PROMOTE wants an ack count, got %d bytes", len(payload))
+		}
+		r.Key = uint64(le.Uint32(payload))
+		r.Name = append(r.Name[:0], payload[4:]...)
 	default:
 		return fmt.Errorf("wire: unknown opcode %#x", op)
 	}
@@ -382,23 +548,35 @@ func decodeU64s(dst []uint64, b []byte) []uint64 {
 	return dst
 }
 
-// DecodePoint parses a RespPoint payload.
-func DecodePoint(payload []byte) (val uint64, ok bool, err error) {
-	if len(payload) != 9 {
-		return 0, false, fmt.Errorf("wire: point response wants 9 payload bytes, got %d", len(payload))
+// DecodePoint parses a RespPoint payload. seq is the replication
+// sequence number when the server sent the 17-byte seq-carrying form
+// (replicated servers), 0 for the standalone 9-byte form.
+func DecodePoint(payload []byte) (val uint64, ok bool, seq uint64, err error) {
+	switch len(payload) {
+	case 9:
+		return le.Uint64(payload), payload[8] != 0, 0, nil
+	case 17:
+		return le.Uint64(payload), payload[8] != 0, le.Uint64(payload[9:]), nil
 	}
-	return le.Uint64(payload), payload[8] != 0, nil
+	return 0, false, 0, fmt.Errorf("wire: point response wants 9 or 17 payload bytes, got %d", len(payload))
 }
 
 // DecodeBatch parses a RespBatch payload into vals and oks, which must
-// be exactly the request's batch size.
-func DecodeBatch(payload []byte, vals []uint64, oks []bool) error {
+// be exactly the request's batch size. seq is the replication sequence
+// number when present (replicated servers), 0 otherwise.
+func DecodeBatch(payload []byte, vals []uint64, oks []bool) (seq uint64, err error) {
 	if len(payload) < 4 {
-		return fmt.Errorf("wire: batch response wants a count, got %d bytes", len(payload))
+		return 0, fmt.Errorf("wire: batch response wants a count, got %d bytes", len(payload))
 	}
 	n := int(le.Uint32(payload))
-	if n != len(vals) || len(payload) != 4+9*n {
-		return fmt.Errorf("wire: batch response carries %d results in %d bytes, want %d results", n, len(payload), len(vals))
+	switch {
+	case n != len(vals):
+		return 0, fmt.Errorf("wire: batch response carries %d results, want %d", n, len(vals))
+	case len(payload) == 4+9*n:
+	case len(payload) == 4+9*n+8:
+		seq = le.Uint64(payload[4+9*n:])
+	default:
+		return 0, fmt.Errorf("wire: batch response carries %d results in %d bytes", n, len(payload))
 	}
 	body := payload[4:]
 	for i := range vals {
@@ -408,7 +586,7 @@ func DecodeBatch(payload []byte, vals []uint64, oks []bool) error {
 	for i := range oks {
 		oks[i] = body[i] != 0
 	}
-	return nil
+	return seq, nil
 }
 
 // DecodeChunk parses a RespScanChunk payload, returning whether it is
@@ -432,8 +610,8 @@ func PairAt(pairs []byte, i int) (k, v uint64) {
 
 // DecodeStats parses a RespStats payload.
 func DecodeStats(payload []byte) (Stats, error) {
-	if len(payload) < 65 {
-		return Stats{}, fmt.Errorf("wire: stats response wants >= 65 payload bytes, got %d", len(payload))
+	if len(payload) < 82 {
+		return Stats{}, fmt.Errorf("wire: stats response wants >= 82 payload bytes, got %d", len(payload))
 	}
 	var s Stats
 	for i, p := range [...]*uint64{&s.KeySum, &s.Scans, &s.Versions,
@@ -443,7 +621,10 @@ func DecodeStats(payload []byte) (Stats, error) {
 	caps := payload[64]
 	s.CanRange = caps&CapRange != 0
 	s.CanSnap = caps&CapSnap != 0
-	s.Name = string(payload[65:])
+	s.Role = payload[65]
+	s.Partition = le.Uint64(payload[66:])
+	s.ReplSeq = le.Uint64(payload[74:])
+	s.Name = string(payload[82:])
 	return s, nil
 }
 

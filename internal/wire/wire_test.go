@@ -73,6 +73,24 @@ func TestRequestRoundTrip(t *testing.T) {
 				t.Fatalf("keyRange %d name %q", r.Key, r.Name)
 			}
 		}},
+		{"replicate", AppendReplicate(nil, 11, 42, []byte{ReplPut, ReplDelete}, []uint64{7, 8}, []uint64{70, 0}), func(t *testing.T) {
+			if r.Key != 42 || len(r.Ops) != 2 || r.Ops[0] != ReplPut || r.Ops[1] != ReplDelete {
+				t.Fatalf("firstSeq %d ops %v", r.Key, r.Ops)
+			}
+			if len(r.Keys) != 2 || r.Keys[1] != 8 || len(r.Vals) != 2 || r.Vals[0] != 70 {
+				t.Fatalf("keys %v vals %v", r.Keys, r.Vals)
+			}
+		}},
+		{"replicate-probe", AppendReplicate(nil, 12, 0, nil, nil, nil), func(t *testing.T) {
+			if r.Key != 0 || len(r.Ops) != 0 || len(r.Keys) != 0 {
+				t.Fatalf("probe decoded firstSeq %d ops %v keys %v", r.Key, r.Ops, r.Keys)
+			}
+		}},
+		{"promote", AppendPromote(nil, 13, 1, "127.0.0.1:7001,127.0.0.1:7002"), func(t *testing.T) {
+			if r.Key != 1 || string(r.Name) != "127.0.0.1:7001,127.0.0.1:7002" {
+				t.Fatalf("ack %d addrs %q", r.Key, r.Name)
+			}
+		}},
 	}
 	for i, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -97,8 +115,17 @@ func TestResponseRoundTrip(t *testing.T) {
 	if op != RespPoint {
 		t.Fatalf("op %#x", op)
 	}
-	if v, ok, err := DecodePoint(payload); err != nil || v != 77 || !ok {
-		t.Fatalf("(%d,%v,%v)", v, ok, err)
+	if v, ok, seq, err := DecodePoint(payload); err != nil || v != 77 || !ok || seq != 0 {
+		t.Fatalf("(%d,%v,%d,%v)", v, ok, seq, err)
+	}
+
+	// Point with a replication seq.
+	_, op, payload = splitFrame(t, AppendRespPointSeq(nil, 1, 77, true, 31))
+	if op != RespPoint {
+		t.Fatalf("op %#x", op)
+	}
+	if v, ok, seq, err := DecodePoint(payload); err != nil || v != 77 || !ok || seq != 31 {
+		t.Fatalf("(%d,%v,%d,%v)", v, ok, seq, err)
 	}
 
 	// Batch.
@@ -110,13 +137,25 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	gv := make([]uint64, 3)
 	gk := make([]bool, 3)
-	if err := DecodeBatch(payload, gv, gk); err != nil {
-		t.Fatal(err)
+	if seq, err := DecodeBatch(payload, gv, gk); err != nil || seq != 0 {
+		t.Fatalf("seq=%d err=%v", seq, err)
 	}
 	for i := range vals {
 		if gv[i] != vals[i] || gk[i] != oks[i] {
 			t.Fatalf("i=%d: (%d,%v), want (%d,%v)", i, gv[i], gk[i], vals[i], oks[i])
 		}
+	}
+
+	// Batch with a replication seq.
+	_, op, payload = splitFrame(t, AppendRespBatchSeq(nil, 2, vals, oks, 99))
+	if op != RespBatch {
+		t.Fatalf("op %#x", op)
+	}
+	if seq, err := DecodeBatch(payload, gv, gk); err != nil || seq != 99 {
+		t.Fatalf("seq=%d err=%v", seq, err)
+	}
+	if gv[2] != 7 || gk[1] {
+		t.Fatalf("seq batch decoded %v %v", gv, gk)
 	}
 
 	// Scan chunks, empty and multi-pair, last and not.
@@ -146,7 +185,8 @@ func TestResponseRoundTrip(t *testing.T) {
 
 	// Stats.
 	want := Stats{KeySum: 1, Scans: 2, Versions: 3, ElimInserts: 4, ElimDeletes: 5,
-		ElimUpserts: 6, KeyRange: 7, Gen: 8, CanRange: true, CanSnap: true, Name: "occ"}
+		ElimUpserts: 6, KeyRange: 7, Gen: 8, CanRange: true, CanSnap: true,
+		Role: RoleFollower, Partition: 3, ReplSeq: 1234, Name: "occ"}
 	_, op, payload = splitFrame(t, AppendRespStats(nil, 5, want))
 	if op != RespStats {
 		t.Fatalf("op %#x", op)
@@ -154,6 +194,15 @@ func TestResponseRoundTrip(t *testing.T) {
 	got, err := DecodeStats(payload)
 	if err != nil || got != want {
 		t.Fatalf("stats %+v, want %+v (err %v)", got, want, err)
+	}
+
+	// Repl ack.
+	_, op, payload = splitFrame(t, AppendRespReplAck(nil, 8, 555))
+	if op != RespReplAck {
+		t.Fatalf("op %#x", op)
+	}
+	if applied, err := DecodeReplAck(payload); err != nil || applied != 555 {
+		t.Fatalf("applied=%d err=%v", applied, err)
 	}
 
 	// OK and error.
@@ -197,6 +246,9 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(uint8(0x7F), []byte{})
 	seed := AppendBatch(nil, 9, OpMGet, []uint64{1, 2, 3}, nil)
 	f.Add(uint8(OpMGet), seed[HeaderLen:])
+	repl := AppendReplicate(nil, 10, 5, []byte{ReplPut}, []uint64{1}, []uint64{2})
+	f.Add(uint8(OpReplicate), repl[HeaderLen:])
+	f.Add(uint8(OpPromote), AppendPromote(nil, 11, 1, "a:1,b:2")[HeaderLen:])
 	var r Request
 	f.Fuzz(func(t *testing.T, op uint8, payload []byte) {
 		if err := DecodeRequest(1, op, payload, &r); err != nil {
@@ -211,6 +263,15 @@ func FuzzDecodeRequest(f *testing.F) {
 			if len(r.Keys) != len(r.Vals) {
 				t.Fatalf("MPUT keys %d != vals %d", len(r.Keys), len(r.Vals))
 			}
+		case OpReplicate:
+			if len(r.Ops) != len(r.Keys) || len(r.Ops) != len(r.Vals) {
+				t.Fatalf("REPLICATE ops %d keys %d vals %d", len(r.Ops), len(r.Keys), len(r.Vals))
+			}
+			for _, k := range r.Ops {
+				if k != ReplPut && k != ReplDelete {
+					t.Fatalf("accepted entry kind %#x", k)
+				}
+			}
 		}
 	})
 }
@@ -220,11 +281,14 @@ func FuzzDecodeRequest(f *testing.F) {
 func FuzzDecodeResponses(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(AppendRespPoint(nil, 1, 5, true)[HeaderLen:])
+	f.Add(AppendRespPointSeq(nil, 1, 5, true, 9)[HeaderLen:])
 	f.Add(FinishChunk(AppendPair(BeginChunk(nil, 1), 3, 4), 0, true)[HeaderLen:])
-	f.Add(AppendRespStats(nil, 1, Stats{Name: "x"})[HeaderLen:])
+	f.Add(AppendRespStats(nil, 1, Stats{Role: RolePrimary, ReplSeq: 7, Name: "x"})[HeaderLen:])
+	f.Add(AppendRespReplAck(nil, 1, 3)[HeaderLen:])
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		DecodePoint(payload)
 		DecodeStats(payload)
+		DecodeReplAck(payload)
 		if last, pairs, err := DecodeChunk(payload); err == nil {
 			_ = last
 			for i := 0; i < len(pairs)/16; i++ {
