@@ -68,6 +68,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/dict"
 	"repro/internal/report"
+	"repro/internal/wire"
 	"repro/internal/ycsb"
 )
 
@@ -82,15 +83,15 @@ var newDict = bench.NewDict
 
 var remoteClient *client.Client
 
-func remoteFactory(addr string) func(name string, keyRange uint64) dict.Dict {
+func remoteFactory(addr string, traceEvery int, noOpen bool) func(name string, keyRange uint64) dict.Dict {
 	return func(name string, keyRange uint64) dict.Dict {
 		closeRemote()
-		c, err := client.Dial(addr)
+		c, err := client.DialConfig(addr, client.Config{TraceEvery: traceEvery})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "remote %s: %v\n", addr, err)
 			os.Exit(1)
 		}
-		if err := c.Open(name, keyRange); err != nil {
+		if err := adoptOrOpen(c, name, keyRange, noOpen); err != nil {
 			fmt.Fprintf(os.Stderr, "remote %s: %v\n", addr, err)
 			os.Exit(1)
 		}
@@ -99,20 +100,45 @@ func remoteFactory(addr string) func(name string, keyRange uint64) dict.Dict {
 	}
 }
 
+// adoptOrOpen prepares the server for a cell: normally a fresh OPEN,
+// or — with -no-open, for servers that refuse OPEN (replicated
+// primaries tie their op log to the hosted generation) — a STATS check
+// that the server already hosts the structure the cell wants. The
+// harness baselines pre-existing keys, so adopted state is fine.
+func adoptOrOpen(c interface {
+	Open(name string, keyRange uint64) error
+	Stats() (wire.Stats, error)
+}, name string, keyRange uint64, noOpen bool) error {
+	if !noOpen {
+		return c.Open(name, keyRange)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if st.Name != name {
+		return fmt.Errorf("-no-open: server hosts %q, cell wants %q", st.Name, name)
+	}
+	if st.KeyRange < keyRange {
+		return fmt.Errorf("-no-open: server key range %d < cell's %d", st.KeyRange, keyRange)
+	}
+	return nil
+}
+
 var remoteMux *client.Mux
 
 // muxFactory is remoteFactory's coalescing sibling (-remote-mux): every
 // cell runs through a client.Mux, so all worker handles share conns
 // connections and their per-key ops coalesce into batch frames.
-func muxFactory(addr string, conns int) func(name string, keyRange uint64) dict.Dict {
+func muxFactory(addr string, conns, traceEvery int, noOpen bool) func(name string, keyRange uint64) dict.Dict {
 	return func(name string, keyRange uint64) dict.Dict {
 		closeRemote()
-		m, err := client.DialMux(addr, client.MuxConfig{Conns: conns})
+		m, err := client.DialMux(addr, client.MuxConfig{Conns: conns, Net: client.Config{TraceEvery: traceEvery}})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "remote-mux %s: %v\n", addr, err)
 			os.Exit(1)
 		}
-		if err := m.Open(name, keyRange); err != nil {
+		if err := adoptOrOpen(m, name, keyRange, noOpen); err != nil {
 			fmt.Fprintf(os.Stderr, "remote-mux %s: %v\n", addr, err)
 			os.Exit(1)
 		}
@@ -198,6 +224,8 @@ func main() {
 		remote     = flag.String("remote", "", "run every cell against an abtree-server at this address instead of in-process")
 		remoteMuxA = flag.String("remote-mux", "", "like -remote, but through a coalescing shared-connection mux (client.Mux): all workers share -conns connections and per-key ops merge into batch frames")
 		conns      = flag.Int("conns", 1, "shared mux connections for -remote-mux")
+		traceEvery = flag.Int("trace-every", 0, "with -remote/-remote-mux: head-sample 1 in N operations per worker for end-to-end tracing (0 = off)")
+		noOpen     = flag.Bool("no-open", false, "with -remote/-remote-mux: drive the structure the server already hosts instead of re-OPENing per cell (required for replicated primaries, which reject OPEN)")
 	)
 	flag.Parse()
 	if *remote != "" && *remoteMuxA != "" {
@@ -210,15 +238,34 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceEvery < 0 {
+		fmt.Fprintf(os.Stderr, "bad -trace-every %d (want 0 to disable, or a positive sampling stride)\n", *traceEvery)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *traceEvery > 0 && *remote == "" && *remoteMuxA == "" {
+		fmt.Fprintln(os.Stderr, "-trace-every only applies to the remote drivers (-remote/-remote-mux)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *noOpen && *remote == "" && *remoteMuxA == "" {
+		fmt.Fprintln(os.Stderr, "-no-open only applies to the remote drivers (-remote/-remote-mux)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cellMode := "each cell re-opened on the server"
+	if *noOpen {
+		cellMode = "driving the server's hosted structure, no re-open"
+	}
 	if *remote != "" {
-		newDict = remoteFactory(*remote)
+		newDict = remoteFactory(*remote, *traceEvery, *noOpen)
 		defer closeRemote()
-		fmt.Printf("# remote: %s (each cell re-opened on the server)\n", *remote)
+		fmt.Printf("# remote: %s (%s)\n", *remote, cellMode)
 	}
 	if *remoteMuxA != "" {
-		newDict = muxFactory(*remoteMuxA, *conns)
+		newDict = muxFactory(*remoteMuxA, *conns, *traceEvery, *noOpen)
 		defer closeRemote()
-		fmt.Printf("# remote-mux: %s, %d shared conn(s) (each cell re-opened on the server)\n", *remoteMuxA, *conns)
+		fmt.Printf("# remote-mux: %s, %d shared conn(s) (%s)\n", *remoteMuxA, *conns, cellMode)
 	}
 
 	// Validate the scan flags up front, for every figure: an unknown

@@ -14,7 +14,8 @@ package main
 //   - the chaos histories, with mutations that died ambiguously carried
 //     as Maybe ops, pass the linearizability checker across the kill;
 //   - the failover is observable: the promoted primary's METRICS report
-//     failovers_total, repl_acks_total and the replication_lag gauge.
+//     failovers_total, repl_acks_total and the replication latency
+//     histograms (repl_ship_ack_ns, repl_commit_wait_ns).
 //
 // On any failure the drill prints each proxy's faultnet repro string
 // and the exact rerun command, so a failing seed replays exactly.
@@ -261,7 +262,9 @@ func clusterDrill(seed uint64, workers int, drainTO time.Duration) error {
 
 	// Verdict 3 — the failover is observable: the promoted primary's own
 	// METRICS carry the promotion counter, the acks its new sender has
-	// collected, and the replication-lag gauge.
+	// collected, and the replication latency histograms (ship→ack and
+	// commit wait; the post-failover burst above must have populated
+	// both, since every mutation waited on a sync-1 commit).
 	sm, err := dc.ServerMetrics()
 	if err != nil {
 		dc.Close()
@@ -276,12 +279,17 @@ func clusterDrill(seed uint64, workers int, drainTO time.Duration) error {
 	if sm.Counters["repl_acks_total"] == 0 {
 		return fmt.Errorf("promoted primary reports repl_acks_total=0 (sync-1 not in force?)\n%s", repro())
 	}
-	lag, okLag := sm.Gauges["replication_lag"]
-	if !okLag {
-		return fmt.Errorf("promoted primary exports no replication_lag gauge\n%s", repro())
+	shipAck, okShip := sm.Hists["repl_ship_ack_ns"]
+	if !okShip || shipAck.Count == 0 {
+		return fmt.Errorf("promoted primary exports no populated repl_ship_ack_ns histogram\n%s", repro())
 	}
-	fmt.Printf("cluster drill: promoted primary metrics: failovers_total=%d repl_acks_total=%d replication_lag=%d\n",
-		sm.Counters["failovers_total"], sm.Counters["repl_acks_total"], lag)
+	commitWait, okCW := sm.Hists["repl_commit_wait_ns"]
+	if !okCW || commitWait.Count == 0 {
+		return fmt.Errorf("promoted primary exports no populated repl_commit_wait_ns histogram\n%s", repro())
+	}
+	fmt.Printf("cluster drill: promoted primary metrics: failovers_total=%d repl_acks_total=%d ship_ack_p99=%dns commit_wait_p99=%dns\n",
+		sm.Counters["failovers_total"], sm.Counters["repl_acks_total"],
+		shipAck.Quantile(0.99), commitWait.Quantile(0.99))
 	for _, m := range members {
 		fmt.Printf("cluster drill: %s faults injected: %v\n", m.name, m.px.Stats().String())
 	}

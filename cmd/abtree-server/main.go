@@ -13,7 +13,7 @@
 // queue-wait times, connection/worker gauges and error counters (see
 // internal/metrics), reachable three ways:
 //
-//	abtree-server -debug 127.0.0.1:6060      # HTTP: /debug/metrics JSON + net/http/pprof
+//	abtree-server -debug 127.0.0.1:6060      # HTTP: /debug/metrics + /debug/traces JSON, net/http/pprof
 //	abtree-server -trace-slow 10ms           # log ops slower than 10ms
 //	(any client)                             # the wire METRICS operation
 //
@@ -33,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -135,9 +136,10 @@ func main() {
 }
 
 // serveDebug runs the operator HTTP listener: an expvar-style JSON dump
-// of every server instrument at /debug/metrics, plus the standard pprof
-// handlers. A dedicated mux (not http.DefaultServeMux) keeps the
-// surface explicit.
+// of every server instrument at /debug/metrics, the trace collector's
+// retained traces at /debug/traces (?max=N bounds the dump), plus the
+// standard pprof handlers. A dedicated mux (not http.DefaultServeMux)
+// keeps the surface explicit.
 func serveDebug(addr string, s *server.Server) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -145,6 +147,20 @@ func serveDebug(addr string, s *server.Server) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s.MetricsDump()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if q := r.URL.Query().Get("max"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil {
+				max = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.TracesDump(max)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -42,9 +42,11 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xrand"
 )
@@ -74,6 +76,14 @@ type Client struct {
 
 	rtt    rttHists      // client-side per-op round-trip histograms
 	faults faultCounters // redials/retries/ambiguous/busy (see retry.go)
+
+	// Tracing (Config.TraceEvery > 0): the local span collector, the
+	// trace-id mint, and whether the server advertised CapTrace (refreshed
+	// with the capabilities on every STATS/OPEN; trace frames are never
+	// sent to a server that didn't).
+	tracer   *trace.Collector
+	traceSeq atomic.Uint64
+	canTrace atomic.Bool
 }
 
 // Dial connects to an abtree server with the default Config and fetches
@@ -88,6 +98,13 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 		cfg:   cfg.withDefaults(),
 		conns: make(map[net.Conn]struct{}),
 		open:  true,
+	}
+	if c.cfg.TraceEvery > 0 {
+		c.tracer = trace.New()
+		// Seed the trace-id mint with the dial stamp so ids from distinct
+		// clients (and client restarts) don't collide in a shared server
+		// collector.
+		c.traceSeq.Store(uint64(time.Now().UnixNano()) << 8)
 	}
 	if _, err := c.Stats(); err != nil {
 		c.Close()
@@ -121,6 +138,7 @@ func (c *Client) Stats() (wire.Stats, error) {
 	c.mu.Lock()
 	c.caps = st
 	c.mu.Unlock()
+	c.canTrace.Store(st.CanTrace)
 	return st, nil
 }
 
@@ -146,6 +164,7 @@ func (c *Client) Open(name string, keyRange uint64) error {
 	c.mu.Lock()
 	c.caps = st
 	c.mu.Unlock()
+	c.canTrace.Store(st.CanTrace)
 	return nil
 }
 
@@ -305,6 +324,9 @@ type handle struct {
 	in    []byte // response payload scratch
 	pairs []byte // scan pair buffer (packed 16-byte pairs)
 
+	traceN int    // ops since this handle's last head sample
+	trace  uint64 // trace id of the in-flight sampled batch/scan (0: none)
+
 	// lastSeq is the highest replication sequence number any response on
 	// this handle has carried (0 against standalone servers). The cluster
 	// router reads it through ReplSeq to maintain its read-your-writes
@@ -402,7 +424,10 @@ func expect(gotID, wantID uint64, gotOp, wantOp byte, payload []byte) error {
 // replay across reconnects while it is safe (GET always; PUT/DELETE only
 // while no frame byte left the client, or after a BUSY rejection), typed
 // ErrAmbiguous once a mutation's frame may have reached the server.
-func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
+// tid != 0 announces the trace id with an OpTraceCtx frame ahead of the
+// request (the id survives retries, so a replayed attempt lands its
+// server spans on the same trace).
+func (h *handle) rpcPoint(op byte, key, val uint64, tid uint64) (uint64, bool, error) {
 	mutation := op != wire.OpGet
 	for attempt := 0; ; attempt++ {
 		if err := h.prepare(); err != nil {
@@ -413,7 +438,11 @@ func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
 			continue
 		}
 		id := h.nextID()
-		h.out = wire.AppendPoint(h.out[:0], id, op, key, val)
+		h.out = h.out[:0]
+		if tid != 0 {
+			h.out = wire.AppendTraceCtx(h.out, id, tid)
+		}
+		h.out = wire.AppendPoint(h.out, id, op, key, val)
 		if wrote, err := h.writeFrames(); err != nil {
 			h.broken = true
 			if mutation && wrote {
@@ -484,11 +513,13 @@ func (h *handle) rpcPoint(op byte, key, val uint64) (uint64, bool, error) {
 
 func (h *handle) point(op byte, key, val uint64) (uint64, bool) {
 	t0 := time.Now()
-	v, ok, err := h.rpcPoint(op, key, val)
+	tid := h.maybeTrace()
+	v, ok, err := h.rpcPoint(op, key, val, tid)
 	if err != nil {
 		panic(fmt.Sprintf("client: point op %#x: %v", op, err))
 	}
 	h.observe(copFor(op), t0)
+	h.traceSpan(tid, op, t0)
 	return v, ok
 }
 
@@ -566,7 +597,14 @@ func (h *handle) batch(op byte, keys, ivals []uint64, ovals []uint64, oks []bool
 		if op == wire.OpMPut {
 			vs = ivals[off:end]
 		}
-		h.out = wire.AppendBatch(h.out[:0], h.nextID(), op, keys[off:end], vs)
+		id := h.nextID()
+		h.out = h.out[:0]
+		if h.trace != 0 && off == 0 {
+			// The trace rides the first chunk; its server spans represent
+			// the batch (per-chunk spans would multiply one logical op).
+			h.out = wire.AppendTraceCtx(h.out, id, h.trace)
+		}
+		h.out = wire.AppendBatch(h.out, id, op, keys[off:end], vs)
 		n, werr := h.bw.Write(h.out)
 		handed += n
 		if werr != nil {
@@ -653,10 +691,15 @@ func (h *handle) runBatch(op byte, keys, ivals []uint64, ovals []uint64, oks []b
 		panic("client: batch result slices must match len(keys)")
 	}
 	t0 := time.Now()
-	if err := h.batchRetry(op, keys, ivals, ovals, oks); err != nil {
+	tid := h.maybeTrace()
+	h.trace = tid
+	err := h.batchRetry(op, keys, ivals, ovals, oks)
+	h.trace = 0
+	if err != nil {
 		panic(fmt.Sprintf("client: batch op %#x: %v", op, err))
 	}
 	h.observe(copFor(op), t0) // whole-call RTT, all pipelined frames
+	h.traceSpan(tid, op, t0)
 }
 
 // FindBatch looks up keys[i] for every i (dict.Batcher, remoted as one
@@ -688,13 +731,22 @@ func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
 	if snapshot {
 		slot = copSnapScan
 	}
+	tid := h.maybeTrace()
+	h.trace = tid
 	// Scans are idempotent: a failed attempt restarts from scratch (the
 	// pair buffer is reset per attempt, and fn only runs after a full
 	// drain, so a retried scan replays exactly one attempt's snapshot).
-	if err := h.retryIdempotent(func() error { return h.scanOnce(snapshot, lo, hi) }); err != nil {
+	err := h.retryIdempotent(func() error { return h.scanOnce(snapshot, lo, hi) })
+	h.trace = 0
+	if err != nil {
 		panic(fmt.Sprintf("client: scan: %v", err))
 	}
 	h.observe(slot, t0) // stream fully drained; excludes fn replay
+	op := byte(wire.OpScan)
+	if snapshot {
+		op = wire.OpSnapScan
+	}
+	h.traceSpan(tid, op, t0)
 	for i, n := 0, len(h.pairs)/16; i < n; i++ {
 		k, v := wire.PairAt(h.pairs, i)
 		if !fn(k, v) {
@@ -706,7 +758,11 @@ func (h *handle) scan(snapshot bool, lo, hi uint64, fn func(k, v uint64) bool) {
 // scanOnce runs one scan attempt, leaving the pairs in h.pairs.
 func (h *handle) scanOnce(snapshot bool, lo, hi uint64) error {
 	id := h.nextID()
-	h.out = wire.AppendScan(h.out[:0], id, snapshot, lo, hi)
+	h.out = h.out[:0]
+	if h.trace != 0 {
+		h.out = wire.AppendTraceCtx(h.out, id, h.trace)
+	}
+	h.out = wire.AppendScan(h.out, id, snapshot, lo, hi)
 	if _, err := h.writeFrames(); err != nil {
 		return err
 	}

@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xrand"
 )
@@ -184,6 +185,17 @@ func (m *Mux) RTT() map[string]*metrics.Snapshot { return m.c.RTT() }
 // ServerMetrics fetches the server's observability snapshot.
 func (m *Mux) ServerMetrics() (*ServerMetrics, error) { return m.c.ServerMetrics() }
 
+// Tracer returns the mux's local span collector (shared with the
+// control client; nil unless Net.TraceEvery > 0).
+func (m *Mux) Tracer() *trace.Collector { return m.c.Tracer() }
+
+// LocalTraces dumps the client-side trace collector.
+func (m *Mux) LocalTraces(max int) []trace.Trace { return m.c.LocalTraces(max) }
+
+// ServerTraces drains the server's trace collector over the control
+// connection.
+func (m *Mux) ServerTraces(max int) ([]ServerTrace, error) { return m.c.ServerTraces(max) }
+
 // FaultStats snapshots the fault-path counters (shared with the control
 // client: redials, retries, ambiguous completions, BUSY rejections).
 func (m *Mux) FaultStats() FaultStats { return m.c.FaultStats() }
@@ -245,6 +257,9 @@ type muxOp struct {
 	resVal uint64 // point result
 	resOk  bool
 	resErr error
+
+	trace   uint64 // head-sampled trace id (0: untraced); reset per call
+	submitT int64  // submit stamp (unixnano) for the mux-stage span
 
 	done chan struct{}
 }
@@ -661,7 +676,10 @@ func (mc *muxConn) acquireCredit(g *muxGen) error {
 // the buffered socket (flushed by the caller or by credit pressure).
 // Slots cannot collide: ids are sequential, at most window (< slot
 // count) frames are ever in flight, and salvage empties the table
-// between generations.
+// between generations. A frame carrying traced waiters is announced by
+// one OpTraceCtx frame (the first traced waiter's id — the server holds
+// one pending trace per connection) and closes each traced waiter's
+// mux-stage span here, at seal time.
 func (mc *muxConn) writeFrame(g *muxGen, f *muxFrame, op byte, keys, vals []uint64) error {
 	if err := mc.acquireCredit(g); err != nil {
 		// Never entered a slot: put the frame's waiters back in staging
@@ -672,11 +690,53 @@ func (mc *muxConn) writeFrame(g *muxGen, f *muxFrame, op byte, keys, vals []uint
 	mc.id++
 	f.id = mc.id
 	mc.slots[f.id&muxSlotMask].Store(f)
-	mc.out = wire.AppendBatch(mc.out[:0], f.id, op, keys, vals)
+	tid := mc.sealSpans(f)
+	mc.out = mc.out[:0]
+	if tid != 0 {
+		mc.out = wire.AppendTraceCtx(mc.out, f.id, tid)
+	}
+	mc.out = wire.AppendBatch(mc.out, f.id, op, keys, vals)
 	if _, err := mc.bw.Write(mc.out); err != nil {
 		return err
 	}
 	return nil
+}
+
+// sealSpans records a mux-stage span (submit → frame seal, Aux = the
+// frame's waiter count) for every traced waiter of a sealing frame and
+// returns the trace id the frame should announce: the first traced
+// waiter's (only one trace can own the server-side request). 0 allocs
+// on the untraced path.
+func (mc *muxConn) sealSpans(f *muxFrame) uint64 {
+	var first uint64
+	var sealNs uint64
+	span := func(o *muxOp, members int) {
+		if o.trace == 0 {
+			return
+		}
+		if first == 0 {
+			first = o.trace
+		}
+		if sealNs == 0 {
+			sealNs = uint64(time.Now().UnixNano())
+		}
+		var dur uint64
+		if st := uint64(o.submitT); sealNs > st {
+			dur = sealNs - st
+		}
+		mc.m.c.tracer.Record(mc.idx, trace.Span{
+			TraceID: o.trace, Kind: trace.KindMuxStage, Op: o.op,
+			Start: uint64(o.submitT), Dur: dur, Aux: uint64(members),
+		})
+	}
+	if f.bop != nil {
+		span(f.bop, 1)
+		return first
+	}
+	for _, o := range f.waiters {
+		span(o, len(f.waiters))
+	}
+	return first
 }
 
 // unseal returns a sealed-but-not-installed frame's waiters to staging.
@@ -812,9 +872,42 @@ type muxHandle struct {
 	mc   *muxConn
 	hint int // metrics stripe
 
-	op    muxOp    // reused point-op parking slot
-	bops  []*muxOp // reused explicit-batch sub-ops (chunk pipelining)
-	scanH dict.Handle
+	op     muxOp    // reused point-op parking slot
+	bops   []*muxOp // reused explicit-batch sub-ops (chunk pipelining)
+	traceN int      // ops since this handle's last head sample
+	scanH  dict.Handle
+}
+
+// maybeTrace head-samples the next op on this mux handle (the plain
+// handle's policy: Config.TraceEvery, gated on CapTrace). 0 allocs.
+func (h *muxHandle) maybeTrace() uint64 {
+	c := h.m.c
+	if c.cfg.TraceEvery <= 0 || !c.canTrace.Load() {
+		return 0
+	}
+	h.traceN++
+	if h.traceN < c.cfg.TraceEvery {
+		return 0
+	}
+	h.traceN = 0
+	return c.traceSeq.Add(1)
+}
+
+// traceSpan closes a sampled mux op's client span (submit to
+// completion, the whole coalesced round trip).
+func (h *muxHandle) traceSpan(tid uint64, op byte, t0 time.Time) {
+	if tid == 0 {
+		return
+	}
+	d := time.Since(t0)
+	if d < 0 {
+		d = 0
+	}
+	h.m.c.tracer.Record(h.hint, trace.Span{
+		TraceID: tid, Kind: trace.KindClient, Op: op,
+		Start: uint64(t0.UnixNano()), Dur: uint64(d),
+	})
+	h.m.c.tracer.RecordTail(op, tid, uint64(d))
 }
 
 // submit parks o on the shared connection and blocks until it is
@@ -835,16 +928,19 @@ func (h *muxHandle) submit(o *muxOp) {
 
 func (h *muxHandle) tryPoint(opcode byte, key, val uint64) (uint64, bool, error) {
 	t0 := time.Now()
+	tid := h.maybeTrace()
 	h.m.inflight.Add(h.hint, 1)
 	o := &h.op
 	o.op, o.key, o.val = opcode, key, val
 	o.keys, o.vals = nil, nil
+	o.trace, o.submitT = tid, t0.UnixNano()
 	h.submit(o)
 	h.m.inflight.Add(h.hint, -1)
 	if o.resErr != nil {
 		return 0, false, o.resErr
 	}
 	h.observeRTT(copFor(opcode), t0)
+	h.traceSpan(tid, opcode, t0)
 	return o.resVal, o.resOk, nil
 }
 
@@ -917,6 +1013,7 @@ func (h *muxHandle) runBatch(op byte, keys, ivals, ovals []uint64, oks []bool) {
 		return
 	}
 	t0 := time.Now()
+	tid := h.maybeTrace()
 	h.m.inflight.Add(h.hint, int64(len(keys)))
 	serial := op != wire.OpMGet && len(keys) > wire.MaxBatch && crossFrameDup(keys)
 	nsub := 0
@@ -925,6 +1022,10 @@ func (h *muxHandle) runBatch(op byte, keys, ivals, ovals []uint64, oks []bool) {
 		end := min(off+wire.MaxBatch, len(keys))
 		o := h.bop(nsub)
 		o.op = op
+		o.trace, o.submitT = 0, t0.UnixNano()
+		if off == 0 {
+			o.trace = tid // the trace rides the first chunk (see handle.batch)
+		}
 		o.keys = keys[off:end]
 		if op == wire.OpMPut {
 			o.vals = ivals[off:end]
@@ -966,6 +1067,7 @@ func (h *muxHandle) runBatch(op byte, keys, ivals, ovals []uint64, oks []bool) {
 		panic(fmt.Sprintf("client: mux batch op %#x: %v", op, firstErr))
 	}
 	h.observeRTT(copFor(op), t0)
+	h.traceSpan(tid, op, t0)
 }
 
 // FindBatch looks up keys[i] for every i (dict.Batcher over the shared

@@ -76,6 +76,12 @@ type Config struct {
 	// up to RetryBackoffMax, with ±50% jitter. Defaults 2ms / 250ms.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// TraceEvery head-samples 1 in TraceEvery operations per handle for
+	// request-scoped tracing (1 = every op, 0 = tracing off). Sampled
+	// ops announce a fresh 64-bit trace id with an OpTraceCtx frame —
+	// only when the server advertised CapTrace — and record a client
+	// span into the Client's trace collector.
+	TraceEvery int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -93,6 +99,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.RetryBackoffMax <= 0 {
 		cfg.RetryBackoffMax = 250 * time.Millisecond
+	}
+	if cfg.TraceEvery < 0 {
+		cfg.TraceEvery = 0
 	}
 	return cfg
 }
@@ -259,11 +268,13 @@ type TryHandle interface {
 // TryFind is Find with an error result instead of a panic.
 func (h *handle) TryFind(key uint64) (uint64, bool, error) {
 	t0 := time.Now()
-	v, ok, err := h.rpcPoint(wire.OpGet, key, 0)
+	tid := h.maybeTrace()
+	v, ok, err := h.rpcPoint(wire.OpGet, key, 0, tid)
 	if err != nil {
 		return 0, false, err
 	}
 	h.observe(copGet, t0)
+	h.traceSpan(tid, wire.OpGet, t0)
 	return v, ok, nil
 }
 
@@ -271,11 +282,13 @@ func (h *handle) TryFind(key uint64) (uint64, bool, error) {
 // insert may or may not have been applied.
 func (h *handle) TryInsert(key, val uint64) (uint64, bool, error) {
 	t0 := time.Now()
-	v, ok, err := h.rpcPoint(wire.OpPut, key, val)
+	tid := h.maybeTrace()
+	v, ok, err := h.rpcPoint(wire.OpPut, key, val, tid)
 	if err != nil {
 		return 0, false, err
 	}
 	h.observe(copPut, t0)
+	h.traceSpan(tid, wire.OpPut, t0)
 	return v, ok, nil
 }
 
@@ -283,11 +296,13 @@ func (h *handle) TryInsert(key, val uint64) (uint64, bool, error) {
 // delete may or may not have been applied.
 func (h *handle) TryDelete(key uint64) (uint64, bool, error) {
 	t0 := time.Now()
-	v, ok, err := h.rpcPoint(wire.OpDelete, key, 0)
+	tid := h.maybeTrace()
+	v, ok, err := h.rpcPoint(wire.OpDelete, key, 0, tid)
 	if err != nil {
 		return 0, false, err
 	}
 	h.observe(copDelete, t0)
+	h.traceSpan(tid, wire.OpDelete, t0)
 	return v, ok, nil
 }
 

@@ -1,0 +1,135 @@
+package client
+
+// Client-side request tracing: head sampling (Config.TraceEvery), the
+// per-client span collector, and the OpTraceDump RPC that drains a
+// server's collector for abtree-top and the end-to-end trace tests.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// maybeTrace decides whether the next operation on this handle is head
+// sampled, minting a fresh trace id when it is. 0 means untraced —
+// tracing off, the server never advertised CapTrace, or this op lost
+// the 1-in-TraceEvery draw. 0 allocs.
+func (h *handle) maybeTrace() uint64 {
+	c := h.c
+	if c == nil || c.cfg.TraceEvery <= 0 || !c.canTrace.Load() {
+		return 0
+	}
+	h.traceN++
+	if h.traceN < c.cfg.TraceEvery {
+		return 0
+	}
+	h.traceN = 0
+	return c.traceSeq.Add(1)
+}
+
+// traceSpan closes a head-sampled operation's client span: the whole
+// RPC, issue to response decode (retries included), plus a tail-sample
+// offer so slow round trips are retained locally too. 0 allocs.
+func (h *handle) traceSpan(tid uint64, op byte, t0 time.Time) {
+	if tid == 0 || h.c == nil {
+		return
+	}
+	d := time.Since(t0)
+	if d < 0 {
+		d = 0
+	}
+	h.c.tracer.Record(h.hint, trace.Span{
+		TraceID: tid, Kind: trace.KindClient, Op: op,
+		Start: uint64(t0.UnixNano()), Dur: uint64(d),
+	})
+	h.c.tracer.RecordTail(op, tid, uint64(d))
+}
+
+// Tracer returns the client's local span collector (nil unless
+// Config.TraceEvery > 0; a nil collector's methods are no-ops).
+func (c *Client) Tracer() *trace.Collector { return c.tracer }
+
+// LocalTraces dumps the client-side collector: the client spans of
+// recently sampled operations, grouped by trace id (see trace.Dump).
+func (c *Client) LocalTraces(max int) []trace.Trace { return c.tracer.Dump(max) }
+
+// ServerTrace is one trace fetched from a server's collector over the
+// wire.
+type ServerTrace struct {
+	TraceID uint64
+	Slow    bool // retained by the server's tail sampler
+	Spans   []trace.Span
+}
+
+// ServerTraces drains the server's trace collector over the control
+// connection: up to max traces (0 = server default), tail-sampled slow
+// traces first.
+func (c *Client) ServerTraces(max int) ([]ServerTrace, error) {
+	c.ctrlMu.Lock()
+	defer c.ctrlMu.Unlock()
+	h, err := c.ctrlHandle()
+	if err != nil {
+		return nil, err
+	}
+	return h.rpcTraces(max)
+}
+
+func (h *handle) rpcTraces(max int) ([]ServerTrace, error) {
+	if max < 0 {
+		max = 0
+	}
+	var out []ServerTrace
+	err := h.retryIdempotent(func() error {
+		id := h.nextID()
+		h.out = wire.AppendTraceDump(h.out[:0], id, uint32(max))
+		if _, err := h.writeFrames(); err != nil {
+			return err
+		}
+		out = out[:0]
+		var tf wire.TraceFrame
+		for {
+			rid, rop, payload, err := h.readFrame()
+			if err != nil {
+				return err
+			}
+			if rop == wire.RespBusy {
+				return errBusy
+			}
+			if rop == wire.RespError {
+				return respError(payload)
+			}
+			if rid != id || rop != wire.RespTrace {
+				return fmt.Errorf("trace response mismatch: got id=%d op=%#x, want id=%d op=%#x", rid, rop, id, wire.RespTrace)
+			}
+			if err := wire.DecodeTrace(payload, &tf); err != nil {
+				return err
+			}
+			// The empty dump's terminator frame (trace id 0) is protocol,
+			// not data.
+			if tf.TraceID != 0 {
+				st := ServerTrace{
+					TraceID: tf.TraceID,
+					Slow:    tf.Slow,
+					Spans:   make([]trace.Span, wire.TraceSpans(tf.Spans)),
+				}
+				for i := range st.Spans {
+					kind, op, start, dur, aux := wire.SpanAt(tf.Spans, i)
+					st.Spans[i] = trace.Span{
+						TraceID: tf.TraceID, Kind: kind, Op: op,
+						Start: start, Dur: dur, Aux: aux,
+					}
+				}
+				out = append(out, st)
+			}
+			if tf.Last {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -100,9 +101,11 @@ var causeNames = [numCauses]string{
 // srvMetrics is the server's instrument set. Zero value ready; lives
 // inline in Server.
 type srvMetrics struct {
-	opLat     [numOpSlots]metrics.Histogram // service latency per opcode
-	queueWait metrics.Histogram             // reader-enqueue to worker-dequeue
-	coalesce  metrics.Histogram             // point requests per worker queue sweep
+	opLat      [numOpSlots]metrics.Histogram // service latency per opcode
+	queueWait  metrics.Histogram             // reader-enqueue to worker-dequeue
+	coalesce   metrics.Histogram             // point requests per worker queue sweep
+	commitWait metrics.Histogram             // primary: mutation blocked on waitCommitted
+	shipAck    metrics.Histogram             // primary: REPLICATE ship to REPL_ACK, per round trip with entries
 
 	inFlight metrics.Gauge // ops currently executing on workers
 	conns    metrics.Gauge // registered connections
@@ -122,7 +125,7 @@ type srvMetrics struct {
 
 // metricsItemCount is the fixed number of instruments a METRICS
 // response streams (the last one carries the MetricsLast flag).
-const metricsItemCount = 8 + numCauses + 6 + 2 + numOpSlots
+const metricsItemCount = 8 + numCauses + 5 + 4 + numOpSlots
 
 // eachCounter visits every counter in the stable stream order. The old
 // shed_responses_total conflated two very different events; it is split
@@ -153,10 +156,8 @@ func (s *Server) eachGauge(f func(name string, v int64)) {
 	f("work_queue_depth", int64(len(s.work)))
 	if r := s.repl; r != nil {
 		f("repl_seq", int64(r.replSeq()))
-		f("replication_lag", int64(r.lag()))
 	} else {
 		f("repl_seq", 0)
-		f("replication_lag", 0)
 	}
 }
 
@@ -165,6 +166,8 @@ func (s *Server) eachHist(f func(name string, h *metrics.Histogram)) {
 	m := &s.metrics
 	f("queue_wait_ns", &m.queueWait)
 	f("coalesce_batch_size", &m.coalesce)
+	f("repl_commit_wait_ns", &m.commitWait)
+	f("repl_ship_ack_ns", &m.shipAck)
 	for i := range m.opLat {
 		f(slotNames[i], &m.opLat[i])
 	}
@@ -256,8 +259,9 @@ func (w *worker) serveMetrics(c *srvConn, id uint64) {
 	})
 }
 
-// observe records one served request's metrics and, when configured,
-// the slow-op trace line. now is the worker's dequeue stamp.
+// observe records one served request's metrics, its trace spans when
+// the request carried a trace id, and, when configured, the slow-op
+// log line. now is the worker's dequeue stamp.
 func (w *worker) observe(req *request, now time.Time) {
 	m := &w.s.metrics
 	qw := now.Sub(req.enq)
@@ -272,8 +276,20 @@ func (w *worker) observe(req *request, now time.Time) {
 	if slot := slotFor(req.Op); slot >= 0 {
 		m.opLat[slot].Record(w.idx, uint64(dur))
 	}
+	if req.traceID != 0 {
+		tr := w.s.tracer
+		tr.Record(w.idx, trace.Span{
+			TraceID: req.traceID, Kind: trace.KindQueueWait, Op: req.Op,
+			Start: uint64(req.enq.UnixNano()), Dur: uint64(qw),
+		})
+		tr.Record(w.idx, trace.Span{
+			TraceID: req.traceID, Kind: trace.KindService, Op: req.Op,
+			Start: uint64(now.UnixNano()), Dur: uint64(dur),
+		})
+		tr.RecordTail(req.Op, req.traceID, uint64(qw+dur))
+	}
 	if ts := w.s.traceSlow; ts > 0 && dur >= ts && w.s.logf != nil {
-		w.s.logf("server: slow-op op=%s id=%d dur=%s queue_wait=%s remote=%s",
-			wire.OpName(req.Op), req.ID, dur, qw, req.c.remote)
+		w.s.logf("server: slow-op op=%s id=%d trace=%016x dur=%s queue_wait=%s commit_wait=%s remote=%s",
+			wire.OpName(req.Op), req.ID, req.traceID, dur, qw, req.commitWait, req.c.remote)
 	}
 }

@@ -62,16 +62,20 @@ import (
 	"time"
 
 	"repro/internal/dict"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
 // replEntry is one effective mutation in the op log. Entry i of the log
 // has sequence number i+1 (streams are gapless from seq 1; see the
-// package comment on why replicas always hold a full prefix).
+// package comment on why replicas always hold a full prefix). trace is
+// the originating request's trace id (0: untraced); it ships with the
+// entry so follower apply spans join the same trace.
 type replEntry struct {
-	kind byte // wire.ReplPut / wire.ReplDelete
-	key  uint64
-	val  uint64
+	kind  byte // wire.ReplPut / wire.ReplDelete
+	key   uint64
+	val   uint64
+	trace uint64
 }
 
 // numStripes is the key-stripe lock count for apply/log atomicity.
@@ -106,8 +110,26 @@ type replState struct {
 
 	stripe [numStripes]sync.Mutex
 
+	// shipPend maps recently logged traced mutations to their append
+	// stamps so the first covering REPL_ACK can close a repl-ship span.
+	// Bounded: under trace floods the oldest pending ships win and the
+	// rest simply go unattributed.
+	shipMu   sync.Mutex
+	shipPend []shipRec
+
 	wg sync.WaitGroup
 }
+
+// shipRec is one pending repl-ship attribution: a traced log entry
+// waiting for a covering follower ack.
+type shipRec struct {
+	seq   uint64
+	trace uint64
+	start time.Time
+}
+
+// shipPendMax bounds the pending repl-ship table.
+const shipPendMax = 128
 
 func newReplState(s *Server, cfg Config) *replState {
 	r := &replState{s: s, partition: cfg.Partition}
@@ -138,7 +160,7 @@ func (r *replState) startSenders(followers []string, ack int) {
 	}
 	r.ackNeed = ack
 	for _, addr := range followers {
-		sd := &replSender{r: r, addr: addr}
+		sd := &replSender{r: r, addr: addr, idx: len(r.senders)}
 		r.senders = append(r.senders, sd)
 		r.wg.Add(1)
 		go sd.run()
@@ -218,25 +240,12 @@ func (r *replState) replSeq() uint64 {
 	return r.committedSeq()
 }
 
-// lag is the replication_lag gauge: how far the slowest ack the policy
-// counts trails the log head (primary; followers report 0 — their lag
-// is only measurable from the primary).
-func (r *replState) lag() int64 {
-	if r.role.Load() == wire.RoleFollower {
-		return 0
-	}
-	r.mu.Lock()
-	l := int64(r.lastSeq - r.committed)
-	r.mu.Unlock()
-	return l
-}
-
 // append logs one effective mutation and returns its seq. Caller holds
 // the key's stripe lock (the apply+append atomicity that keeps log
 // order equal to tree order per key).
-func (r *replState) append(kind byte, key, val uint64) uint64 {
+func (r *replState) append(kind byte, key, val, traceID uint64) uint64 {
 	r.mu.Lock()
-	r.log = append(r.log, replEntry{kind: kind, key: key, val: val})
+	r.log = append(r.log, replEntry{kind: kind, key: key, val: val, trace: traceID})
 	r.lastSeq++
 	seq := r.lastSeq
 	r.lastSeqA.Store(seq)
@@ -251,8 +260,9 @@ func (r *replState) append(kind byte, key, val uint64) uint64 {
 // applyOne runs one primary mutation: apply on the worker's handle and
 // log if effective, atomically per key stripe. The returned seq is the
 // entry's seq (effective) or the covering log position (no-op); the
-// caller must waitCommitted(seq) before responding.
-func (r *replState) applyOne(h dict.Handle, op byte, key, val uint64) (v uint64, applied bool, seq uint64) {
+// caller must waitCommitted(seq) before responding. A traced effective
+// mutation also registers a pending repl-ship attribution.
+func (r *replState) applyOne(h dict.Handle, op byte, key, val, traceID uint64) (v uint64, applied bool, seq uint64) {
 	st := &r.stripe[key%numStripes]
 	st.Lock()
 	var kind byte
@@ -265,12 +275,45 @@ func (r *replState) applyOne(h dict.Handle, op byte, key, val uint64) (v uint64,
 		kind = wire.ReplDelete
 	}
 	if applied {
-		seq = r.append(kind, key, val)
+		seq = r.append(kind, key, val, traceID)
 	} else {
 		seq = r.lastSeqA.Load()
 	}
 	st.Unlock()
+	if applied && traceID != 0 {
+		r.noteShip(seq, traceID)
+	}
 	return v, applied, seq
+}
+
+// noteShip registers a traced logged mutation for ship-span attribution
+// once a covering REPL_ACK arrives (drainShips).
+func (r *replState) noteShip(seq, traceID uint64) {
+	r.shipMu.Lock()
+	if len(r.shipPend) < shipPendMax {
+		r.shipPend = append(r.shipPend, shipRec{seq: seq, trace: traceID, start: time.Now()})
+	}
+	r.shipMu.Unlock()
+}
+
+// drainShips closes repl-ship spans for every pending traced mutation
+// the ack position covers: append-to-first-covering-ack, which is the
+// replication leg a client-visible commit actually waited on.
+func (r *replState) drainShips(acked uint64, hint int) {
+	r.shipMu.Lock()
+	kept := r.shipPend[:0]
+	for _, rec := range r.shipPend {
+		if rec.seq <= acked {
+			r.s.tracer.Record(hint, trace.Span{
+				TraceID: rec.trace, Kind: trace.KindReplShip,
+				Start: uint64(rec.start.UnixNano()), Dur: sinceNs(rec.start), Aux: rec.seq,
+			})
+		} else {
+			kept = append(kept, rec)
+		}
+	}
+	r.shipPend = kept
+	r.shipMu.Unlock()
 }
 
 // findOne runs one primary read: the value plus the log position
@@ -317,12 +360,34 @@ func (w *worker) serveReplPoint(req *request) {
 	if req.Op == wire.OpGet {
 		v, ok, seq = r.findOne(w.h, req.Key)
 	} else {
-		v, ok, seq = r.applyOne(w.h, req.Op, req.Key, req.Val)
+		v, ok, seq = r.applyOne(w.h, req.Op, req.Key, req.Val, req.traceID)
 	}
-	if !r.waitCommitted(seq) {
+	if !w.commitWait(req, seq) {
 		return
 	}
 	c.sendPointSeq(req.ID, v, ok, seq)
+}
+
+// commitWait blocks the worker until seq is committed, recording the
+// wait in the repl_commit_wait_ns histogram (and as a commit-wait span
+// on traced requests). False means the server closed mid-wait — drop
+// the response (see waitCommitted).
+func (w *worker) commitWait(req *request, seq uint64) bool {
+	t0 := time.Now()
+	ok := w.s.repl.waitCommitted(seq)
+	cw := time.Since(t0)
+	if cw < 0 {
+		cw = 0
+	}
+	w.s.metrics.commitWait.Record(w.idx, uint64(cw))
+	req.commitWait = cw
+	if req.traceID != 0 {
+		w.s.tracer.Record(w.idx, trace.Span{
+			TraceID: req.traceID, Kind: trace.KindCommitWait, Op: req.Op,
+			Start: uint64(t0.UnixNano()), Dur: uint64(cw), Aux: seq,
+		})
+	}
+	return ok
 }
 
 // serveReplBatch serves MGET/MPUT/MDELETE on a replicated server as a
@@ -363,13 +428,13 @@ func (w *worker) serveReplBatch(req *request) {
 			if req.Op == wire.OpMPut {
 				val = req.Vals[i]
 			}
-			vals[i], oks[i], seq = r.applyOne(w.h, req.Op, k, val)
+			vals[i], oks[i], seq = r.applyOne(w.h, req.Op, k, val, req.traceID)
 		}
 		if seq > maxSeq {
 			maxSeq = seq
 		}
 	}
-	if !r.waitCommitted(maxSeq) {
+	if !w.commitWait(req, maxSeq) {
 		return
 	}
 	ob := c.getOut()
@@ -404,6 +469,11 @@ func (r *replState) applyReplicate(req *wire.Request) (uint64, error) {
 			if seq <= applied {
 				continue // duplicate from a sender retry
 			}
+			var tid uint64
+			if uint64(len(req.Traces)) == n {
+				tid = req.Traces[i]
+			}
+			t0 := time.Now()
 			k, val := req.Keys[i], req.Vals[i]
 			switch req.Ops[i] {
 			case wire.ReplPut:
@@ -411,15 +481,21 @@ func (r *replState) applyReplicate(req *wire.Request) (uint64, error) {
 			case wire.ReplDelete:
 				r.applyH.Delete(k)
 			}
-			// Retain the entry as our own log so promotion can backfill
-			// laggard followers from seq 1.
+			// Retain the entry (trace id included) as our own log so
+			// promotion can backfill laggard followers from seq 1.
 			r.mu.Lock()
-			r.log = append(r.log, replEntry{kind: req.Ops[i], key: k, val: val})
+			r.log = append(r.log, replEntry{kind: req.Ops[i], key: k, val: val, trace: tid})
 			r.lastSeq = seq
 			r.lastSeqA.Store(seq)
 			r.mu.Unlock()
 			applied = seq
 			r.applied.Store(seq)
+			if tid != 0 {
+				r.s.tracer.Record(int(seq), trace.Span{
+					TraceID: tid, Kind: trace.KindApply,
+					Start: uint64(t0.UnixNano()), Dur: sinceNs(t0), Aux: seq,
+				})
+			}
 		}
 	}
 	return applied, nil
@@ -463,6 +539,7 @@ func (r *replState) promote(ack int, addrs []string) error {
 type replSender struct {
 	r     *replState
 	addr  string
+	idx   int           // position among senders (metrics/trace stripe hint)
 	acked atomic.Uint64 // follower's applied position per its last ack
 
 	nc net.Conn // guarded by r.mu (close() severs a blocked sender)
@@ -475,9 +552,10 @@ func (sd *replSender) run() {
 	r := sd.r
 	defer r.wg.Done()
 	var (
-		kinds []byte
-		keys  []uint64
-		vals  []uint64
+		kinds  []byte
+		keys   []uint64
+		vals   []uint64
+		traces []uint64
 	)
 	backoff := 10 * time.Millisecond
 	for {
@@ -504,7 +582,7 @@ func (sd *replSender) run() {
 		}
 		sd.nc = nc
 		r.mu.Unlock()
-		sd.stream(nc, &kinds, &keys, &vals)
+		sd.stream(nc, &kinds, &keys, &vals, &traces)
 		r.mu.Lock()
 		sd.nc = nil
 		r.mu.Unlock()
@@ -517,7 +595,9 @@ func (sd *replSender) run() {
 
 // stream drives one connection: probe for the follower's cursor, then
 // ship runs as the log grows. Returns on any error (caller redials).
-func (sd *replSender) stream(nc net.Conn, kinds *[]byte, keys, vals *[]uint64) {
+// Runs containing traced entries ship the traced REPLICATE form so the
+// follower's apply spans join the originating traces.
+func (sd *replSender) stream(nc net.Conn, kinds *[]byte, keys, vals, traces *[]uint64) {
 	r := sd.r
 	br := bufio.NewReaderSize(nc, 32<<10)
 	var out []byte
@@ -542,19 +622,32 @@ func (sd *replSender) stream(nc net.Conn, kinds *[]byte, keys, vals *[]uint64) {
 		if end > cursor+replBatchMax {
 			end = cursor + replBatchMax
 		}
-		*kinds, *keys, *vals = (*kinds)[:0], (*keys)[:0], (*vals)[:0]
+		*kinds, *keys, *vals, *traces = (*kinds)[:0], (*keys)[:0], (*vals)[:0], (*traces)[:0]
+		anyTrace := false
 		for seq := cursor + 1; seq <= end; seq++ {
 			e := r.log[seq-1]
 			*kinds = append(*kinds, e.kind)
 			*keys = append(*keys, e.key)
 			*vals = append(*vals, e.val)
+			*traces = append(*traces, e.trace)
+			if e.trace != 0 {
+				anyTrace = true
+			}
 		}
 		r.mu.Unlock()
-		out = wire.AppendReplicate(out[:0], 1, cursor+1, *kinds, *keys, *vals)
+		if anyTrace {
+			out = wire.AppendReplicateTraced(out[:0], 1, cursor+1, *kinds, *keys, *vals, *traces)
+		} else {
+			out = wire.AppendReplicate(out[:0], 1, cursor+1, *kinds, *keys, *vals)
+		}
+		t0 := time.Now()
 		applied, err := sd.roundTrip(nc, br, out)
 		if err != nil {
 			return
 		}
+		// Ship→ack latency, only for frames that carried entries (the
+		// probe and idle waits would poison the histogram).
+		r.s.metrics.shipAck.Record(sd.idx, sinceNs(t0))
 		cursor = applied
 		sd.noteAck(applied)
 	}
@@ -588,7 +681,8 @@ func (sd *replSender) roundTrip(nc net.Conn, br *bufio.Reader, frame []byte) (ui
 	return wire.DecodeReplAck(payload)
 }
 
-// noteAck records a follower ack and advances the commit position.
+// noteAck records a follower ack, advances the commit position, and
+// closes any repl-ship spans the ack covers.
 func (sd *replSender) noteAck(applied uint64) {
 	r := sd.r
 	r.s.metrics.replAcks.Inc(0)
@@ -598,4 +692,5 @@ func (sd *replSender) noteAck(applied uint64) {
 	r.mu.Lock()
 	r.recomputeCommitted()
 	r.mu.Unlock()
+	r.drainShips(applied, sd.idx)
 }

@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/treedict"
 	"repro/internal/wire"
 )
@@ -183,6 +184,11 @@ type Server struct {
 	// byte-identical).
 	repl *replState
 
+	// tracer collects request-scoped spans (internal/trace). Always
+	// present; it records nothing until a connection ships an OpTraceCtx
+	// frame, so untraced traffic pays one predictable branch per request.
+	tracer *trace.Collector
+
 	metrics srvMetrics
 
 	cur      atomic.Pointer[hosted]
@@ -254,6 +260,7 @@ func New(build Builder, name string, keyRange uint64, cfg Config) (*Server, erro
 		idleTimeout:  cfg.IdleTimeout,
 		rateLimit:    cfg.RateLimit,
 		rateBurst:    burst,
+		tracer:       trace.New(),
 		work:         make(chan *request, depth),
 		quit:         make(chan struct{}),
 		conns:        make(map[*srvConn]struct{}),
@@ -446,10 +453,15 @@ func (s *Server) rejectBusy(nc net.Conn) {
 
 // request is one in-flight request: the decoded frame (with its reused
 // key/value scratch), the connection to respond on, and the reader's
-// enqueue stamp (queue-wait = worker dequeue time minus enq).
+// enqueue stamp (queue-wait = worker dequeue time minus enq). traceID
+// is the request's trace (0 = untraced), claimed from the connection's
+// pending OpTraceCtx by the reader; commitWait is stamped by the
+// replicated write path for the slow-op log line.
 type request struct {
-	c   *srvConn
-	enq time.Time
+	c          *srvConn
+	enq        time.Time
+	traceID    uint64
+	commitWait time.Duration
 	wire.Request
 }
 
@@ -490,6 +502,12 @@ type srvConn struct {
 	// rateLimit/sec up to rateBurst, observed at each request's arrival.
 	tokens     float64
 	lastRefill time.Time
+
+	// pendingTrace is the trace id announced by the last OpTraceCtx
+	// frame, reader-owned: the next decoded request claims it (a decode
+	// error in between drops it — the ctx described a frame that never
+	// became a request).
+	pendingTrace uint64
 
 	payload []byte // reader's frame payload scratch
 }
@@ -730,10 +748,21 @@ func (c *srvConn) reader() {
 		c.inflight.Add(1)
 		if err := wire.DecodeRequest(id, op, c.payload, &req.Request); err != nil {
 			m.decodeErrs.Inc(0)
+			c.pendingTrace = 0
 			c.sendErr(id, err.Error())
 			c.putReq(req)
 			continue
 		}
+		if req.Op == wire.OpTraceCtx {
+			// Consumed by the reader: remember the trace id and attribute
+			// the NEXT request to it. No response frame — pipelined
+			// response matching is untouched.
+			c.pendingTrace = req.Request.Key
+			c.putReq(req)
+			continue
+		}
+		req.traceID, c.pendingTrace = c.pendingTrace, 0
+		req.commitWait = 0
 		if msg := validateKeys(&req.Request); msg != "" {
 			m.keyRejects.Inc(0)
 			c.sendErr(id, msg)
@@ -1041,6 +1070,14 @@ collect:
 	// connection sheds its response without disturbing the others.
 	for i, r := range reqs {
 		r.c.sendPoint(r.ID, vals[i], oks[i])
+		if r.traceID != 0 {
+			// Batched-descent attribution: the traced op was served inside
+			// a coalesced sweep of n requests, not alone.
+			w.s.tracer.Record(w.idx, trace.Span{
+				TraceID: r.traceID, Kind: trace.KindBatchDescent, Op: r.Op,
+				Start: uint64(now.UnixNano()), Dur: sinceNs(now), Aux: uint64(n),
+			})
+		}
 		w.observe(r, now)
 		r.c.putReq(r)
 	}
@@ -1121,6 +1158,7 @@ func (w *worker) serveOne(req *request) {
 			CanSnap:  host.canSnap,
 			Name:     host.name,
 		}
+		st.CanTrace = true // every server at this protocol level traces
 		if r := w.s.repl; r != nil {
 			st.Role = byte(r.role.Load())
 			st.Partition = r.partition
@@ -1180,6 +1218,8 @@ func (w *worker) serveOne(req *request) {
 		c.send(ob)
 	case wire.OpMetrics:
 		w.serveMetrics(c, req.ID)
+	case wire.OpTraceDump:
+		w.serveTraceDump(c, req.ID, int(req.Key))
 	default:
 		// DecodeRequest rejects unknown opcodes; this is unreachable but
 		// cheap insurance against a decoder/server skew.

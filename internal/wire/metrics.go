@@ -211,6 +211,10 @@ func OpName(op byte) string {
 		return "replicate"
 	case OpPromote:
 		return "promote"
+	case OpTraceCtx:
+		return "tracectx"
+	case OpTraceDump:
+		return "tracedump"
 	}
 	return "unknown"
 }

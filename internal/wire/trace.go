@@ -1,0 +1,151 @@
+package wire
+
+// Request-scoped tracing over the wire (reserved opcode space 0x50+).
+//
+// A traced request is announced by an OpTraceCtx frame immediately
+// preceding it on the same connection: the server remembers the trace
+// id and attributes the NEXT request frame to it. The ctx frame gets no
+// response of its own, so pipelining and response matching are
+// untouched; old servers never see one, because clients only send trace
+// frames after STATS advertised CapTrace. The payload is versioned so
+// the extension can grow without a new opcode:
+//
+//	OpTraceCtx   ver u8 (=TraceCtxV1), traceID u64
+//
+// OpTraceDump drains the server's trace collector (tail-sampled slow
+// traces first). The response is a stream of RespTrace frames, one per
+// trace, the last one flagged:
+//
+//	OpTraceDump  max u32 (0 = server default)
+//	RespTrace    flags u8, traceID u64, n u16, n * span
+//	span         kind u8, op u8, start u64, dur u64, aux u64   (26 bytes)
+//
+// start is unix nanoseconds, dur is nanoseconds; aux is per-kind
+// (sweep size, waiters per frame, replication seq — see internal/trace).
+// An empty dump is a single frame with traceID 0, n 0 and TraceLast set.
+//
+// REPLICATE frames optionally carry per-entry trace ids so a mutation's
+// trace follows its log entry to the follower: the traced form appends
+// n*traceID u64 after the values (payload 12+25n instead of 12+17n);
+// decoders accept both, keeping old and new replication peers
+// interoperable.
+
+import "fmt"
+
+// Trace opcodes (requests) and the trace response opcode.
+const (
+	OpTraceCtx  = 0x50
+	OpTraceDump = 0x51
+
+	RespTrace = 0x89
+)
+
+// CapTrace in the RespStats caps byte advertises that the server
+// understands OpTraceCtx/OpTraceDump; clients must not send trace
+// frames to a server that does not set it.
+const CapTrace = 0x04
+
+// TraceCtxV1 is the only OpTraceCtx payload version so far.
+const TraceCtxV1 = 0x01
+
+// RespTrace flag bits.
+const (
+	TraceLast = 0x01 // final frame of a dump
+	TraceSlow = 0x02 // trace was retained by tail sampling (slowest-N)
+)
+
+// SpanSize is the encoded size of one span in a RespTrace frame.
+const SpanSize = 26
+
+// MaxTraceSpans bounds the spans a single RespTrace frame may carry.
+const MaxTraceSpans = 128
+
+// AppendTraceCtx appends an OpTraceCtx frame announcing that the next
+// request on this connection belongs to traceID.
+func AppendTraceCtx(b []byte, id, traceID uint64) []byte {
+	start := len(b)
+	b = beginFrame(b, id, OpTraceCtx)
+	b = append(b, TraceCtxV1)
+	b = le.AppendUint64(b, traceID)
+	return finishFrame(b, start)
+}
+
+// AppendTraceDump appends an OpTraceDump request. max caps the traces
+// returned (0 = server default).
+func AppendTraceDump(b []byte, id uint64, max uint32) []byte {
+	start := len(b)
+	b = beginFrame(b, id, OpTraceDump)
+	b = le.AppendUint32(b, max)
+	return finishFrame(b, start)
+}
+
+// BeginTrace starts a RespTrace frame for one trace; append its spans
+// with AppendSpan and seal it with FinishTrace. start is len(b) at call
+// time, threaded through to FinishTrace.
+func BeginTrace(b []byte, id, traceID uint64, slow bool) []byte {
+	b = beginFrame(b, id, RespTrace)
+	var flags byte
+	if slow {
+		flags = TraceSlow
+	}
+	b = append(b, flags)
+	b = le.AppendUint64(b, traceID)
+	return append(b, 0, 0) // span count, patched by FinishTrace
+}
+
+// AppendSpan appends one span to an open RespTrace frame.
+func AppendSpan(b []byte, kind, op byte, start, dur, aux uint64) []byte {
+	b = append(b, kind, op)
+	b = le.AppendUint64(b, start)
+	b = le.AppendUint64(b, dur)
+	return le.AppendUint64(b, aux)
+}
+
+// FinishTrace seals a RespTrace frame begun at offset start, patching
+// the frame length, the span count and (for the dump's final frame) the
+// TraceLast flag.
+func FinishTrace(b []byte, start int, last bool) []byte {
+	if last {
+		b[start+HeaderLen] |= TraceLast
+	}
+	n := (len(b) - start - HeaderLen - 11) / SpanSize
+	le.PutUint16(b[start+HeaderLen+9:], uint16(n))
+	return finishFrame(b, start)
+}
+
+// TraceFrame is one decoded RespTrace frame.
+type TraceFrame struct {
+	TraceID uint64
+	Last    bool // final frame of the dump
+	Slow    bool // retained by tail sampling
+	Spans   []byte
+}
+
+// TraceSpans returns the number of spans in a decoded frame's packed
+// span bytes.
+func TraceSpans(spans []byte) int { return len(spans) / SpanSize }
+
+// SpanAt decodes span i of a frame's packed span bytes.
+func SpanAt(spans []byte, i int) (kind, op byte, start, dur, aux uint64) {
+	s := spans[SpanSize*i:]
+	return s[0], s[1], le.Uint64(s[2:]), le.Uint64(s[10:]), le.Uint64(s[18:])
+}
+
+// DecodeTrace parses a RespTrace payload.
+func DecodeTrace(payload []byte, t *TraceFrame) error {
+	if len(payload) < 11 {
+		return fmt.Errorf("wire: trace frame wants flags+id+count, got %d bytes", len(payload))
+	}
+	n := int(le.Uint16(payload[9:]))
+	if n > MaxTraceSpans {
+		return fmt.Errorf("wire: trace frame claims %d spans > MaxTraceSpans %d", n, MaxTraceSpans)
+	}
+	if len(payload) != 11+SpanSize*n {
+		return fmt.Errorf("wire: trace frame claims %d spans in %d payload bytes", n, len(payload))
+	}
+	t.Last = payload[0]&TraceLast != 0
+	t.Slow = payload[0]&TraceSlow != 0
+	t.TraceID = le.Uint64(payload[1:])
+	t.Spans = payload[11:]
+	return nil
+}

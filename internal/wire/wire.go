@@ -245,6 +245,31 @@ func AppendReplicate(b []byte, id uint64, firstSeq uint64, kinds []byte, keys, v
 	return finishFrame(b, start)
 }
 
+// AppendReplicateTraced is AppendReplicate's traced form: it also ships
+// one trace id per entry (0 = untraced), so a mutation's trace follows
+// its log entry to the follower. Only send it to peers that advertised
+// CapTrace; AppendReplicate keeps the legacy layout for everyone else.
+func AppendReplicateTraced(b []byte, id uint64, firstSeq uint64, kinds []byte, keys, vals, traces []uint64) []byte {
+	if len(kinds) > MaxBatch {
+		panic(fmt.Sprintf("wire: replicate run of %d entries exceeds MaxBatch %d", len(kinds), MaxBatch))
+	}
+	start := len(b)
+	b = beginFrame(b, id, OpReplicate)
+	b = le.AppendUint64(b, firstSeq)
+	b = le.AppendUint32(b, uint32(len(kinds)))
+	b = append(b, kinds...)
+	for _, k := range keys[:len(kinds)] {
+		b = le.AppendUint64(b, k)
+	}
+	for _, v := range vals[:len(kinds)] {
+		b = le.AppendUint64(b, v)
+	}
+	for _, t := range traces[:len(kinds)] {
+		b = le.AppendUint64(b, t)
+	}
+	return finishFrame(b, start)
+}
+
 // AppendPromote appends a PROMOTE request frame: the receiving follower
 // becomes a primary shipping to the comma-separated addrs (possibly
 // empty), acking writes once ack followers have applied them.
@@ -385,6 +410,7 @@ type Stats struct {
 	Gen         uint64 // hosting generation (bumped by every OPEN)
 	CanRange    bool   // handles serve weak Range scans
 	CanSnap     bool   // handles serve linearizable RangeSnapshot scans
+	CanTrace    bool   // server understands OpTraceCtx/OpTraceDump (CapTrace)
 	Role        byte   // RoleStandalone / RolePrimary / RoleFollower
 	Partition   uint64 // partition index this server replicates (0 if standalone)
 	ReplSeq     uint64 // primary: committed seq; follower: applied seq
@@ -405,6 +431,9 @@ func AppendRespStats(b []byte, id uint64, s Stats) []byte {
 	}
 	if s.CanSnap {
 		caps |= CapSnap
+	}
+	if s.CanTrace {
+		caps |= CapTrace
 	}
 	b = append(b, caps)
 	b = append(b, s.Role)
@@ -448,6 +477,9 @@ type Request struct {
 	// Keys/Vals hold a batched request's keys and (for MPUT) values;
 	// REPLICATE reuses them for the entries' keys and values.
 	Keys, Vals []uint64
+	// Traces holds a traced REPLICATE request's per-entry trace ids
+	// (empty for the legacy untraced form: no entry is traced).
+	Traces []uint64
 	// Name holds an OPEN request's structure name or a PROMOTE
 	// request's comma-separated follower addresses.
 	Name []byte
@@ -516,8 +548,17 @@ func DecodeRequest(id uint64, op byte, payload []byte, r *Request) error {
 		if n > MaxBatch {
 			return fmt.Errorf("wire: replicate run of %d entries exceeds MaxBatch %d", n, MaxBatch)
 		}
-		if want := 12 + 17*n; len(payload) != want {
-			return fmt.Errorf("wire: REPLICATE with %d entries wants %d payload bytes, got %d", n, want, len(payload))
+		// The legacy form is 12+17n bytes; the traced form appends one
+		// trace id per entry (12+25n). Both decode here so old and new
+		// replication peers interoperate.
+		traced := false
+		switch len(payload) {
+		case 12 + 17*n:
+		case 12 + 25*n:
+			traced = n > 0
+		default:
+			return fmt.Errorf("wire: REPLICATE with %d entries wants %d or %d payload bytes, got %d",
+				n, 12+17*n, 12+25*n, len(payload))
 		}
 		for _, k := range payload[12 : 12+n] {
 			if k != ReplPut && k != ReplDelete {
@@ -527,13 +568,30 @@ func DecodeRequest(id uint64, op byte, payload []byte, r *Request) error {
 		r.Key = le.Uint64(payload)
 		r.Ops = append(r.Ops[:0], payload[12:12+n]...)
 		r.Keys = decodeU64s(r.Keys[:0], payload[12+n:12+n+8*n])
-		r.Vals = decodeU64s(r.Vals[:0], payload[12+n+8*n:])
+		r.Vals = decodeU64s(r.Vals[:0], payload[12+n+8*n:12+n+16*n])
+		r.Traces = r.Traces[:0]
+		if traced {
+			r.Traces = decodeU64s(r.Traces, payload[12+17*n:])
+		}
 	case OpPromote:
 		if len(payload) < 4 {
 			return fmt.Errorf("wire: PROMOTE wants an ack count, got %d bytes", len(payload))
 		}
 		r.Key = uint64(le.Uint32(payload))
 		r.Name = append(r.Name[:0], payload[4:]...)
+	case OpTraceCtx:
+		if len(payload) != 9 {
+			return fmt.Errorf("wire: TRACE_CTX wants 9 payload bytes, got %d", len(payload))
+		}
+		if payload[0] != TraceCtxV1 {
+			return fmt.Errorf("wire: TRACE_CTX version %#x unknown", payload[0])
+		}
+		r.Key = le.Uint64(payload[1:])
+	case OpTraceDump:
+		if len(payload) != 4 {
+			return fmt.Errorf("wire: TRACE_DUMP wants 4 payload bytes, got %d", len(payload))
+		}
+		r.Key = uint64(le.Uint32(payload))
 	default:
 		return fmt.Errorf("wire: unknown opcode %#x", op)
 	}
@@ -621,6 +679,7 @@ func DecodeStats(payload []byte) (Stats, error) {
 	caps := payload[64]
 	s.CanRange = caps&CapRange != 0
 	s.CanSnap = caps&CapSnap != 0
+	s.CanTrace = caps&CapTrace != 0
 	s.Role = payload[65]
 	s.Partition = le.Uint64(payload[66:])
 	s.ReplSeq = le.Uint64(payload[74:])

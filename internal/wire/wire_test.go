@@ -249,6 +249,10 @@ func FuzzDecodeRequest(f *testing.F) {
 	repl := AppendReplicate(nil, 10, 5, []byte{ReplPut}, []uint64{1}, []uint64{2})
 	f.Add(uint8(OpReplicate), repl[HeaderLen:])
 	f.Add(uint8(OpPromote), AppendPromote(nil, 11, 1, "a:1,b:2")[HeaderLen:])
+	f.Add(uint8(OpTraceCtx), AppendTraceCtx(nil, 12, 7)[HeaderLen:])
+	f.Add(uint8(OpTraceDump), AppendTraceDump(nil, 13, 32)[HeaderLen:])
+	rtr := AppendReplicateTraced(nil, 14, 5, []byte{ReplPut}, []uint64{1}, []uint64{2}, []uint64{3})
+	f.Add(uint8(OpReplicate), rtr[HeaderLen:])
 	var r Request
 	f.Fuzz(func(t *testing.T, op uint8, payload []byte) {
 		if err := DecodeRequest(1, op, payload, &r); err != nil {
@@ -271,6 +275,9 @@ func FuzzDecodeRequest(f *testing.F) {
 				if k != ReplPut && k != ReplDelete {
 					t.Fatalf("accepted entry kind %#x", k)
 				}
+			}
+			if len(r.Traces) != 0 && len(r.Traces) != len(r.Ops) {
+				t.Fatalf("REPLICATE traces %d for %d entries", len(r.Traces), len(r.Ops))
 			}
 		}
 	})
